@@ -1,0 +1,90 @@
+// Experiment E13 (ablation of Section 3.1's design choices): the paper's
+// n^{1/r} weight-increase rate versus the classic doubling rate, at matched
+// sample sizes — isolating exactly the reweighting change that buys the
+// exponentially smaller pass count; plus the Monte Carlo (Remark 3.6)
+// failure behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/clarkson.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_ReweightingRate(benchmark::State& state) {
+  const size_t n = 200000;
+  const bool paper_rate = state.range(0) == 1;
+  const int r = 3;
+  Rng rng(0xEB);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+
+  size_t iters = 0, success = 0, runs = 0;
+  ClarksonStats stats;
+  for (auto _ : state) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      ClarksonOptions opt;
+      opt.r = r;
+      opt.net.scale = 0.1;
+      // Same sample size for both arms; only the rate differs.
+      if (!paper_rate) opt.weight_rate_override = 2.0;
+      opt.max_iterations = 3000;
+      opt.seed = 0xEB00 + seed;
+      auto result = ClarksonSolve(
+          problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
+      if (!result.ok()) state.SkipWithError("solve failed");
+      iters += stats.iterations;
+      success += stats.successful_iterations;
+      ++runs;
+    }
+  }
+  state.counters["rate_is_paper"] = paper_rate ? 1 : 0;
+  state.counters["iters_avg"] = static_cast<double>(iters) / runs;
+  state.counters["success_avg"] = static_cast<double>(success) / runs;
+}
+
+BENCHMARK(BM_ReweightingRate)
+    ->ArgNames({"paper_rate"})
+    ->Args({1})   // n^{1/r} (this paper).
+    ->Args({0})   // x2 (classic Clarkson/Welzl).
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_MonteCarloFailureRate(benchmark::State& state) {
+  // Remark 3.6: the Monte Carlo variant declares FAIL instead of retrying;
+  // measure its failure rate as the sample shrinks.
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(0xEB2C);
+  auto inst = workload::RandomFeasibleLp(100000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  size_t failures = 0, runs = 0;
+  for (auto _ : state) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      ClarksonOptions opt;
+      opt.r = 3;
+      opt.net.scale = scale;
+      opt.monte_carlo = true;
+      opt.seed = 0xEB11 + seed;
+      auto result = ClarksonSolve(
+          problem, std::span<const Halfspace>(inst.constraints), opt,
+          nullptr);
+      if (!result.ok()) ++failures;
+      ++runs;
+    }
+  }
+  state.counters["mc_failure_pct"] = 100.0 * failures / runs;
+}
+
+BENCHMARK(BM_MonteCarloFailureRate)
+    ->ArgNames({"scale_pct"})
+    ->Args({100})
+    ->Args({10})
+    ->Args({2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

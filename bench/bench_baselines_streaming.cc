@@ -1,0 +1,136 @@
+// Experiment E6 (Section 1.1 comparisons): our streaming solver vs
+// (a) classic Clarkson reweighting (rate 2, fixed sample), (b) the
+// Chan-Chen-style 2-d prune-and-search baseline at an equal space budget,
+// and (c) the one-shot tree-merge heuristic's error rate in the coordinator
+// model. The paper's claim: Result 1 achieves exponentially fewer passes in
+// d than [13] and improves the iteration count of classic reweighting.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/chan_chen_2d.h"
+#include "src/baselines/clarkson_classic.h"
+#include "src/baselines/tree_merge.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_OursStreaming(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  Rng rng(0xE6 + n);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  stream::StreamingStats stats;
+  for (auto _ : state) {
+    stream::VectorStream<Halfspace> s(inst.constraints);
+    stream::StreamingOptions opt;
+    opt.r = r;
+    opt.net.scale = 0.1;
+    auto result = stream::SolveStreaming(problem, s, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["peak_items"] = static_cast<double>(stats.peak_items);
+}
+
+BENCHMARK(BM_OursStreaming)
+    ->ArgNames({"n", "r"})
+    ->Args({200000, 2})
+    ->Args({200000, 3})
+    ->Args({200000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ClassicClarksonStreaming(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(0xE6 + n);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  stream::StreamingStats stats;
+  for (auto _ : state) {
+    stream::VectorStream<Halfspace> s(inst.constraints);
+    auto opt = baselines::ClassicClarksonStreamingOptions(
+        problem.CombinatorialDimension(), n, 0xE6);
+    auto result = stream::SolveStreaming(problem, s, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["peak_items"] = static_cast<double>(stats.peak_items);
+}
+
+BENCHMARK(BM_ClassicClarksonStreaming)
+    ->ArgNames({"n"})
+    ->Args({200000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ChanChen2d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t probes = static_cast<size_t>(state.range(1));
+  Rng rng(0xE6CC + n);
+  auto lines = workload::RandomEnvelopeLines(n, &rng);
+  baselines::ChanChen2dStats stats;
+  for (auto _ : state) {
+    stream::VectorStream<baselines::Line2d> s(lines);
+    baselines::ChanChen2dOptions opt;
+    opt.probes = probes;
+    opt.x_bound = 100;
+    auto result = baselines::SolveChanChen2d(s, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["peak_items"] = static_cast<double>(stats.peak_items);
+}
+
+BENCHMARK(BM_ChanChen2d)
+    ->ArgNames({"n", "probes"})
+    ->Args({200000, 8})
+    ->Args({200000, 64})
+    ->Args({200000, 512})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_TreeMergeErrorRate(benchmark::State& state) {
+  // One-shot basis-merge heuristic: cheap but inexact; measure its error
+  // rate over random partitions (vs the exact iterated variant's rounds).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  size_t wrong = 0;
+  size_t iterated_rounds = 0;
+  const int kTrials = 20;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      Rng rng(0xE6AA + t);
+      auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+      LinearProgram problem(inst.objective);
+      auto parts = workload::Partition(inst.constraints, k, true, &rng);
+      auto merged = baselines::TreeMergeOnce(problem, parts, nullptr);
+      auto direct = problem.SolveValue(
+          std::span<const Halfspace>(inst.constraints));
+      if (problem.CompareValues(merged.value, direct) != 0) ++wrong;
+      baselines::TreeMergeStats st;
+      auto iterated = baselines::IteratedTreeMerge(problem, parts, &st);
+      if (iterated.ok()) iterated_rounds += st.rounds;
+    }
+  }
+  state.counters["one_shot_err_pct"] = 100.0 * wrong / kTrials;
+  state.counters["iterated_rounds_avg"] =
+      static_cast<double>(iterated_rounds) / kTrials;
+}
+
+BENCHMARK(BM_TreeMergeErrorRate)
+    ->ArgNames({"n", "k"})
+    ->Args({2000, 8})
+    ->Args({2000, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,63 @@
+// Experiment E2 (Theorem 4, coordinator row): rounds and total communication
+// for LP in the coordinator model vs n, r, and the number of sites k.
+// Theorem 2 predicts O(nu r) rounds and O~(d^4 n^{1/r} + d^3 k) bits.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/ship_all.h"
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_CoordinatorLp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  Rng rng(0xE2 + n + 31 * r + 7 * k);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, k, true, &rng);
+
+  coord::CoordinatorStats stats;
+  for (auto _ : state) {
+    coord::CoordinatorOptions opt;
+    opt.r = r;
+    opt.net.scale = 0.1;
+    opt.seed = 0xE2;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  size_t ship_all = 0;
+  for (const auto& c : inst.constraints) {
+    ship_all += problem.ConstraintBytes(c);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["iters"] = static_cast<double>(stats.iterations);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+  state.counters["ship_all_KB"] = static_cast<double>(ship_all) / 1024.0;
+  state.counters["vs_ship_pct"] = 100.0 * stats.total_bytes / ship_all;
+}
+
+BENCHMARK(BM_CoordinatorLp)
+    ->ArgNames({"n", "r", "k"})
+    // n sweep.
+    ->Args({30000, 3, 4})
+    ->Args({100000, 3, 4})
+    ->Args({300000, 3, 4})
+    // r sweep (communication falls as n^{1/r}; rounds grow linearly).
+    ->Args({100000, 2, 4})
+    ->Args({100000, 4, 4})
+    // k sweep (the +k term of Theorem 2).
+    ->Args({100000, 3, 2})
+    ->Args({100000, 3, 16})
+    ->Args({100000, 3, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,98 @@
+// Experiment E8 (Lemma 2.2): empirical eps-net failure rate of weighted
+// i.i.d. samples, for halfplane ranges over a weighted 2-d point set, as the
+// sample size moves from the practical (Clarkson-moment) budget to the full
+// Haussler-Welzl bound.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/eps_net.h"
+#include "src/core/sampling.h"
+#include "src/geometry/vec.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+// Checks the eps-net property for direction ranges { p : u.p >= t }: the
+// sample must contain a point in every such range of weighted mass >= eps.
+// Testing all u on a fine grid of directions is a sound proxy for d=2.
+bool IsEpsNet(const std::vector<Vec>& points,
+              const std::vector<double>& weights,
+              const std::vector<Vec>& sample, double eps) {
+  double total = 0;
+  for (double w : weights) total += w;
+  for (int a = 0; a < 64; ++a) {
+    double theta = 2 * M_PI * a / 64;
+    Vec u{std::cos(theta), std::sin(theta)};
+    // Threshold at the weighted (1-eps)-quantile of u-projections.
+    std::vector<std::pair<double, double>> proj;
+    proj.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      proj.push_back({u.Dot(points[i]), weights[i]});
+    }
+    std::sort(proj.begin(), proj.end());
+    double acc = 0;
+    double threshold = proj.back().first;
+    for (size_t i = proj.size(); i-- > 0;) {
+      acc += proj[i].second;
+      if (acc >= eps * total) {
+        threshold = proj[i].first;
+        break;
+      }
+    }
+    // The range { p : u.p >= threshold } has mass >= eps; the net must hit it.
+    bool hit = false;
+    for (const Vec& s : sample) {
+      if (u.Dot(s) >= threshold) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+void BM_EpsNetFailureRate(benchmark::State& state) {
+  const double eps = 0.02;
+  const double m_factor = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(0xE8);
+  const size_t n = 20000;
+  std::vector<Vec> points;
+  std::vector<double> weights;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Vec{rng.Normal(), rng.Normal()});
+    weights.push_back(std::exp(rng.Normal(0, 2)));  // Skewed weights.
+  }
+
+  const size_t lambda = 3;
+  const size_t m = static_cast<size_t>(m_factor * 3 * lambda / eps);
+  size_t failures = 0;
+  const int kTrials = 30;
+  for (auto _ : state) {
+    for (int t = 0; t < kTrials; ++t) {
+      MultiChaoReservoir<Vec> res(m, &rng);
+      for (size_t i = 0; i < n; ++i) res.Offer(points[i], weights[i]);
+      if (!IsEpsNet(points, weights, res.Samples(), eps)) ++failures;
+    }
+  }
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["m_theory"] =
+      static_cast<double>(EpsNetTheorySampleSize(eps, lambda, 1.0 / 3.0));
+  state.counters["failure_pct"] = 100.0 * failures / kTrials;
+}
+
+BENCHMARK(BM_EpsNetFailureRate)
+    ->ArgNames({"m_factor_pct"})
+    ->Args({10})    // 0.1x the Clarkson budget: nets often fail.
+    ->Args({30})
+    ->Args({100})   // The solvers' default budget.
+    ->Args({300})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

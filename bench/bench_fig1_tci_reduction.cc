@@ -1,0 +1,56 @@
+// Experiment E11 (Figure 1a/1b): the two-curve intersection problem and its
+// reduction to 2-d linear programming. Regenerates the figure's content —
+// a TCI instance, its crossing index, the LP's fractional optimum — and
+// verifies floor(x*) == answer over many random instances (the figure's
+// caption as a theorem).
+
+#include <benchmark/benchmark.h>
+
+#include "src/lowerbound/aug_index.h"
+#include "src/lowerbound/tci_to_lp.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+void BM_Fig1Reduction(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Rng rng(0xF1);
+  size_t checked = 0, matched = 0;
+  double example_x = 0;
+  size_t example_answer = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < 50; ++t) {
+      lb::AugIndexInstance aug = lb::RandomAugIndex(bits, &rng);
+      auto red = lb::BuildTciFromAugIndex(
+          aug, Rational(2 + rng.UniformInt(0, 30)));
+      auto lp = lb::SolveTciViaLp(red.tci);
+      if (!lp.ok()) {
+        state.SkipWithError("LP failed");
+        break;
+      }
+      auto ans = lb::TciAnswer(red.tci);
+      ++checked;
+      if (ans && lp->index == *ans) ++matched;
+      example_x = lp->x.ToDouble();
+      example_answer = ans.value_or(0);
+    }
+  }
+  state.counters["n"] = static_cast<double>(bits + 2);
+  state.counters["instances"] = static_cast<double>(checked);
+  state.counters["floor_matches_pct"] =
+      checked ? 100.0 * matched / checked : 0;
+  state.counters["example_lp_x"] = example_x;
+  state.counters["example_answer"] = static_cast<double>(example_answer);
+}
+
+BENCHMARK(BM_Fig1Reduction)
+    ->ArgNames({"bits"})
+    ->Args({5})    // The paper's n = 7 illustration scale.
+    ->Args({20})
+    ->Args({100})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

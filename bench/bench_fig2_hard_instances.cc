@@ -1,0 +1,56 @@
+// Experiment E12 (Figure 2a/2b): the EvenInstance / OddInstance recursive
+// constructions. Regenerates the figure's content — stitched instances at
+// even and odd recursion depths — and reports the executable versions of
+// Propositions 5.7-5.10 (validity + embedded answer) plus the bit-complexity
+// growth the paper's closing remark predicts (slopes N^{O(r)}).
+
+#include <benchmark/benchmark.h>
+
+#include "src/lowerbound/hard_instance.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+void BM_Fig2HardInstances(benchmark::State& state) {
+  const size_t base_n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  size_t valid = 0, answer_ok = 0, total = 0;
+  size_t max_bits = 0;
+  size_t build_ms_n = 0;
+  for (auto _ : state) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      lb::HardInstanceOptions opt;
+      opt.base_n = base_n;
+      opt.rounds = r;
+      Rng rng(0xF2 + seed);
+      lb::HardInstance h = lb::BuildHardInstance(opt, &rng);
+      ++total;
+      if (lb::ValidateTci(h.tci).ok()) ++valid;
+      auto ans = lb::TciAnswer(h.tci);
+      if (ans && *ans == h.expected_answer) ++answer_ok;
+      for (const auto& v : h.tci.a) {
+        max_bits = std::max(max_bits, v.BitLength());
+      }
+      build_ms_n = h.tci.n();
+    }
+  }
+  state.counters["n"] = static_cast<double>(build_ms_n);
+  state.counters["valid_pct"] = total ? 100.0 * valid / total : 0;
+  state.counters["answer_ok_pct"] = total ? 100.0 * answer_ok / total : 0;
+  state.counters["max_coord_bits"] = static_cast<double>(max_bits);
+}
+
+BENCHMARK(BM_Fig2HardInstances)
+    ->ArgNames({"N", "r"})
+    ->Args({6, 1})
+    ->Args({6, 2})   // EvenInstance (Figure 2a).
+    ->Args({6, 3})   // OddInstance (Figure 2b).
+    ->Args({6, 4})
+    ->Args({10, 2})
+    ->Args({16, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

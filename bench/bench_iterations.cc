@@ -1,0 +1,63 @@
+// Experiment E7 (Lemma 3.3 + Claim 3.2): iteration counts of Algorithm 1
+// against the (20/9) nu r bound, and the per-iteration success rate against
+// the 2/3 promise — including the sample-size (eps-net constant) sweep that
+// shows how both degrade as the sample shrinks below the Claim 3.2 budget.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/clarkson.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_Iterations(benchmark::State& state) {
+  const size_t n = 200000;
+  const int r = static_cast<int>(state.range(0));
+  const double scale = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(0xE7);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  const size_t nu = problem.CombinatorialDimension();
+
+  size_t total_iters = 0, total_success = 0, runs = 0;
+  ClarksonStats stats;
+  for (auto _ : state) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      ClarksonOptions opt;
+      opt.r = r;
+      opt.net.scale = scale;
+      opt.seed = 0xE700 + seed;
+      auto result = ClarksonSolve(
+          problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
+      if (!result.ok()) state.SkipWithError("solve failed");
+      total_iters += stats.iterations;
+      total_success += stats.successful_iterations;
+      ++runs;
+    }
+  }
+  state.counters["iters_avg"] = static_cast<double>(total_iters) / runs;
+  state.counters["iters_bound"] = 20.0 * nu * r / 9.0;
+  state.counters["success_rate_pct"] =
+      total_iters ? 100.0 * total_success / total_iters : 0;
+  state.counters["sample_m"] = static_cast<double>(stats.sample_size);
+}
+
+BENCHMARK(BM_Iterations)
+    ->ArgNames({"r", "scale_pct"})
+    // Claim 3.2 regime (scale = 1: the honest Clarkson-moment sample).
+    ->Args({2, 100})
+    ->Args({3, 100})
+    ->Args({4, 100})
+    // Undersampled regimes: success rate falls, iterations rise, the answer
+    // stays exact (Las Vegas).
+    ->Args({3, 30})
+    ->Args({3, 10})
+    ->Args({3, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

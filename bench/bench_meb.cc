@@ -1,0 +1,105 @@
+// Experiment E5 (Theorem 6): minimum enclosing ball / core vector machine in
+// all three big-data models.
+
+#include <benchmark/benchmark.h>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_MebStreaming(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const size_t d = static_cast<size_t>(state.range(2));
+  Rng rng(0xE5 + n + r + d);
+  auto pts = workload::SphereCloud(n, d, 50.0, 0.2, &rng);
+  MinEnclosingBall problem(d);
+  stream::StreamingStats stats;
+  double radius = 0;
+  for (auto _ : state) {
+    stream::VectorStream<Vec> s(pts);
+    stream::StreamingOptions opt;
+    opt.r = r;
+    opt.net.scale = 0.1;
+    auto result = stream::SolveStreaming(problem, s, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    radius = result->value.ball.radius;
+  }
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["peak_items"] = static_cast<double>(stats.peak_items);
+  state.counters["peak_frac_pct"] = 100.0 * stats.peak_items / n;
+  state.counters["radius"] = radius;
+}
+
+BENCHMARK(BM_MebStreaming)
+    ->ArgNames({"n", "r", "d"})
+    ->Args({100000, 2, 2})
+    ->Args({100000, 3, 3})
+    ->Args({300000, 3, 3})
+    ->Args({100000, 3, 5})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_MebCoordinator(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  Rng rng(0xE5C + n + k);
+  auto pts = workload::GaussianCloud(n, 3, &rng);
+  MinEnclosingBall problem(3);
+  auto parts = workload::Partition(pts, k, true, &rng);
+  coord::CoordinatorStats stats;
+  for (auto _ : state) {
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_MebCoordinator)
+    ->ArgNames({"n", "k"})
+    ->Args({100000, 4})
+    ->Args({100000, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_MebMpc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double delta = 1.0 / static_cast<double>(state.range(1));
+  Rng rng(0xE5AB + n);
+  auto pts = workload::GaussianCloud(n, 3, &rng);
+  MinEnclosingBall problem(3);
+  auto parts = workload::Partition(pts, 16, true, &rng);
+  mpc::MpcStats stats;
+  for (auto _ : state) {
+    mpc::MpcOptions opt;
+    opt.delta = delta;
+    opt.net.scale = 0.1;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["max_load_KB"] =
+      static_cast<double>(stats.max_load_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_MebMpc)
+    ->ArgNames({"n", "inv_delta"})
+    ->Args({100000, 2})
+    ->Args({100000, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

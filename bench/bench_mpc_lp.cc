@@ -1,0 +1,62 @@
+// Experiment E3 (Theorem 4, MPC row): rounds and per-machine load for LP in
+// the MPC model vs delta and n. Theorem 3 predicts O(nu/delta^2) rounds with
+// O~(d^3 n^delta) load per machine.
+
+#include <benchmark/benchmark.h>
+
+#include "src/models/mpc/mpc_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_MpcLp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double delta = 1.0 / static_cast<double>(state.range(1));
+  Rng rng(0xE3 + n + 31 * state.range(1));
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 16, true, &rng);
+
+  mpc::MpcStats stats;
+  for (auto _ : state) {
+    mpc::MpcOptions opt;
+    opt.delta = delta;
+    opt.net.scale = 0.1;
+    opt.seed = 0xE3;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  size_t input_bytes = 0;
+  for (const auto& c : inst.constraints) {
+    input_bytes += problem.ConstraintBytes(c);
+  }
+  const size_t nu = problem.CombinatorialDimension();
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["rounds_bound"] = static_cast<double>(nu) / (delta * delta);
+  state.counters["machines"] = static_cast<double>(stats.machines);
+  state.counters["max_load_KB"] =
+      static_cast<double>(stats.max_load_bytes) / 1024.0;
+  state.counters["load_frac_pct"] =
+      100.0 * stats.max_load_bytes / input_bytes;
+  state.counters["iters"] = static_cast<double>(stats.iterations);
+}
+
+BENCHMARK(BM_MpcLp)
+    ->ArgNames({"n", "inv_delta"})
+    // delta sweep at n=100k: delta = 1/2, 1/3, 1/4.
+    ->Args({100000, 2})
+    ->Args({100000, 3})
+    ->Args({100000, 4})
+    // n sweep at delta = 1/2.
+    ->Args({30000, 2})
+    ->Args({300000, 2})
+    ->Args({1000000, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,109 @@
+// Experiment E4 (Theorem 5): hard-margin linear SVM in all three big-data
+// models — passes/rounds, space/communication/load, against the same
+// predictions as LP (nu = lambda = d + 1).
+
+#include <benchmark/benchmark.h>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_svm.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+std::vector<SvmPoint> MakeData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  return workload::SeparableSvmData(n, d, 0.4, &rng);
+}
+
+void BM_SvmStreaming(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const size_t d = static_cast<size_t>(state.range(2));
+  auto pts = MakeData(n, d, 0xE4 + n + r);
+  LinearSvm problem(d);
+  stream::StreamingStats stats;
+  for (auto _ : state) {
+    stream::VectorStream<SvmPoint> s(pts);
+    stream::StreamingOptions opt;
+    opt.r = r;
+    opt.net.scale = 0.1;
+    auto result = stream::SolveStreaming(problem, s, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["peak_items"] = static_cast<double>(stats.peak_items);
+  state.counters["peak_frac_pct"] = 100.0 * stats.peak_items / n;
+}
+
+BENCHMARK(BM_SvmStreaming)
+    ->ArgNames({"n", "r", "d"})
+    ->Args({30000, 2, 2})
+    ->Args({100000, 2, 2})
+    ->Args({100000, 3, 2})
+    ->Args({100000, 3, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SvmCoordinator(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  auto pts = MakeData(n, 2, 0xE4C + n + k);
+  LinearSvm problem(2);
+  Rng rng(1);
+  auto parts = workload::Partition(pts, k, true, &rng);
+  coord::CoordinatorStats stats;
+  for (auto _ : state) {
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_SvmCoordinator)
+    ->ArgNames({"n", "k"})
+    ->Args({100000, 4})
+    ->Args({100000, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SvmMpc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double delta = 1.0 / static_cast<double>(state.range(1));
+  auto pts = MakeData(n, 2, 0xE4AB + n);
+  LinearSvm problem(2);
+  Rng rng(1);
+  auto parts = workload::Partition(pts, 16, true, &rng);
+  mpc::MpcStats stats;
+  for (auto _ : state) {
+    mpc::MpcOptions opt;
+    opt.delta = delta;
+    opt.net.scale = 0.1;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["max_load_KB"] =
+      static_cast<double>(stats.max_load_bytes) / 1024.0;
+  state.counters["machines"] = static_cast<double>(stats.machines);
+}
+
+BENCHMARK(BM_SvmMpc)
+    ->ArgNames({"n", "inv_delta"})
+    ->Args({100000, 2})
+    ->Args({100000, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

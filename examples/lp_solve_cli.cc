@@ -1,0 +1,162 @@
+// Command-line LP solver over instance files (src/workload/lp_io.h format):
+//
+//   lp_solve_cli FILE [--model=direct|stream|coord|mpc] [--r=N] [--k=N]
+//                     [--delta=X] [--scale=X] [--seed=N]
+//
+// Solves min c.x subject to the file's constraints in the chosen model and
+// prints the optimum plus the model's cost accounting. With no FILE, reads
+// the instance from stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/lp_io.h"
+
+namespace {
+
+using namespace lplow;
+
+struct CliArgs {
+  std::string file;
+  std::string model = "stream";
+  int r = 3;
+  size_t k = 4;
+  double delta = 0.5;
+  double scale = 0.3;
+  uint64_t seed = 1;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--model=")) {
+      args->model = v;
+    } else if (const char* v = value_of("--r=")) {
+      args->r = std::atoi(v);
+    } else if (const char* v = value_of("--k=")) {
+      args->k = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--delta=")) {
+      args->delta = std::atof(v);
+    } else if (const char* v = value_of("--scale=")) {
+      args->scale = std::atof(v);
+    } else if (const char* v = value_of("--seed=")) {
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      args->file = arg;
+    }
+  }
+  return true;
+}
+
+void PrintValue(const LinearProgram& problem,
+                const LinearProgram::Value& value) {
+  if (!value.feasible) {
+    std::printf("status: INFEASIBLE\n");
+    return;
+  }
+  std::printf("status: OPTIMAL\nobjective: %.10g\nx: %s\n", value.objective,
+              value.point.ToString().c_str());
+  (void)problem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  Result<workload::LpInstance> inst =
+      args.file.empty() ? workload::ReadLpInstance(std::cin)
+                        : workload::ReadLpInstanceFromFile(args.file);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 inst.status().ToString().c_str());
+    return 2;
+  }
+  const size_t n = inst->constraints.size();
+  std::printf("instance: n = %zu constraints, d = %zu\n", n,
+              inst->objective.dim());
+
+  LinearProgram problem(inst->objective);
+  Rng rng(args.seed);
+
+  if (args.model == "direct") {
+    auto value = problem.SolveValue(
+        std::span<const Halfspace>(inst->constraints));
+    PrintValue(problem, value);
+    return 0;
+  }
+  if (args.model == "stream") {
+    stream::VectorStream<Halfspace> s(inst->constraints);
+    stream::StreamingOptions opt;
+    opt.r = args.r;
+    opt.net.scale = args.scale;
+    opt.seed = args.seed;
+    stream::StreamingStats stats;
+    auto result = stream::SolveStreaming(problem, s, opt, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintValue(problem, result->value);
+    std::printf("model: streaming (r = %d): %zu passes, peak %zu items\n",
+                args.r, stats.passes, stats.peak_items);
+    return 0;
+  }
+  if (args.model == "coord") {
+    auto parts = workload::Partition(inst->constraints, args.k, true, &rng);
+    coord::CoordinatorOptions opt;
+    opt.r = args.r;
+    opt.net.scale = args.scale;
+    opt.seed = args.seed;
+    coord::CoordinatorStats stats;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintValue(problem, result->value);
+    std::printf("model: coordinator (k = %zu, r = %d): %zu rounds, %.1f KB\n",
+                args.k, args.r, stats.rounds, stats.total_bytes / 1024.0);
+    return 0;
+  }
+  if (args.model == "mpc") {
+    auto parts = workload::Partition(inst->constraints, args.k, true, &rng);
+    mpc::MpcOptions opt;
+    opt.delta = args.delta;
+    opt.net.scale = args.scale;
+    opt.seed = args.seed;
+    mpc::MpcStats stats;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintValue(problem, result->value);
+    std::printf(
+        "model: mpc (delta = %.3f): %zu machines, %zu rounds, "
+        "max load %.1f KB\n",
+        args.delta, stats.machines, stats.rounds,
+        stats.max_load_bytes / 1024.0);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown model '%s'\n", args.model.c_str());
+  return 2;
+}

@@ -1,0 +1,122 @@
+#include "src/baselines/chan_chen_2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace baselines {
+
+namespace {
+
+struct Probe {
+  double x = 0;
+  double value = -std::numeric_limits<double>::infinity();
+  Line2d top;  // A line attaining the envelope at x (max slope tie-break).
+};
+
+}  // namespace
+
+Result<ChanChen2dResult> SolveChanChen2d(
+    stream::ConstraintStream<Line2d>& input, const ChanChen2dOptions& options,
+    ChanChen2dStats* stats) {
+  ChanChen2dStats local;
+  ChanChen2dStats& st = stats ? *stats : local;
+  st = ChanChen2dStats{};
+  LPLOW_CHECK_GE(options.probes, 2u);
+
+  double lo = -options.x_bound;
+  double hi = options.x_bound;
+  bool have_candidate = false;
+  double cand_x = 0;
+  double cand_pred = 0;
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    // Probe grid: evenly spaced points of [lo, hi], plus the candidate
+    // vertex from the previous pass (for the exact termination test).
+    std::vector<Probe> probes(options.probes + (have_candidate ? 1 : 0));
+    for (size_t i = 0; i < options.probes; ++i) {
+      probes[i].x = lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(options.probes - 1);
+    }
+    if (have_candidate) probes.back().x = cand_x;
+    st.peak_items = std::max(st.peak_items, probes.size());
+
+    ++st.passes;
+    input.Reset();
+    size_t n_lines = 0;
+    bool has_nonneg = false, has_nonpos = false;
+    while (auto line = input.Next()) {
+      ++n_lines;
+      if (line->slope >= 0) has_nonneg = true;
+      if (line->slope <= 0) has_nonpos = true;
+      for (Probe& p : probes) {
+        double v = line->ValueAt(p.x);
+        if (v > p.value + options.tol ||
+            (v > p.value - options.tol && line->slope > p.top.slope)) {
+          p.value = std::max(p.value, v);
+          p.top = *line;
+        }
+      }
+    }
+    if (n_lines == 0) return Status::InvalidArgument("empty stream");
+    if (!has_nonneg || !has_nonpos) {
+      return Status::Unbounded("envelope slopes all one sign");
+    }
+
+    // Exact termination test: is the candidate vertex on the envelope?
+    if (have_candidate) {
+      const Probe& c = probes.back();
+      // The candidate was built as the intersection of two supporting lines;
+      // if no stream line rises above it, convexity certifies optimality.
+      double cand_y = c.value;
+      bool optimal = true;
+      // c.value is the envelope at cand_x; the candidate's predicted y was
+      // the intersection value, which equals the envelope there iff optimal.
+      if (std::fabs(cand_y - cand_pred) > options.tol *
+                                               std::max(1.0, std::fabs(cand_y))) {
+        optimal = false;
+      }
+      if (optimal) {
+        st.converged = true;
+        return ChanChen2dResult{cand_x, cand_y};
+      }
+    }
+
+    // Locate the grid cell bracketing the minimum of the convex envelope:
+    // the first index where the envelope stops decreasing.
+    size_t best = 0;
+    for (size_t i = 1; i < options.probes; ++i) {
+      if (probes[i].value < probes[best].value) best = i;
+    }
+    size_t cell_lo = best == 0 ? 0 : best - 1;
+    size_t cell_hi = std::min(best + 1, options.probes - 1);
+    double new_lo = probes[cell_lo].x;
+    double new_hi = probes[cell_hi].x;
+
+    // Candidate vertex: intersection of the supporting lines at the cell
+    // boundaries (they have slopes of opposite sign around the minimum).
+    const Line2d& l1 = probes[cell_lo].top;
+    const Line2d& l2 = probes[cell_hi].top;
+    if (std::fabs(l1.slope - l2.slope) > options.tol) {
+      cand_x = (l2.intercept - l1.intercept) / (l1.slope - l2.slope);
+      cand_x = std::clamp(cand_x, new_lo, new_hi);
+      cand_pred = std::max(l1.ValueAt(cand_x), l2.ValueAt(cand_x));
+      have_candidate = true;
+    } else {
+      // Flat cell: its envelope value is the optimum.
+      st.converged = true;
+      return ChanChen2dResult{probes[best].x, probes[best].value};
+    }
+    lo = new_lo;
+    hi = new_hi;
+  }
+
+  LPLOW_LOG(kWarning) << "ChanChen2d pass cap reached";
+  return ChanChen2dResult{cand_x, cand_pred};
+}
+
+}  // namespace baselines
+}  // namespace lplow

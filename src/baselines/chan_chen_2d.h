@@ -1,0 +1,65 @@
+// Chan-Chen-style multi-pass streaming algorithm for 2-d linear programming
+// [13], the prior-work comparator of experiment E6.
+//
+// Solves   min y   s.t.   y >= s_i x + t_i   (lower-envelope form; general
+// 2-d LPs with a bounded optimum rotate into this form). Each pass probes
+// the convex upper envelope E(x) = max_i (s_i x + t_i) at `probes` grid
+// points of the current interval, keeping only O(probes) state; convexity
+// localizes the minimum to one grid cell, shrinking the interval by the
+// probe factor per pass. The candidate vertex (intersection of the two
+// supporting lines at the bracketing probes) is verified exactly against the
+// stream, so termination is exact, not approximate.
+//
+// This reproduces the [13] trade-off shape: space O(n^{1/r}) <-> passes
+// O(r) for d = 2 (their general-d bound O(r^{d-1}) passes is what Result 1
+// improves exponentially).
+
+#ifndef LPLOW_BASELINES_CHAN_CHEN_2D_H_
+#define LPLOW_BASELINES_CHAN_CHEN_2D_H_
+
+#include <vector>
+
+#include "src/models/streaming/stream.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace baselines {
+
+/// A lower-bounding line y >= slope * x + intercept (double precision).
+struct Line2d {
+  double slope = 0;
+  double intercept = 0;
+  double ValueAt(double x) const { return slope * x + intercept; }
+};
+
+struct ChanChen2dOptions {
+  /// Grid probes per pass (the space knob: s = n^{1/r} gives ~r passes).
+  size_t probes = 64;
+  /// Initial x search interval half-width.
+  double x_bound = 1e7;
+  /// Verification tolerance for the exact termination test.
+  double tol = 1e-7;
+  size_t max_passes = 200;
+};
+
+struct ChanChen2dStats {
+  size_t passes = 0;
+  size_t peak_items = 0;  // O(probes) working state.
+  bool converged = false;
+};
+
+struct ChanChen2dResult {
+  double x = 0;
+  double y = 0;
+};
+
+/// Runs the prune-and-search on a stream of lines. Fails with
+/// Status::Unbounded when all slopes share a strict sign.
+Result<ChanChen2dResult> SolveChanChen2d(
+    stream::ConstraintStream<Line2d>& input, const ChanChen2dOptions& options,
+    ChanChen2dStats* stats);
+
+}  // namespace baselines
+}  // namespace lplow
+
+#endif  // LPLOW_BASELINES_CHAN_CHEN_2D_H_

@@ -1,0 +1,41 @@
+#include "src/baselines/clarkson_classic.h"
+
+#include <cmath>
+
+namespace lplow {
+namespace baselines {
+
+namespace {
+// Classic Clarkson: eps = 1/(3 nu), sample ~ 6 nu^2 (independent of n),
+// doubling weights; iterations O(nu log n).
+constexpr double kClassicRate = 2.0;
+
+size_t ClassicIterationCap(size_t nu, size_t n) {
+  double logn = std::log2(static_cast<double>(n) + 2.0);
+  return static_cast<size_t>(30.0 * static_cast<double>(nu) * logn) + 30;
+}
+}  // namespace
+
+ClarksonOptions ClassicClarksonOptions(size_t nu, size_t n, uint64_t seed) {
+  ClarksonOptions opt;
+  opt.weight_rate_override = kClassicRate;
+  opt.eps_override = 1.0 / (3.0 * static_cast<double>(nu));
+  opt.sample_size_override = 6 * nu * nu;
+  opt.max_iterations = ClassicIterationCap(nu, n);
+  opt.seed = seed;
+  return opt;
+}
+
+stream::StreamingOptions ClassicClarksonStreamingOptions(size_t nu, size_t n,
+                                                         uint64_t seed) {
+  stream::StreamingOptions opt;
+  opt.weight_rate_override = kClassicRate;
+  opt.eps_override = 1.0 / (3.0 * static_cast<double>(nu));
+  opt.sample_size_override = 6 * nu * nu;
+  opt.max_iterations = ClassicIterationCap(nu, n);
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace baselines
+}  // namespace lplow

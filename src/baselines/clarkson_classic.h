@@ -1,0 +1,31 @@
+// Classic Clarkson/Welzl iterative-reweighting baseline: the pre-paper
+// standard with weight-doubling (rate 2) and an n-independent sample size of
+// ~6 nu^2, needing O(nu log n) iterations — versus the paper's n^{1/r} rate
+// and O(nu r) iterations. Runs through the same ClarksonSolve/SolveStreaming
+// code paths via the override hooks, so the comparison isolates exactly the
+// reweighting design choice (experiments E6/E13).
+
+#ifndef LPLOW_BASELINES_CLARKSON_CLASSIC_H_
+#define LPLOW_BASELINES_CLARKSON_CLASSIC_H_
+
+#include <cstddef>
+
+#include "src/core/clarkson.h"
+#include "src/models/streaming/streaming_solver.h"
+
+namespace lplow {
+namespace baselines {
+
+/// Sequential classic-Clarkson options for a problem with combinatorial
+/// dimension nu on n constraints.
+ClarksonOptions ClassicClarksonOptions(size_t nu, size_t n, uint64_t seed);
+
+/// Streaming classic-Clarkson options (the [13]/[26]-era configuration:
+/// doubling weights, fixed-size sample, O(nu log n) passes).
+stream::StreamingOptions ClassicClarksonStreamingOptions(size_t nu, size_t n,
+                                                         uint64_t seed);
+
+}  // namespace baselines
+}  // namespace lplow
+
+#endif  // LPLOW_BASELINES_CLARKSON_CLASSIC_H_

@@ -1,0 +1,9 @@
+// Template lives in the header.
+
+#include "src/baselines/ship_all.h"
+
+namespace lplow {
+namespace baselines {
+// (Intentionally empty.)
+}  // namespace baselines
+}  // namespace lplow

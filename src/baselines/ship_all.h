@@ -1,0 +1,46 @@
+// The naive 1-round coordinator baseline: ship every constraint to the
+// coordinator, solve locally. Exact; communication O(n * bit(S)).
+
+#ifndef LPLOW_BASELINES_SHIP_ALL_H_
+#define LPLOW_BASELINES_SHIP_ALL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+
+namespace lplow {
+namespace baselines {
+
+/// Cost accounting for the ship-all baseline.
+struct ShipAllStats {
+  size_t rounds = 0;
+  size_t total_bytes = 0;
+};
+
+/// Ships every constraint to the coordinator and solves there. Exact;
+/// the 1-round / O(n bit(S)) floor every algorithm is compared against.
+template <LpTypeProblem P>
+BasisResult<typename P::Value, typename P::Constraint> ShipAll(
+    const P& problem,
+    const std::vector<std::vector<typename P::Constraint>>& partitions,
+    ShipAllStats* stats) {
+  using Constraint = typename P::Constraint;
+  ShipAllStats local;
+  ShipAllStats& st = stats ? *stats : local;
+  st = ShipAllStats{};
+  st.rounds = 1;
+  std::vector<Constraint> all;
+  for (const auto& part : partitions) {
+    for (const auto& c : part) {
+      st.total_bytes += problem.ConstraintBytes(c);
+      all.push_back(c);
+    }
+  }
+  return problem.SolveBasis(std::span<const Constraint>(all));
+}
+
+}  // namespace baselines
+}  // namespace lplow
+
+#endif  // LPLOW_BASELINES_SHIP_ALL_H_

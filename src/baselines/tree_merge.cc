@@ -1,0 +1,9 @@
+// Templates live in the header.
+
+#include "src/baselines/tree_merge.h"
+
+namespace lplow {
+namespace baselines {
+// (Intentionally empty.)
+}  // namespace baselines
+}  // namespace lplow

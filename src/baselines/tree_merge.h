@@ -1,0 +1,119 @@
+// Distributed baselines in the coordinator model:
+//
+// * ShipAll        — every site sends its whole partition; 1 round, O(n bit)
+//                    communication (the naive floor every algorithm beats).
+// * TreeMergeOnce  — each site sends only the basis of its local subproblem;
+//                    the coordinator solves the union of bases. 1 round and
+//                    tiny communication, but NOT exact for LP-type problems
+//                    (bases do not compose); its error rate is itself an
+//                    experiment (E6).
+// * IteratedTreeMerge — Daume et al. [26]-style repair: re-broadcast the
+//                    merged solution, sites reply with local bases of their
+//                    violated constraints, repeat until no violations.
+//                    Exact (f strictly increases every round, and
+//                    termination certifies global feasibility), but the
+//                    round count is data-dependent — the trade-off the
+//                    paper's Theorem 2 improves on.
+
+#ifndef LPLOW_BASELINES_TREE_MERGE_H_
+#define LPLOW_BASELINES_TREE_MERGE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+#include "src/models/coordinator/channel.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace baselines {
+
+struct TreeMergeStats {
+  size_t rounds = 0;
+  size_t total_bytes = 0;
+  size_t k = 0;
+};
+
+/// One-shot basis merge. The result may be WRONG (value below f(S)); callers
+/// compare against an exact solve to measure the error rate.
+template <LpTypeProblem P>
+BasisResult<typename P::Value, typename P::Constraint> TreeMergeOnce(
+    const P& problem,
+    const std::vector<std::vector<typename P::Constraint>>& partitions,
+    TreeMergeStats* stats) {
+  using Constraint = typename P::Constraint;
+  TreeMergeStats local;
+  TreeMergeStats& st = stats ? *stats : local;
+  st = TreeMergeStats{};
+  st.k = partitions.size();
+  st.rounds = 1;
+
+  std::vector<Constraint> merged;
+  for (const auto& part : partitions) {
+    auto basis = problem.SolveBasis(std::span<const Constraint>(part));
+    for (const auto& c : basis.basis) {
+      st.total_bytes += problem.ConstraintBytes(c);
+      merged.push_back(c);
+    }
+  }
+  return problem.SolveBasis(std::span<const Constraint>(merged));
+}
+
+/// Iterated merge: exact, round count data-dependent.
+template <LpTypeProblem P>
+Result<BasisResult<typename P::Value, typename P::Constraint>>
+IteratedTreeMerge(const P& problem,
+                  const std::vector<std::vector<typename P::Constraint>>&
+                      partitions,
+                  TreeMergeStats* stats, size_t max_rounds = 10000) {
+  using Constraint = typename P::Constraint;
+  TreeMergeStats local;
+  TreeMergeStats& st = stats ? *stats : local;
+  st = TreeMergeStats{};
+  st.k = partitions.size();
+
+  std::vector<Constraint> working;
+  auto current = problem.SolveBasis(std::span<const Constraint>(working));
+  while (st.rounds < max_rounds) {
+    ++st.rounds;
+    // Broadcast the current basis (value certificate) to every site.
+    size_t basis_bytes = 0;
+    for (const auto& c : current.basis) {
+      basis_bytes += problem.ConstraintBytes(c);
+    }
+    st.total_bytes += basis_bytes * partitions.size();
+
+    // Sites reply with a local basis over their violated constraints.
+    std::vector<Constraint> additions;
+    for (const auto& part : partitions) {
+      std::vector<Constraint> violated;
+      for (const auto& c : part) {
+        if (problem.Violates(current.value, c)) violated.push_back(c);
+      }
+      if (violated.empty()) continue;
+      auto local_basis =
+          problem.SolveBasis(std::span<const Constraint>(violated));
+      for (const auto& c : local_basis.basis) {
+        st.total_bytes += problem.ConstraintBytes(c);
+        additions.push_back(c);
+      }
+      if (local_basis.basis.empty()) {
+        // Degenerate (e.g. empty-basis problems): fall back to one violated
+        // constraint so progress is guaranteed.
+        st.total_bytes += problem.ConstraintBytes(violated.front());
+        additions.push_back(violated.front());
+      }
+    }
+    if (additions.empty()) return current;  // Nothing violates anywhere.
+
+    working = current.basis;
+    working.insert(working.end(), additions.begin(), additions.end());
+    current = problem.SolveBasis(std::span<const Constraint>(working));
+  }
+  return Status::Internal("IteratedTreeMerge round cap reached");
+}
+
+}  // namespace baselines
+}  // namespace lplow
+
+#endif  // LPLOW_BASELINES_TREE_MERGE_H_

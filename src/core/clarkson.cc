@@ -1,0 +1,9 @@
+// ClarksonSolve is a header template (src/core/clarkson.h); this translation
+// unit exists to give the module a home for non-template definitions and to
+// anchor the header's compilation in the library build.
+
+#include "src/core/clarkson.h"
+
+namespace lplow {
+// (Intentionally empty.)
+}  // namespace lplow

@@ -1,0 +1,51 @@
+// epsilon-net sample sizes (paper Lemma 2.2, Haussler-Welzl):
+//
+//   m_{eps,lambda,delta} = max( 8*lambda/eps * log(8*lambda/eps),
+//                               4/eps * log(2/delta) )
+//
+// i.i.d. weighted samples of this size form an eps-net w.p. >= 1 - delta.
+//
+// The theory constants exceed any laptop-scale n, so the solvers default to
+// the same Theta(lambda * nu * n^{1/r}) functional form with constant ~1
+// (`theory_constants = false`); correctness never depends on the choice (the
+// meta-algorithm is Las Vegas), only the iteration count does — measured in
+// experiment E7.
+
+#ifndef LPLOW_CORE_EPS_NET_H_
+#define LPLOW_CORE_EPS_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lplow {
+
+struct EpsNetConfig {
+  /// Use the literal Lemma 2.2 constants instead of the practical scaling.
+  bool theory_constants = false;
+  /// Multiplier on the practical sample size.
+  double scale = 1.0;
+  /// Failure probability delta for the theory formula.
+  double delta = 1.0 / 3.0;
+};
+
+/// The literal Lemma 2.2 value m_{eps,lambda,delta}.
+size_t EpsNetTheorySampleSize(double eps, size_t lambda, double delta);
+
+/// Sample size used by the solvers: the theory value when
+/// config.theory_constants, else ceil(scale * 3 * lambda / eps) — Clarkson's
+/// moment bound, which preserves the Theta(lambda * nu * n^{1/r}) growth and
+/// the Claim 3.2 success probability with a ~10x smaller constant than
+/// Lemma 2.2. Always at least `floor_size` and, when clamp > 0, at most
+/// clamp.
+size_t EpsNetSampleSize(double eps, size_t lambda, const EpsNetConfig& config,
+                        size_t floor_size, size_t clamp);
+
+/// The paper's epsilon for Algorithm 1: 1 / (10 * nu * n^{1/r}).
+double AlgorithmEpsilon(size_t nu, size_t n, int r);
+
+/// n^{1/r}, the weight-increase rate of Algorithm 1.
+double WeightIncreaseRate(size_t n, int r);
+
+}  // namespace lplow
+
+#endif  // LPLOW_CORE_EPS_NET_H_

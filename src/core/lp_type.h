@@ -1,0 +1,103 @@
+// The LP-type problem abstraction (paper Section 2.1, restricted to the
+// class satisfying Properties (P1) and (P2) of Section 3).
+//
+// A Problem type models a pair (S, f): constraints are elements of S, and
+// SolveBasis computes f on a finite sub(multi)set together with a basis — a
+// minimal subset attaining the same f value. Violates implements the
+// Property-(P2) violation test: constraint c violates a computed value v iff
+// f(A + {c}) > f(A) where v = f(A), which for this problem class reduces to
+// "the optimal point encoded in v does not satisfy c".
+//
+// Everything generic in the library (the Clarkson meta-algorithm and the
+// three big-data model solvers) is a template over this concept, mirroring
+// the paper's "works for any LP-type problem" guarantee.
+
+#ifndef LPLOW_CORE_LP_TYPE_H_
+#define LPLOW_CORE_LP_TYPE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/util/bit_stream.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// Result of a basis computation: the value f(A) and a basis B subseteq A
+/// with f(B) = f(A).
+template <typename ValueT, typename ConstraintT>
+struct BasisResult {
+  ValueT value;
+  std::vector<ConstraintT> basis;
+};
+
+// clang-format off
+template <typename P>
+concept LpTypeProblem = requires(const P& p,
+                                 const typename P::Constraint& c,
+                                 const typename P::Value& v,
+                                 std::span<const typename P::Constraint> cs,
+                                 BitWriter* w, BitReader* r) {
+  typename P::Constraint;
+  typename P::Value;
+
+  /// f and a basis on a finite sub(multi)set of constraints. Must accept the
+  /// empty span (f of the empty set).
+  { p.SolveBasis(cs) }
+      -> std::same_as<BasisResult<typename P::Value, typename P::Constraint>>;
+
+  /// f alone (no basis extraction): cheaper, used by basis pruning.
+  { p.SolveValue(cs) } -> std::same_as<typename P::Value>;
+
+  /// Property-(P2) violation test.
+  { p.Violates(v, c) } -> std::convertible_to<bool>;
+
+  /// Total order on the range R of f: negative/zero/positive.
+  { p.CompareValues(v, v) } -> std::convertible_to<int>;
+
+  /// Combinatorial dimension nu (max basis cardinality).
+  { p.CombinatorialDimension() } -> std::convertible_to<size_t>;
+
+  /// VC dimension lambda of the induced set system (S, R).
+  { p.VcDimension() } -> std::convertible_to<size_t>;
+
+  /// Exact wire size of a constraint: the bit(S) of Theorems 1-3.
+  { p.ConstraintBytes(c) } -> std::convertible_to<size_t>;
+
+  { p.SerializeConstraint(c, w) };
+  { p.DeserializeConstraint(r) }
+      -> std::same_as<Result<typename P::Constraint>>;
+};
+// clang-format on
+
+/// Shared helper: greedily prunes `candidate` down to a minimal subset whose
+/// f equals `target` (used by the problems' basis extraction). Performs
+/// O(|candidate|) SolveValue calls on shrinking sets. Does not require P to
+/// satisfy the full concept (it is used while defining problem classes).
+template <typename P>
+std::vector<typename P::Constraint> GreedyMinimizeBasis(
+    const P& problem, std::vector<typename P::Constraint> candidate,
+    const typename P::Value& target) {
+  size_t i = 0;
+  while (i < candidate.size()) {
+    std::vector<typename P::Constraint> without;
+    without.reserve(candidate.size() - 1);
+    for (size_t j = 0; j < candidate.size(); ++j) {
+      if (j != i) without.push_back(candidate[j]);
+    }
+    auto sub_value = problem.SolveValue(
+        std::span<const typename P::Constraint>(without));
+    if (problem.CompareValues(sub_value, target) == 0) {
+      candidate = std::move(without);  // Constraint i was redundant.
+    } else {
+      ++i;
+    }
+  }
+  return candidate;
+}
+
+}  // namespace lplow
+
+#endif  // LPLOW_CORE_LP_TYPE_H_

@@ -1,0 +1,31 @@
+#include "src/core/sampling.h"
+
+namespace lplow {
+
+std::vector<size_t> MultinomialSplit(const std::vector<double>& weights,
+                                     size_t m, Rng* rng) {
+  double total = 0;
+  for (double w : weights) {
+    LPLOW_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  std::vector<size_t> out(weights.size(), 0);
+  if (total <= 0.0) return out;
+  size_t remaining = m;
+  double weight_left = total;
+  for (size_t i = 0; i < weights.size() && remaining > 0; ++i) {
+    if (i + 1 == weights.size()) {
+      out[i] = remaining;
+      break;
+    }
+    double p = weights[i] / weight_left;
+    int64_t draw = rng->Binomial(static_cast<int64_t>(remaining), p);
+    out[i] = static_cast<size_t>(draw);
+    remaining -= out[i];
+    weight_left -= weights[i];
+    if (weight_left <= 0) break;
+  }
+  return out;
+}
+
+}  // namespace lplow

@@ -1,0 +1,119 @@
+// Weighted sampling primitives (paper reference [14], Chao 1982, plus
+// Efraimidis-Spirakis for the without-replacement variant).
+//
+// MultiChaoReservoir draws m i.i.d. weighted samples (with replacement) in a
+// SINGLE pass over a weighted stream: conceptually m independent single-item
+// Chao reservoirs, processed in aggregate. When item i (weight w_i, running
+// total W_i) arrives, each reservoir independently adopts it w.p. w_i/W_i, so
+// the number of adopting slots is Binomial(m, w_i/W_i) and the adopting set
+// is uniform — O(1 + #adoptions) expected work per item, O(m log n) total
+// adoptions. This is the sampler behind the Theorem 1 streaming solver.
+
+#ifndef LPLOW_CORE_SAMPLING_H_
+#define LPLOW_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+
+/// m i.i.d. weighted samples (with replacement) in one pass.
+template <typename T>
+class MultiChaoReservoir {
+ public:
+  MultiChaoReservoir(size_t m, Rng* rng) : slots_(m), rng_(rng) {
+    LPLOW_CHECK_GT(m, 0u);
+    LPLOW_CHECK(rng != nullptr);
+  }
+
+  /// Offers the next stream item with weight w > 0 (items with w == 0 are
+  /// skipped).
+  void Offer(const T& item, double weight) {
+    LPLOW_CHECK_GE(weight, 0.0);
+    if (weight <= 0.0) return;
+    total_weight_ += weight;
+    ++offered_;
+    double p = weight / total_weight_;
+    int64_t adoptions = rng_->Binomial(static_cast<int64_t>(slots_.size()), p);
+    if (adoptions <= 0) return;
+    for (size_t slot : rng_->SampleDistinctIndices(
+             slots_.size(), static_cast<size_t>(adoptions))) {
+      slots_[slot] = item;
+    }
+  }
+
+  /// The m samples. Valid only after at least one positive-weight Offer.
+  const std::vector<T>& Samples() const {
+    LPLOW_CHECK_GT(offered_, 0u);
+    return slots_;
+  }
+
+  double total_weight() const { return total_weight_; }
+  size_t offered() const { return offered_; }
+  bool empty() const { return offered_ == 0; }
+
+ private:
+  std::vector<T> slots_;
+  Rng* rng_;
+  double total_weight_ = 0.0;
+  size_t offered_ = 0;
+};
+
+/// m distinct weighted samples (without replacement) in one pass
+/// (Efraimidis-Spirakis A-Res: key = u^{1/w}, keep the m largest keys).
+template <typename T>
+class EfraimidisSpirakisSampler {
+ public:
+  EfraimidisSpirakisSampler(size_t m, Rng* rng) : m_(m), rng_(rng) {
+    LPLOW_CHECK_GT(m, 0u);
+  }
+
+  void Offer(const T& item, double weight) {
+    if (weight <= 0.0) return;
+    double u = rng_->UniformDouble();
+    // log-space key for numerical stability: log(u)/w, larger is better.
+    double key = std::log(std::max(u, 1e-300)) / weight;
+    if (heap_.size() < m_) {
+      heap_.push({key, item});
+    } else if (key > heap_.top().first) {
+      heap_.pop();
+      heap_.push({key, item});
+    }
+  }
+
+  /// Up to m items (fewer when the stream had fewer positive-weight items).
+  std::vector<T> TakeSamples() {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top().second);
+      heap_.pop();
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double first;
+    T second;
+    bool operator>(const Entry& o) const { return first > o.first; }
+  };
+  size_t m_;
+  Rng* rng_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+/// Splits m multinomial draws across `weights` (the coordinator-side step of
+/// the Lemma 3.7 protocol): returns counts y with sum(y) = m and
+/// E[y_i] = m * weights[i] / sum(weights). Exact sequential binomial
+/// splitting.
+std::vector<size_t> MultinomialSplit(const std::vector<double>& weights,
+                                     size_t m, Rng* rng);
+
+}  // namespace lplow
+
+#endif  // LPLOW_CORE_SAMPLING_H_

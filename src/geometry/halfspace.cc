@@ -1,0 +1,39 @@
+#include "src/geometry/halfspace.h"
+
+#include <sstream>
+
+namespace lplow {
+
+void Halfspace::Serialize(BitWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(dim()));
+  for (size_t i = 0; i < dim(); ++i) w->PutDouble(a[i]);
+  w->PutDouble(b);
+}
+
+Result<Halfspace> Halfspace::Deserialize(BitReader* r) {
+  auto d = r->GetU32();
+  if (!d.ok()) return d.status();
+  Halfspace h;
+  h.a = Vec(*d);
+  for (size_t i = 0; i < *d; ++i) {
+    auto x = r->GetDouble();
+    if (!x.ok()) return x.status();
+    h.a[i] = *x;
+  }
+  auto b = r->GetDouble();
+  if (!b.ok()) return b.status();
+  h.b = *b;
+  return h;
+}
+
+std::string Halfspace::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < dim(); ++i) {
+    if (i) oss << " + ";
+    oss << a[i] << "*x" << i;
+  }
+  oss << " <= " << b;
+  return oss.str();
+}
+
+}  // namespace lplow

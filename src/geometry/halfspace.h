@@ -1,0 +1,44 @@
+// Halfspace constraints { x : a.x <= b } — the element type of the LP
+// LP-type problem (each constraint's satisfying set S_X in the paper's
+// Property (P1)). Includes serialization used by the communication models.
+
+#ifndef LPLOW_GEOMETRY_HALFSPACE_H_
+#define LPLOW_GEOMETRY_HALFSPACE_H_
+
+#include <string>
+
+#include "src/geometry/vec.h"
+#include "src/util/bit_stream.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+struct Halfspace {
+  Vec a;     // Normal vector (dimension d).
+  double b;  // Offset: constraint is a.x <= b.
+
+  Halfspace() : b(0) {}
+  Halfspace(Vec normal, double offset) : a(std::move(normal)), b(offset) {}
+
+  size_t dim() const { return a.dim(); }
+
+  /// Signed slack b - a.x; negative means violated.
+  double Slack(const Vec& x) const { return b - a.Dot(x); }
+
+  /// True when x satisfies the constraint within absolute tolerance tol
+  /// (tol >= 0 accepts points slightly outside; the violation tests of
+  /// Algorithm 1 use a small positive tol for robustness).
+  bool Contains(const Vec& x, double tol) const { return Slack(x) >= -tol; }
+
+  /// Exact serialized size in bytes: the bit(S) of Theorems 1-3 for LP.
+  size_t SerializedBytes() const { return 4 + 8 * dim() + 8; }
+
+  void Serialize(BitWriter* w) const;
+  static Result<Halfspace> Deserialize(BitReader* r);
+
+  std::string ToString() const;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_GEOMETRY_HALFSPACE_H_

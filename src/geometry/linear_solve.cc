@@ -1,0 +1,109 @@
+#include "src/geometry/linear_solve.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+Vec Mat::Apply(const Vec& x) const {
+  LPLOW_CHECK_EQ(x.dim(), cols_);
+  Vec out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0;
+    for (size_t c = 0; c < cols_; ++c) s += At(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Result<Vec> SolveLinearSystem(Mat a, Vec b, double singular_tol) {
+  LPLOW_CHECK_EQ(a.rows(), a.cols());
+  LPLOW_CHECK_EQ(a.rows(), b.dim());
+  const size_t n = a.rows();
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t best = col;
+    double best_abs = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a.At(r, col));
+      if (v > best_abs) {
+        best = r;
+        best_abs = v;
+      }
+    }
+    if (best_abs < singular_tol) {
+      return Status::NumericalError("singular system in SolveLinearSystem");
+    }
+    if (best != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(col, c), a.At(best, c));
+      std::swap(b[col], b[best]);
+    }
+    double pivot = a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.At(r, col) / pivot;
+      if (factor == 0.0) continue;
+      a.At(r, col) = 0;
+      for (size_t c = col + 1; c < n; ++c) a.At(r, c) -= factor * a.At(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  Vec x(n);
+  for (size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (size_t c = i + 1; c < n; ++c) s -= a.At(i, c) * x[c];
+    x[i] = s / a.At(i, i);
+  }
+  return x;
+}
+
+size_t MatrixRank(Mat a, double tol) {
+  size_t rank = 0;
+  size_t row = 0;
+  for (size_t col = 0; col < a.cols() && row < a.rows(); ++col) {
+    size_t best = row;
+    double best_abs = std::fabs(a.At(row, col));
+    for (size_t r = row + 1; r < a.rows(); ++r) {
+      double v = std::fabs(a.At(r, col));
+      if (v > best_abs) {
+        best = r;
+        best_abs = v;
+      }
+    }
+    if (best_abs < tol) continue;
+    if (best != row) {
+      for (size_t c = 0; c < a.cols(); ++c) std::swap(a.At(row, c), a.At(best, c));
+    }
+    for (size_t r = row + 1; r < a.rows(); ++r) {
+      double factor = a.At(r, col) / a.At(row, col);
+      for (size_t c = col; c < a.cols(); ++c) a.At(r, c) -= factor * a.At(row, c);
+    }
+    ++row;
+    ++rank;
+  }
+  return rank;
+}
+
+Result<Vec> SolveLeastSquares(const Mat& a, const Vec& b, double singular_tol) {
+  LPLOW_CHECK_EQ(a.rows(), b.dim());
+  const size_t n = a.cols();
+  Mat ata(n, n);
+  Vec atb(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (size_t r = 0; r < a.rows(); ++r) s += a.At(r, i) * a.At(r, j);
+      ata.At(i, j) = s;
+    }
+    double s = 0;
+    for (size_t r = 0; r < a.rows(); ++r) s += a.At(r, i) * b[r];
+    atb[i] = s;
+  }
+  return SolveLinearSystem(std::move(ata), std::move(atb), singular_tol);
+}
+
+}  // namespace lplow

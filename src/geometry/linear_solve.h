@@ -1,0 +1,52 @@
+// Dense linear-system solving for the low-dimensional primitives: d x d
+// systems for LP basis points, circumsphere centers (MEB), and SVM KKT
+// systems. Gaussian elimination with partial pivoting; sizes are tiny
+// (d+1 at most ~12), so O(d^3) is free.
+
+#ifndef LPLOW_GEOMETRY_LINEAR_SOLVE_H_
+#define LPLOW_GEOMETRY_LINEAR_SOLVE_H_
+
+#include <vector>
+
+#include "src/geometry/vec.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// Row-major dense matrix.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), a_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return a_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+
+  /// Matrix-vector product; x.dim() must equal cols().
+  Vec Apply(const Vec& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// Solves A x = b for square A. Fails with NumericalError when the pivot
+/// magnitude falls below `singular_tol` (matrix numerically singular).
+Result<Vec> SolveLinearSystem(Mat a, Vec b, double singular_tol = 1e-12);
+
+/// Rank of A via row echelon with the given pivot tolerance.
+size_t MatrixRank(Mat a, double tol = 1e-9);
+
+/// Solves the least-squares system min ||A x - b||_2 via normal equations.
+/// Suitable for the small well-conditioned systems used here.
+Result<Vec> SolveLeastSquares(const Mat& a, const Vec& b,
+                              double singular_tol = 1e-12);
+
+}  // namespace lplow
+
+#endif  // LPLOW_GEOMETRY_LINEAR_SOLVE_H_

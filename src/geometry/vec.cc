@@ -1,0 +1,90 @@
+#include "src/geometry/vec.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+Vec Vec::operator+(const Vec& o) const {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  Vec out = *this;
+  for (size_t i = 0; i < dim(); ++i) out.v_[i] += o.v_[i];
+  return out;
+}
+
+Vec Vec::operator-(const Vec& o) const {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  Vec out = *this;
+  for (size_t i = 0; i < dim(); ++i) out.v_[i] -= o.v_[i];
+  return out;
+}
+
+Vec Vec::operator*(double s) const {
+  Vec out = *this;
+  for (double& x : out.v_) x *= s;
+  return out;
+}
+
+Vec& Vec::operator+=(const Vec& o) {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  for (size_t i = 0; i < dim(); ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  for (size_t i = 0; i < dim(); ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (double& x : v_) x *= s;
+  return *this;
+}
+
+double Vec::Dot(const Vec& o) const {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  double out = 0;
+  for (size_t i = 0; i < dim(); ++i) out += v_[i] * o.v_[i];
+  return out;
+}
+
+double Vec::Norm() const { return std::sqrt(NormSquared()); }
+
+double Vec::InfNorm() const {
+  double out = 0;
+  for (double x : v_) out = std::max(out, std::fabs(x));
+  return out;
+}
+
+int Vec::LexCompare(const Vec& o, double tol) const {
+  LPLOW_CHECK_EQ(dim(), o.dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (v_[i] < o.v_[i] - tol) return -1;
+    if (v_[i] > o.v_[i] + tol) return 1;
+  }
+  return 0;
+}
+
+bool Vec::ApproxEquals(const Vec& o, double tol) const {
+  if (dim() != o.dim()) return false;
+  for (size_t i = 0; i < dim(); ++i) {
+    if (std::fabs(v_[i] - o.v_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Vec::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < dim(); ++i) {
+    if (i) oss << ", ";
+    oss << v_[i];
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace lplow

@@ -1,0 +1,63 @@
+// Small dense vectors for low-dimensional geometry. Dimension d is a runtime
+// value (typically 2..10); Vec is a thin wrapper over std::vector<double>
+// with the arithmetic the solvers need.
+
+#ifndef LPLOW_GEOMETRY_VEC_H_
+#define LPLOW_GEOMETRY_VEC_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace lplow {
+
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(size_t dim, double fill = 0.0) : v_(dim, fill) {}
+  Vec(std::initializer_list<double> init) : v_(init) {}
+  explicit Vec(std::vector<double> v) : v_(std::move(v)) {}
+
+  size_t dim() const { return v_.size(); }
+  double& operator[](size_t i) { return v_[i]; }
+  double operator[](size_t i) const { return v_[i]; }
+
+  const std::vector<double>& data() const { return v_; }
+  std::vector<double>& data() { return v_; }
+
+  Vec operator+(const Vec& o) const;
+  Vec operator-(const Vec& o) const;
+  Vec operator*(double s) const;
+  Vec operator/(double s) const { return *this * (1.0 / s); }
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+
+  /// Inner product; dimensions must match.
+  double Dot(const Vec& o) const;
+
+  double NormSquared() const { return Dot(*this); }
+  double Norm() const;
+
+  /// Maximum absolute coordinate.
+  double InfNorm() const;
+
+  /// Lexicographic three-way comparison with absolute tolerance `tol` per
+  /// coordinate (coordinates closer than tol are considered equal).
+  int LexCompare(const Vec& o, double tol) const;
+
+  /// True when every coordinate differs by at most `tol`.
+  bool ApproxEquals(const Vec& o, double tol) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> v_;
+};
+
+inline Vec operator*(double s, const Vec& v) { return v * s; }
+
+}  // namespace lplow
+
+#endif  // LPLOW_GEOMETRY_VEC_H_

@@ -1,0 +1,54 @@
+#include "src/lowerbound/aug_index.h"
+
+#include "src/lowerbound/curves.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+AugIndexInstance RandomAugIndex(size_t m, Rng* rng) {
+  LPLOW_CHECK_GE(m, 1u);
+  AugIndexInstance out;
+  out.bits.resize(m);
+  for (auto& bit : out.bits) bit = rng->Bernoulli(0.5) ? 1 : 0;
+  out.index = 1 + rng->UniformIndex(m);
+  return out;
+}
+
+AugIndexReduction BuildTciFromAugIndex(const AugIndexInstance& instance,
+                                       const Rational& bob_slope_magnitude) {
+  LPLOW_CHECK(bob_slope_magnitude > Rational(0));
+  const size_t m = instance.bits.size();
+  const size_t istar = instance.index;
+  LPLOW_CHECK_GE(istar, 1u);
+  LPLOW_CHECK_LE(istar, m);
+
+  // Alice: StepCurve over the m input bits plus one padding zero, giving
+  // n = m + 2 points so the answer i*+1 <= n-1 stays interior.
+  std::vector<uint8_t> padded = instance.bits;
+  padded.push_back(0);
+  AugIndexReduction out;
+  out.index = istar;
+  out.tci.a = StepCurve(padded, Rational(0));
+  const size_t n = out.tci.a.size();
+  LPLOW_CHECK_EQ(n, m + 2);
+
+  // Bob: a line of slope -K anchored so b_{i*+1} = a_{i*} + i* + 1. Bob can
+  // compute a_{i*} from his prefix x_1..x_{i*-1} alone (corrected indexing).
+  Rational a_istar = out.tci.a[istar - 1];
+  RationalPoint p2{Rational(static_cast<int64_t>(istar + 1)),
+                   a_istar + Rational(static_cast<int64_t>(istar + 1))};
+  RationalPoint p1{p2.x + Rational(1), p2.y - bob_slope_magnitude};
+  out.tci.b = LineSegment(p2, p1, 1, static_cast<int64_t>(n));
+  return out;
+}
+
+uint8_t DecodeAugIndexBit(const AugIndexReduction& reduction,
+                          size_t tci_answer) {
+  if (tci_answer == reduction.index) return 1;
+  LPLOW_CHECK_EQ(tci_answer, reduction.index + 1);
+  return 0;
+}
+
+}  // namespace lb
+}  // namespace lplow

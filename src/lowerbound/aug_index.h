@@ -1,0 +1,56 @@
+// Augmented Indexing and the Lemma 5.6 reduction to TCI (corrected per
+// DESIGN.md §4: bit x_j drives step-curve increment j+1, and Bob's anchor is
+// p2 = (i*+1, a_{i*} + i* + 1), which makes the answer
+//   i*      when x_{i*} = 1,
+//   i* + 1  when x_{i*} = 0,
+// exactly as the published proof argues).
+//
+// In Aug-Index_n, Alice holds x in {0,1}^n, Bob holds i* plus the prefix
+// x_1..x_{i*-1}, and Bob must output x_{i*}. Its 1-round communication
+// complexity is Omega(n), which transfers to TCI through this reduction.
+
+#ifndef LPLOW_LOWERBOUND_AUG_INDEX_H_
+#define LPLOW_LOWERBOUND_AUG_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lowerbound/tci.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace lb {
+
+/// An Aug-Index instance over m bits.
+struct AugIndexInstance {
+  std::vector<uint8_t> bits;  // x_1..x_m (Alice's input).
+  size_t index = 1;           // i* in [1, m] (Bob's input, 1-based).
+
+  uint8_t TargetBit() const { return bits[index - 1]; }
+};
+
+/// Uniformly random instance (bits i.i.d. fair coins, index uniform).
+AugIndexInstance RandomAugIndex(size_t m, Rng* rng);
+
+struct AugIndexReduction {
+  TciInstance tci;
+  /// Decoding rule: answer == i* means bit 1; answer == i*+1 means bit 0.
+  size_t index;
+};
+
+/// Builds the TCI_n instance of (corrected) Lemma 5.6 from an Aug-Index
+/// instance over n-2 bits (so indices satisfy i* <= n-2 and the answer
+/// i*+1 <= n-1 stays interior). `bob_slope_magnitude` K > 0 sets Bob's line
+/// slope to -K; any K works for the reduction (the recursion of D_r uses
+/// large K so Bob's curve dominates accumulated gauges).
+AugIndexReduction BuildTciFromAugIndex(const AugIndexInstance& instance,
+                                       const Rational& bob_slope_magnitude);
+
+/// Decodes Bob's output bit from a TCI answer (inverse of the reduction).
+uint8_t DecodeAugIndexBit(const AugIndexReduction& reduction,
+                          size_t tci_answer);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_AUG_INDEX_H_

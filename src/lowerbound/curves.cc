@@ -1,0 +1,56 @@
+#include "src/lowerbound/curves.h"
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+std::vector<Rational> StepCurve(const std::vector<uint8_t>& bits,
+                                const Rational& alpha) {
+  const size_t m = bits.size() + 1;  // Points 1..m; bit j drives step j+1.
+  std::vector<Rational> z;
+  z.reserve(m);
+  z.push_back(alpha + Rational(1));  // z_1.
+  for (size_t i = 2; i <= m; ++i) {
+    Rational step = alpha + Rational(static_cast<int64_t>(i)) +
+                    Rational(static_cast<int64_t>(bits[i - 2]));
+    z.push_back(z.back() + step);
+  }
+  return z;
+}
+
+std::vector<Rational> LineSegment(const RationalPoint& p1,
+                                  const RationalPoint& p2, int64_t a,
+                                  int64_t b) {
+  LPLOW_CHECK(p1.x != p2.x);
+  LPLOW_CHECK_LE(a, b);
+  Rational slope = (p2.y - p1.y) / (p2.x - p1.x);
+  std::vector<Rational> z;
+  z.reserve(static_cast<size_t>(b - a + 1));
+  for (int64_t i = a; i <= b; ++i) {
+    z.push_back(slope * (Rational(i) - p1.x) + p1.y);
+  }
+  return z;
+}
+
+std::vector<Rational> Slopes(const std::vector<Rational>& z) {
+  std::vector<Rational> out;
+  if (z.size() < 2) return out;
+  out.reserve(z.size() - 1);
+  for (size_t i = 1; i < z.size(); ++i) out.push_back(z[i] - z[i - 1]);
+  return out;
+}
+
+SlopeRange ComputeSlopeRange(const std::vector<Rational>& z) {
+  LPLOW_CHECK_GE(z.size(), 2u);
+  SlopeRange range{z[1] - z[0], z[1] - z[0]};
+  for (size_t i = 2; i < z.size(); ++i) {
+    Rational s = z[i] - z[i - 1];
+    if (s < range.min) range.min = s;
+    if (s > range.max) range.max = s;
+  }
+  return range;
+}
+
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,50 @@
+// Geometric curve primitives of Section 5.2, exact over rationals.
+//
+// StepCurve follows the corrected indexing (DESIGN.md §4.1): bit x_j drives
+// increment j+1, i.e. z_1 = alpha + 1 and z_i = z_{i-1} + alpha + i + x_{i-1}
+// for i >= 2 — so a prefix x_1..x_{j-1} determines z_1..z_j, which the
+// Lemma 5.6 reduction requires (Bob computes a_{i*} from his prefix).
+
+#ifndef LPLOW_LOWERBOUND_CURVES_H_
+#define LPLOW_LOWERBOUND_CURVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/rational.h"
+
+namespace lplow {
+namespace lb {
+
+/// A point in Q^2.
+struct RationalPoint {
+  Rational x;
+  Rational y;
+};
+
+/// The sequence <z_1, ..., z_m> of the (corrected) step curve over bits
+/// x_1..x_{m-1} with slope offset alpha: z_1 = alpha + 1,
+/// z_i = z_{i-1} + alpha + i + x_{i-1}.
+std::vector<Rational> StepCurve(const std::vector<uint8_t>& bits,
+                                const Rational& alpha);
+
+/// The sequence <z_a, ..., z_b> of points on the line through p1 and p2
+/// (p1.x != p2.x) evaluated at integer abscissas a..b (paper Fact 5.5).
+std::vector<Rational> LineSegment(const RationalPoint& p1,
+                                  const RationalPoint& p2, int64_t a,
+                                  int64_t b);
+
+/// Consecutive differences z_{i+1} - z_i of a sequence (its "slopes").
+std::vector<Rational> Slopes(const std::vector<Rational>& z);
+
+/// Minimum and maximum slope of a sequence with >= 2 entries.
+struct SlopeRange {
+  Rational min;
+  Rational max;
+};
+SlopeRange ComputeSlopeRange(const std::vector<Rational>& z);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_CURVES_H_

@@ -1,0 +1,198 @@
+#include "src/lowerbound/hard_instance.h"
+
+#include <utility>
+
+#include "src/lowerbound/aug_index.h"
+#include "src/lowerbound/curves.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+namespace {
+
+struct BuiltLevel {
+  TciInstance tci;
+  size_t answer = 0;  // 1-based, strictly below the point count.
+};
+
+// K = (8 (N+2))^{2r+6}: dominates every gauge magnitude accumulated above
+// the base level (validated by tests for the parameter ranges we use).
+Rational BobSlopeMagnitude(size_t base_n, int rounds) {
+  BigInt base(8 * static_cast<int64_t>(base_n + 2));
+  BigInt k(1);
+  int exponent = 2 * rounds + 6;
+  for (int i = 0; i < exponent; ++i) k = k * base;
+  return Rational(std::move(k));
+}
+
+// Applies gauge y += alpha * (local_x - 1) + beta to both curves.
+void Gauge(TciInstance* t, const Rational& alpha, const Rational& beta) {
+  for (size_t i = 0; i < t->a.size(); ++i) {
+    Rational shift = alpha * Rational(static_cast<int64_t>(i)) + beta;
+    t->a[i] += shift;
+    t->b[i] += shift;
+  }
+}
+
+BuiltLevel BuildRecursive(size_t n_base, int level, const Rational& bob_k,
+                          Rng* rng, std::vector<size_t>* zstar_chain) {
+  if (level == 1) {
+    // Base case: the (corrected) Lemma 5.6 reduction over N-2 random bits.
+    LPLOW_CHECK_GE(n_base, 3u);
+    AugIndexInstance aug = RandomAugIndex(n_base - 2, rng);
+    AugIndexReduction red = BuildTciFromAugIndex(aug, bob_k);
+    BuiltLevel out;
+    out.tci = std::move(red.tci);
+    auto ans = TciAnswer(out.tci);
+    LPLOW_CHECK(ans.has_value());
+    out.answer = *ans;
+    LPLOW_CHECK_LT(out.answer, out.tci.n());
+    return out;
+  }
+
+  const size_t blocks = n_base;
+  std::vector<BuiltLevel> sub;
+  sub.reserve(blocks);
+  for (size_t i = 0; i < blocks; ++i) {
+    // Children consume the RNG in block order; z* is drawn afterwards so
+    // the inactive player's assembly stays independent of it.
+    sub.push_back(BuildRecursive(n_base, level - 1, bob_k, rng, nullptr));
+  }
+  const size_t n_sub = sub[0].tci.n();
+  const size_t zstar = 1 + rng->UniformIndex(blocks);  // 1-based block.
+  if (zstar_chain) zstar_chain->push_back(zstar);
+
+  const bool even = (level % 2) == 0;
+  const Rational one(1);
+
+  // --- gauges: alpha_i so the active player's slope ranges are strictly
+  // ordered across blocks (right-to-left for Bob/even, left-to-right for
+  // Alice/odd).
+  std::vector<Rational> alpha(blocks, Rational(0));
+  if (even) {
+    // Convex B: slope ranges ascend left-to-right (still all negative,
+    // because the base slope magnitude K dominates every gauge).
+    std::vector<SlopeRange> br;
+    br.reserve(blocks);
+    for (const auto& s : sub) br.push_back(ComputeSlopeRange(s.tci.b));
+    for (size_t i = 1; i < blocks; ++i) {
+      // min gauged slope of block i >= max gauged slope of block i-1 + 1.
+      Rational needed = alpha[i - 1] + br[i - 1].max - br[i].min + one;
+      alpha[i] = needed > Rational(0) ? needed : Rational(0);
+    }
+  } else {
+    std::vector<SlopeRange> ar;
+    ar.reserve(blocks);
+    for (const auto& s : sub) ar.push_back(ComputeSlopeRange(s.tci.a));
+    for (size_t i = 1; i < blocks; ++i) {
+      // min gauged slope of block i >= max gauged slope of block i-1 + 1.
+      Rational needed = alpha[i - 1] + ar[i - 1].max - ar[i].min + one;
+      alpha[i] = needed > Rational(0) ? needed : Rational(0);
+    }
+  }
+
+  // --- translations beta_i: stitch the active player's curve continuously;
+  // the boundary step copies the right/next block's first slope (keeps
+  // convexity/concavity at the seam).
+  std::vector<Rational> beta(blocks, Rational(0));
+  const Rational span(static_cast<int64_t>(n_sub - 1));
+  if (even) {
+    // Chain left-to-right (boundary step copies the next block's first
+    // slope), then shift everything so block N's Bob curve ends at y = 0
+    // (the paper's p_B = (n_r, 0) anchor).
+    beta[0] = Rational(0);
+    for (size_t i = 1; i < blocks; ++i) {
+      Rational prev_last = sub[i - 1].tci.b.back() + alpha[i - 1] * span +
+                           beta[i - 1];
+      Rational first_slope = (sub[i].tci.b[1] - sub[i].tci.b[0]) + alpha[i];
+      Rational target_first = prev_last + first_slope;
+      beta[i] = target_first - sub[i].tci.b.front();
+    }
+    Rational global_last = sub[blocks - 1].tci.b.back() +
+                           alpha[blocks - 1] * span + beta[blocks - 1];
+    for (size_t i = 0; i < blocks; ++i) beta[i] -= global_last;
+  } else {
+    // Anchor: block 1's Alice curve starts at y = 1.
+    beta[0] = one - sub[0].tci.a.front();
+    for (size_t i = 1; i < blocks; ++i) {
+      Rational prev_last = sub[i - 1].tci.a.back() + alpha[i - 1] * span +
+                           beta[i - 1];
+      Rational first_slope = (sub[i].tci.a[1] - sub[i].tci.a[0]) + alpha[i];
+      Rational target_first = prev_last + first_slope;
+      beta[i] = target_first - sub[i].tci.a.front();
+    }
+  }
+
+  for (size_t i = 0; i < blocks; ++i) Gauge(&sub[i].tci, alpha[i], beta[i]);
+
+  // --- assembly.
+  const size_t n_total = blocks * n_sub;
+  BuiltLevel out;
+  out.tci.a.reserve(n_total);
+  out.tci.b.reserve(n_total);
+
+  const TciInstance& special = sub[zstar - 1].tci;
+  const size_t start = (zstar - 1) * n_sub;  // 0-based global offset.
+  if (even) {
+    // B: concatenation of every block (independent of z*).
+    for (size_t i = 0; i < blocks; ++i) {
+      for (const auto& v : sub[i].tci.b) out.tci.b.push_back(v);
+    }
+    // A: block z* extended linearly on both sides.
+    Rational first_slope = special.a[1] - special.a[0];
+    Rational last_slope = special.a[n_sub - 1] - special.a[n_sub - 2];
+    out.tci.a.assign(n_total, Rational(0));
+    for (size_t i = 0; i < n_sub; ++i) out.tci.a[start + i] = special.a[i];
+    for (size_t g = start; g-- > 0;) {
+      out.tci.a[g] = out.tci.a[g + 1] - first_slope;
+    }
+    for (size_t g = start + n_sub; g < n_total; ++g) {
+      out.tci.a[g] = out.tci.a[g - 1] + last_slope;
+    }
+  } else {
+    // A: concatenation of every block (independent of z*).
+    for (size_t i = 0; i < blocks; ++i) {
+      for (const auto& v : sub[i].tci.a) out.tci.a.push_back(v);
+    }
+    // B: block z* extended linearly on both sides.
+    Rational first_slope = special.b[1] - special.b[0];
+    Rational last_slope = special.b[n_sub - 1] - special.b[n_sub - 2];
+    out.tci.b.assign(n_total, Rational(0));
+    for (size_t i = 0; i < n_sub; ++i) out.tci.b[start + i] = special.b[i];
+    for (size_t g = start; g-- > 0;) {
+      out.tci.b[g] = out.tci.b[g + 1] - first_slope;
+    }
+    for (size_t g = start + n_sub; g < n_total; ++g) {
+      out.tci.b[g] = out.tci.b[g - 1] + last_slope;
+    }
+  }
+
+  out.answer = start + sub[zstar - 1].answer;
+  LPLOW_CHECK_LT(out.answer, n_total);
+  return out;
+}
+
+}  // namespace
+
+HardInstance BuildHardInstance(const HardInstanceOptions& options, Rng* rng) {
+  LPLOW_CHECK_GE(options.base_n, 3u);
+  LPLOW_CHECK_GE(options.rounds, 1);
+  Rational bob_k = BobSlopeMagnitude(options.base_n, options.rounds);
+
+  HardInstance out;
+  out.base_n = options.base_n;
+  out.rounds = options.rounds;
+  // The chain is collected only at the top level of each recursion step, so
+  // build levels outermost-first by peeling manually.
+  std::vector<size_t> chain;
+  BuiltLevel built =
+      BuildRecursive(options.base_n, options.rounds, bob_k, rng, &chain);
+  out.tci = std::move(built.tci);
+  out.expected_answer = built.answer;
+  out.zstar_chain = std::move(chain);
+  return out;
+}
+
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,57 @@
+// The recursive hard distributions D_r of Section 5.3.3, in the validated
+// gauge-corrected form described in DESIGN.md §4:
+//
+// * An instance of D_r consists of N = base_n sub-instances of D_{r-1}
+//   (n_r = N^r points total), one of which — block z*, chosen uniformly —
+//   carries the answer (Propositions 5.8/5.10).
+// * The paper's slope-shift/origin-shift operators are realized as per-block
+//   affine gauges y += alpha_i (x - x_start) + beta_i applied to BOTH curves
+//   of a block, which provably preserves the block's TCI answer.
+// * For even r the active player is Bob: B is the concatenation of all
+//   blocks' gauged B-curves (so B is independent of z*, Observation 5.12),
+//   with gauges chosen so B stays strictly decreasing and convex (each
+//   alpha_i depends only on neighbouring blocks' slope ranges, never on z*,
+//   preserving Observation 5.11's structure), and A is block z*'s gauged
+//   A-curve extended linearly. For odd r the roles swap (A stitched, B
+//   extended).
+// * The base case is the (corrected) Lemma 5.6 Aug-Index reduction with
+//   Bob-line slope -K, where K = (8(N+2))^{2r+6} dominates every gauge any
+//   enclosing level can apply, keeping B decreasing throughout.
+
+#ifndef LPLOW_LOWERBOUND_HARD_INSTANCE_H_
+#define LPLOW_LOWERBOUND_HARD_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lowerbound/tci.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace lb {
+
+struct HardInstanceOptions {
+  /// N: sub-instances per level and base-case point count. Must be >= 3.
+  size_t base_n = 8;
+  /// r: recursion depth; the instance has base_n^r points.
+  int rounds = 2;
+  uint64_t seed = 0xD15717ULL;
+};
+
+struct HardInstance {
+  TciInstance tci;
+  /// The embedded answer index (1-based); equals TciAnswer(tci).
+  size_t expected_answer = 0;
+  /// z* chosen at each level, outermost first (empty for r = 1).
+  std::vector<size_t> zstar_chain;
+  size_t base_n = 0;
+  int rounds = 0;
+};
+
+/// Samples an instance from D_r.
+HardInstance BuildHardInstance(const HardInstanceOptions& options, Rng* rng);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_HARD_INSTANCE_H_

@@ -1,0 +1,78 @@
+#include "src/lowerbound/tci.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+namespace {
+std::string IndexMessage(const char* what, size_t i) {
+  std::ostringstream oss;
+  oss << what << " at index " << i;
+  return oss.str();
+}
+}  // namespace
+
+Status ValidateTci(const TciInstance& instance) {
+  const auto& a = instance.a;
+  const auto& b = instance.b;
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("curve length mismatch");
+  }
+  if (a.size() < 2) return Status::InvalidArgument("need at least 2 points");
+  const size_t n = a.size();
+  for (size_t i = 1; i < n; ++i) {
+    if (!(a[i] > a[i - 1])) {
+      return Status::InvalidArgument(IndexMessage("A not increasing", i + 1));
+    }
+    if (!(b[i] < b[i - 1])) {
+      return Status::InvalidArgument(IndexMessage("B not decreasing", i + 1));
+    }
+  }
+  for (size_t i = 2; i < n; ++i) {
+    if ((a[i] - a[i - 1]) < (a[i - 1] - a[i - 2])) {
+      return Status::InvalidArgument(IndexMessage("A not convex", i + 1));
+    }
+    if ((b[i] - b[i - 1]) < (b[i - 1] - b[i - 2])) {
+      return Status::InvalidArgument(IndexMessage("B not convex", i + 1));
+    }
+  }
+  if (!(a[0] <= b[0])) {
+    return Status::InvalidArgument("a_1 > b_1: crossing before the domain");
+  }
+  if (!(a[n - 1] > b[n - 1])) {
+    return Status::InvalidArgument("a_n <= b_n: no crossing in the domain");
+  }
+  return Status::OK();
+}
+
+std::optional<size_t> TciAnswer(const TciInstance& instance) {
+  const auto& a = instance.a;
+  const auto& b = instance.b;
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] <= b[i] && a[i + 1] > b[i + 1]) return i + 1;  // 1-based.
+  }
+  return std::nullopt;
+}
+
+void ApplyAffineGauge(TciInstance* instance, const Rational& slope,
+                      const Rational& x0, const Rational& offset) {
+  for (size_t i = 0; i < instance->a.size(); ++i) {
+    Rational shift = slope * (Rational(static_cast<int64_t>(i + 1)) - x0) +
+                     offset;
+    instance->a[i] += shift;
+    instance->b[i] += shift;
+  }
+}
+
+size_t TciBitComplexity(const TciInstance& instance) {
+  size_t bits = 0;
+  for (const auto& v : instance.a) bits += v.BitLength();
+  for (const auto& v : instance.b) bits += v.BitLength();
+  return bits;
+}
+
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,61 @@
+// The Two-Curve Intersection problem (Section 5.2): Alice holds the
+// monotonically increasing convex sequence A, Bob the monotonically
+// decreasing convex sequence B, and the answer is the smallest index i with
+// a_i <= b_i and a_{i+1} > b_{i+1}.
+//
+// Convexity convention (DESIGN.md §4): both difference sequences are
+// non-decreasing. The paper prints B's condition with the opposite sign
+// (making B concave), but the Figure 1b reduction to linear programming
+// requires every chord extension to lie BELOW its curve — true exactly when
+// the curve is convex — so we adopt convex B; the Lemma 5.6 base case (a
+// line) satisfies both conventions unchanged.
+
+#ifndef LPLOW_LOWERBOUND_TCI_H_
+#define LPLOW_LOWERBOUND_TCI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/numeric/rational.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace lb {
+
+struct TciInstance {
+  std::vector<Rational> a;  // Alice, indices 1..n stored at 0..n-1.
+  std::vector<Rational> b;  // Bob.
+
+  size_t n() const { return a.size(); }
+};
+
+/// Checks the four promise conditions; on failure the status message pins
+/// down the first offending index.
+///   1. |A| == |B| >= 2
+///   2. A strictly increasing, B strictly decreasing
+///   3. A and B convex (differences non-decreasing)
+///   4. a_1 <= b_1 and a_n > b_n (a crossing exists)
+Status ValidateTci(const TciInstance& instance);
+
+/// The answer index (1-based): smallest i with a_i <= b_i and
+/// a_{i+1} > b_{i+1}. Requires a valid instance; returns nullopt when no
+/// such index exists (promise violated).
+std::optional<size_t> TciAnswer(const TciInstance& instance);
+
+/// Applies the affine gauge y += slope * (x - x0) + offset to both curves
+/// (x is the 1-based index). Adding a common affine function preserves
+/// a_i - b_i pointwise and hence the TCI answer — the invariance behind the
+/// paper's slope-shift and origin-shift operators.
+void ApplyAffineGauge(TciInstance* instance, const Rational& slope,
+                      const Rational& x0, const Rational& offset);
+
+/// Serialized bit size of the instance (sum of coordinate bit lengths),
+/// the communication measure of Theorem 7.
+size_t TciBitComplexity(const TciInstance& instance);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_TCI_H_

@@ -1,0 +1,88 @@
+#include "src/lowerbound/tci_protocols.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+size_t RationalWireBits(const Rational& value) {
+  return value.BitLength() + 16;
+}
+
+Result<size_t> FullSendProtocol(const TciInstance& instance,
+                                ProtocolStats* stats) {
+  ProtocolStats local;
+  ProtocolStats& st = stats ? *stats : local;
+  st = ProtocolStats{};
+  LPLOW_RETURN_IF_ERROR(ValidateTci(instance));
+
+  // Alice -> Bob: the entire curve A.
+  ++st.messages;
+  st.rounds = 1;
+  for (const auto& v : instance.a) st.bits += RationalWireBits(v);
+
+  // Bob scans both curves for the crossing.
+  auto ans = TciAnswer(instance);
+  if (!ans) return Status::Internal("no crossing (promise violated)");
+  return *ans;
+}
+
+Result<size_t> BlockDescentProtocol(const TciInstance& instance,
+                                    const BlockDescentOptions& options,
+                                    ProtocolStats* stats) {
+  ProtocolStats local;
+  ProtocolStats& st = stats ? *stats : local;
+  st = ProtocolStats{};
+  LPLOW_CHECK_GE(options.grid, 2u);
+  LPLOW_RETURN_IF_ERROR(ValidateTci(instance));
+
+  const size_t n = instance.n();
+  // Invariant: a_lo <= b_lo and a_hi > b_hi, so the answer is in [lo, hi).
+  size_t lo = 1, hi = n;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    if (hi - lo == 1) return lo;  // Cell of width 1: lo is the answer.
+
+    // Grid of at most grid+1 indices covering [lo, hi].
+    std::vector<size_t> grid_idx;
+    const size_t cells = std::min(options.grid, hi - lo);
+    grid_idx.reserve(cells + 1);
+    for (size_t j = 0; j <= cells; ++j) {
+      grid_idx.push_back(lo + (hi - lo) * j / cells);
+    }
+
+    // Alice -> Bob: her values at the grid indices.
+    ++st.messages;
+    ++st.rounds;
+    for (size_t idx : grid_idx) {
+      st.bits += RationalWireBits(instance.a[idx - 1]);
+    }
+
+    // Bob locates the bracketing cell using only his own curve, and replies
+    // with the new interval (two indices).
+    size_t new_lo = lo, new_hi = hi;
+    for (size_t j = 0; j + 1 < grid_idx.size(); ++j) {
+      size_t l = grid_idx[j], h = grid_idx[j + 1];
+      bool left_ok = instance.a[l - 1] <= instance.b[l - 1];
+      bool right_cross = instance.a[h - 1] > instance.b[h - 1];
+      if (left_ok && right_cross) {
+        new_lo = l;
+        new_hi = h;
+        break;
+      }
+    }
+    LPLOW_CHECK(new_hi - new_lo < hi - lo || hi - lo <= 1);
+    ++st.messages;
+    ++st.rounds;
+    st.bits += 2 * 64;  // Two indices.
+    lo = new_lo;
+    hi = new_hi;
+  }
+  return Status::Internal("BlockDescent round cap reached");
+}
+
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,58 @@
+// Two-party communication protocols for TCI, with exact bit accounting —
+// the upper bounds that bracket Theorem 7's Omega(n^{1/r} / r^2) lower
+// bound in experiment E10:
+//
+// * FullSendProtocol    — Alice ships her whole curve; 1 message, O(n * bit)
+//                         communication (the trivial upper bound).
+// * BlockDescentProtocol — r-round grid descent: each round the sender
+//                         transmits the curve values at g+1 grid indices of
+//                         the current candidate interval; monotonicity of
+//                         A - B localizes the crossing to one grid cell,
+//                         shrinking the interval by factor g per round.
+//                         With g = n^{1/r}: r rounds, O(r n^{1/r} bit)
+//                         communication — matching the lower bound's
+//                         n^{1/r} dependence.
+//
+// Message cost is counted as the exact sum of coordinate bit lengths plus a
+// small per-value header (the bit-complexity measure of Section 5).
+
+#ifndef LPLOW_LOWERBOUND_TCI_PROTOCOLS_H_
+#define LPLOW_LOWERBOUND_TCI_PROTOCOLS_H_
+
+#include <cstdint>
+
+#include "src/lowerbound/tci.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace lb {
+
+struct ProtocolStats {
+  size_t messages = 0;
+  size_t rounds = 0;  // Alternations (a message in each direction = 2).
+  size_t bits = 0;
+};
+
+/// Cost model: one rational costs num bits + den bits + 16 header bits.
+size_t RationalWireBits(const Rational& value);
+
+/// Trivial protocol: Alice -> Bob, Bob answers.
+Result<size_t> FullSendProtocol(const TciInstance& instance,
+                                ProtocolStats* stats);
+
+struct BlockDescentOptions {
+  /// Grid cells per round; n^{1/r} gives r rounds.
+  size_t grid = 8;
+  size_t max_rounds = 200;
+};
+
+/// Grid-descent protocol (both players simulated honestly: each only reads
+/// its own curve; everything else crosses the accounted channel).
+Result<size_t> BlockDescentProtocol(const TciInstance& instance,
+                                    const BlockDescentOptions& options,
+                                    ProtocolStats* stats);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_TCI_PROTOCOLS_H_

@@ -1,0 +1,44 @@
+#include "src/lowerbound/tci_to_lp.h"
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace lb {
+
+std::vector<RationalLine> TciToLines(const TciInstance& instance) {
+  std::vector<RationalLine> lines;
+  const size_t n = instance.n();
+  LPLOW_CHECK_GE(n, 2u);
+  lines.reserve(2 * n - 2);
+  auto add_segments = [&](const std::vector<Rational>& z) {
+    for (size_t i = 0; i + 1 < z.size(); ++i) {
+      RationalLine l;
+      l.slope = z[i + 1] - z[i];
+      // Through (i+1, z_i) in 1-based x: t = z_i - slope * (i+1).
+      l.intercept = z[i] - l.slope * Rational(static_cast<int64_t>(i + 1));
+      lines.push_back(std::move(l));
+    }
+  };
+  add_segments(instance.a);
+  add_segments(instance.b);
+  return lines;
+}
+
+Result<TciLpResult> SolveTciViaLp(const TciInstance& instance, uint64_t seed) {
+  std::vector<RationalLine> lines = TciToLines(instance);
+  RationalLp2dSolver solver(seed);
+  RationalLp2dSolution sol = solver.Solve(lines);
+  if (!sol.bounded) {
+    return Status::Unbounded("TCI reduction LP unbounded (invalid instance?)");
+  }
+  TciLpResult out;
+  out.x = sol.x;
+  out.y = sol.y;
+  BigInt fl = sol.x.Floor();
+  if (fl < BigInt(1)) return Status::Internal("LP optimum left of domain");
+  out.index = static_cast<size_t>(fl.ToInt64());
+  return out;
+}
+
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,35 @@
+// The TCI -> 2-d linear programming reduction of Section 5.2 / Figure 1b:
+// extend every segment of both curves to a line whose upper halfplane is
+// feasible, minimize y over the intersection, and floor the optimal x to
+// recover the crossing index. Exact over rationals.
+
+#ifndef LPLOW_LOWERBOUND_TCI_TO_LP_H_
+#define LPLOW_LOWERBOUND_TCI_TO_LP_H_
+
+#include <vector>
+
+#include "src/lowerbound/tci.h"
+#include "src/solvers/rational_lp2d.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace lb {
+
+/// The 2n - 2 constraint lines (one per curve segment): y >= slope x + t.
+std::vector<RationalLine> TciToLines(const TciInstance& instance);
+
+struct TciLpResult {
+  Rational x;      // LP optimum (the fractional crossing point).
+  Rational y;
+  size_t index;    // floor(x): the TCI answer (Corollary 8's decoding).
+};
+
+/// Solves the reduction LP exactly. Requires a valid instance (the promise
+/// guarantees a bounded optimum).
+Result<TciLpResult> SolveTciViaLp(const TciInstance& instance,
+                                  uint64_t seed = 0x7C12D01ULL);
+
+}  // namespace lb
+}  // namespace lplow
+
+#endif  // LPLOW_LOWERBOUND_TCI_TO_LP_H_

@@ -1,0 +1,9 @@
+// Channel is header-only; this file anchors the module in the build.
+
+#include "src/models/coordinator/channel.h"
+
+namespace lplow {
+namespace coord {
+// (Intentionally empty.)
+}  // namespace coord
+}  // namespace lplow

@@ -1,0 +1,64 @@
+// Communication accounting for the coordinator model: k sites, each linked
+// to the coordinator by a two-way channel. All protocol traffic flows through
+// Channel as real serialized byte buffers, so the communication totals the
+// benchmarks report are exact wire sizes.
+//
+// A "round" (paper Section 1) is one coordinator->sites broadcast phase
+// followed by one sites->coordinator reply phase.
+
+#ifndef LPLOW_MODELS_COORDINATOR_CHANNEL_H_
+#define LPLOW_MODELS_COORDINATOR_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bit_stream.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace coord {
+
+using Message = std::vector<uint8_t>;
+
+/// Byte-exact accounting of coordinator <-> site traffic.
+class Channel {
+ public:
+  explicit Channel(size_t num_sites) : num_sites_(num_sites) {}
+
+  /// Marks the start of a communication round.
+  void BeginRound() { ++rounds_; }
+
+  /// Records a coordinator -> site message and delivers it.
+  void ToSite(size_t site, const Message& msg) {
+    LPLOW_CHECK_LT(site, num_sites_);
+    bytes_to_sites_ += msg.size();
+    ++messages_;
+  }
+
+  /// Records a site -> coordinator message and delivers it.
+  void ToCoordinator(size_t site, const Message& msg) {
+    LPLOW_CHECK_LT(site, num_sites_);
+    bytes_to_coordinator_ += msg.size();
+    ++messages_;
+  }
+
+  size_t rounds() const { return rounds_; }
+  size_t messages() const { return messages_; }
+  size_t total_bytes() const { return bytes_to_sites_ + bytes_to_coordinator_; }
+  size_t total_bits() const { return total_bytes() * 8; }
+  size_t bytes_to_sites() const { return bytes_to_sites_; }
+  size_t bytes_to_coordinator() const { return bytes_to_coordinator_; }
+  size_t num_sites() const { return num_sites_; }
+
+ private:
+  size_t num_sites_;
+  size_t rounds_ = 0;
+  size_t messages_ = 0;
+  size_t bytes_to_sites_ = 0;
+  size_t bytes_to_coordinator_ = 0;
+};
+
+}  // namespace coord
+}  // namespace lplow
+
+#endif  // LPLOW_MODELS_COORDINATOR_CHANNEL_H_

@@ -1,0 +1,9 @@
+// SolveCoordinator is a header template (coordinator_solver.h).
+
+#include "src/models/coordinator/coordinator_solver.h"
+
+namespace lplow {
+namespace coord {
+// (Intentionally empty.)
+}  // namespace coord
+}  // namespace lplow

@@ -1,0 +1,342 @@
+// Theorem 2: the coordinator-model implementation of Algorithm 1, with the
+// Lemma 3.7 two-round weighted-sampling protocol.
+//
+// Each site keeps its local constraints and their weights; the coordinator
+// never materializes the input. One iteration of Algorithm 1 costs three
+// rounds:
+//
+//   R1 (weights):  coordinator asks for local totals; site i replies w(S_i)
+//                  — and first applies the previous iteration's reweighting
+//                  decision, which rides along in the request.
+//   R2 (sample):   coordinator draws the multinomial split y_1..y_k of the m
+//                  eps-net draws (Lemma 3.7) and requests y_i samples from
+//                  site i; sites reply with serialized constraints.
+//   R3 (violators): coordinator broadcasts the basis; site i replies its
+//                  violator weight w(V_i) and count.
+//
+// All traffic is serialized through coord::Channel, so reported
+// communication is byte-exact.
+
+#ifndef LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
+#define LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/core/clarkson.h"
+#include "src/core/eps_net.h"
+#include "src/core/lp_type.h"
+#include "src/core/sampling.h"
+#include "src/models/coordinator/channel.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace coord {
+
+struct CoordinatorOptions {
+  int r = 2;
+  EpsNetConfig net;
+  size_t max_iterations = 0;  // 0 = automatic.
+  /// On hitting the iteration cap: ship everything and solve directly
+  /// (Las Vegas, default) or return Status::SamplingFailed (useful for
+  /// measuring pure protocol cost under a fixed iteration budget).
+  bool fallback_to_direct = true;
+  uint64_t seed = 0xC004D1ACULL;
+};
+
+struct CoordinatorStats {
+  size_t n = 0;
+  size_t k = 0;
+  size_t sample_size = 0;
+  size_t rounds = 0;
+  size_t total_bytes = 0;
+  size_t messages = 0;
+  size_t iterations = 0;
+  size_t successful_iterations = 0;
+  bool direct_solve = false;
+};
+
+/// One site: holds its constraint partition and local weights, and answers
+/// the three request kinds. Site logic only sees serialized messages.
+template <LpTypeProblem P>
+class Site {
+ public:
+  Site(const P* problem, std::vector<typename P::Constraint> constraints,
+       uint64_t seed)
+      : problem_(problem),
+        constraints_(std::move(constraints)),
+        weights_(constraints_.size(), 1.0),
+        rng_(seed) {}
+
+  /// R1: apply the previous reweighting decision (if any), reply total weight.
+  Message HandleWeightRequest(const Message& request) {
+    BitReader r(request);
+    uint8_t apply = *r.GetU8();
+    if (apply) {
+      double rate = *r.GetDouble();
+      auto basis_value = DeserializeValueMarker(&r);
+      for (size_t i = 0; i < constraints_.size(); ++i) {
+        if (problem_->Violates(basis_value, constraints_[i])) {
+          weights_[i] *= rate;
+        }
+      }
+    }
+    double total = 0;
+    for (double w : weights_) total += w;
+    BitWriter w;
+    w.PutDouble(total);
+    return w.Release();
+  }
+
+  /// R2: reply `count` weighted draws (with replacement) from the local set.
+  Message HandleSampleRequest(const Message& request) {
+    BitReader r(request);
+    uint64_t count = *r.GetVarU64();
+    BitWriter w;
+    w.PutVarU64(count);
+    std::vector<size_t> picks = SampleLocal(static_cast<size_t>(count));
+    for (size_t idx : picks) {
+      problem_->SerializeConstraint(constraints_[idx], &w);
+    }
+    return w.Release();
+  }
+
+  /// R3: reply (violator weight, violator count) against the basis encoded
+  /// in the request; remember the basis value for the R1 reweighting.
+  Message HandleViolatorRequest(const Message& request) {
+    BitReader r(request);
+    last_basis_value_ = DeserializeValueMarker(&r);
+    double vw = 0;
+    uint64_t vc = 0;
+    for (size_t i = 0; i < constraints_.size(); ++i) {
+      if (problem_->Violates(last_basis_value_, constraints_[i])) {
+        vw += weights_[i];
+        ++vc;
+      }
+    }
+    BitWriter w;
+    w.PutDouble(vw);
+    w.PutVarU64(vc);
+    return w.Release();
+  }
+
+  size_t local_size() const { return constraints_.size(); }
+  const std::vector<typename P::Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// The basis value travels as the basis constraints; the site re-solves the
+  /// tiny basis locally to recover f(B) (O(nu) constraints, negligible work,
+  /// zero extra communication).
+  typename P::Value DeserializeValueMarker(BitReader* r) {
+    uint64_t size = *r->GetVarU64();
+    std::vector<typename P::Constraint> basis;
+    basis.reserve(size);
+    for (uint64_t i = 0; i < size; ++i) {
+      auto c = problem_->DeserializeConstraint(r);
+      LPLOW_CHECK(c.ok());
+      basis.push_back(std::move(*c));
+    }
+    return problem_->SolveValue(
+        std::span<const typename P::Constraint>(basis));
+  }
+
+ private:
+  std::vector<size_t> SampleLocal(size_t count) {
+    std::vector<size_t> out;
+    if (constraints_.empty()) return out;
+    out.reserve(count);
+    // Prefix sums + binary search: O(n_i + count log n_i) per request.
+    std::vector<double> prefix(weights_.size());
+    double acc = 0;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      acc += weights_[i];
+      prefix[i] = acc;
+    }
+    for (size_t s = 0; s < count; ++s) {
+      double target = rng_.UniformDouble() * acc;
+      size_t pick = std::lower_bound(prefix.begin(), prefix.end(), target) -
+                    prefix.begin();
+      if (pick >= prefix.size()) pick = prefix.size() - 1;
+      out.push_back(pick);
+    }
+    return out;
+  }
+
+  const P* problem_;
+  std::vector<typename P::Constraint> constraints_;
+  std::vector<double> weights_;
+  Rng rng_;
+  typename P::Value last_basis_value_{};
+};
+
+template <LpTypeProblem P>
+Result<BasisResult<typename P::Value, typename P::Constraint>>
+SolveCoordinator(const P& problem,
+                 std::vector<std::vector<typename P::Constraint>> partitions,
+                 const CoordinatorOptions& options, CoordinatorStats* stats,
+                 Channel* channel_out = nullptr) {
+  using Constraint = typename P::Constraint;
+  using Value = typename P::Value;
+  CoordinatorStats local;
+  CoordinatorStats& st = stats ? *stats : local;
+  st = CoordinatorStats{};
+
+  const size_t k = partitions.size();
+  if (k == 0) return Status::InvalidArgument("no sites");
+  size_t n = 0;
+  for (const auto& part : partitions) n += part.size();
+  st.n = n;
+  st.k = k;
+
+  const size_t nu = problem.CombinatorialDimension();
+  const size_t lambda = problem.VcDimension();
+  const double eps = AlgorithmEpsilon(nu, std::max<size_t>(n, 1), options.r);
+  const double rate = WeightIncreaseRate(std::max<size_t>(n, 1), options.r);
+  const size_t m = EpsNetSampleSize(eps, lambda, options.net, nu + 1, n);
+  st.sample_size = m;
+  const size_t max_iters = options.max_iterations
+                               ? options.max_iterations
+                               : ClarksonIterationCap(nu, options.r);
+
+  Rng rng(options.seed);
+  Channel local_channel(k);
+  Channel& ch = channel_out ? *channel_out : local_channel;
+
+  std::vector<Site<P>> sites;
+  sites.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    sites.emplace_back(&problem, std::move(partitions[i]), rng.Fork().engine()());
+  }
+
+  auto serialize_basis = [&](const std::vector<Constraint>& basis) {
+    BitWriter w;
+    w.PutVarU64(basis.size());
+    for (const auto& c : basis) problem.SerializeConstraint(c, &w);
+    return w.Release();
+  };
+
+  auto finish = [&](BasisResult<Value, Constraint> result)
+      -> Result<BasisResult<Value, Constraint>> {
+    st.rounds = ch.rounds();
+    st.total_bytes = ch.total_bytes();
+    st.messages = ch.messages();
+    return result;
+  };
+
+  // Previous iteration's reweighting decision, delivered with the next R1.
+  bool pending_update = false;
+  std::vector<Constraint> pending_basis;
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    ++st.iterations;
+
+    // ---- R1: weights (plus deferred reweighting instruction).
+    ch.BeginRound();
+    std::vector<double> site_weights(k);
+    {
+      BitWriter req;
+      req.PutU8(pending_update ? 1 : 0);
+      if (pending_update) {
+        req.PutDouble(rate);
+        Message basis_msg = serialize_basis(pending_basis);
+        req.PutBytes(basis_msg.data(), basis_msg.size());
+      }
+      Message request = req.Release();
+      for (size_t i = 0; i < k; ++i) {
+        ch.ToSite(i, request);
+        Message reply = sites[i].HandleWeightRequest(request);
+        ch.ToCoordinator(i, reply);
+        BitReader r(reply);
+        site_weights[i] = *r.GetDouble();
+      }
+      pending_update = false;
+    }
+
+    // ---- R2: the Lemma 3.7 multinomial split and local sampling.
+    ch.BeginRound();
+    std::vector<Constraint> sample;
+    sample.reserve(m);
+    {
+      std::vector<size_t> counts = MultinomialSplit(site_weights, m, &rng);
+      for (size_t i = 0; i < k; ++i) {
+        if (counts[i] == 0) continue;
+        BitWriter req;
+        req.PutVarU64(counts[i]);
+        Message request = req.Release();
+        ch.ToSite(i, request);
+        Message reply = sites[i].HandleSampleRequest(request);
+        ch.ToCoordinator(i, reply);
+        BitReader r(reply);
+        uint64_t cnt = *r.GetVarU64();
+        for (uint64_t s = 0; s < cnt; ++s) {
+          auto c = problem.DeserializeConstraint(&r);
+          LPLOW_CHECK(c.ok());
+          sample.push_back(std::move(*c));
+        }
+      }
+    }
+    if (sample.empty()) return Status::Internal("empty coordinator sample");
+
+    // ---- local basis computation at the coordinator.
+    auto basis = problem.SolveBasis(
+        std::span<const Constraint>(sample.data(), sample.size()));
+
+    // ---- R3: broadcast the basis; collect violator weights.
+    ch.BeginRound();
+    double violator_weight = 0;
+    uint64_t violator_count = 0;
+    double total_weight = 0;
+    for (double w : site_weights) total_weight += w;
+    {
+      Message request = serialize_basis(basis.basis);
+      for (size_t i = 0; i < k; ++i) {
+        ch.ToSite(i, request);
+        Message reply = sites[i].HandleViolatorRequest(request);
+        ch.ToCoordinator(i, reply);
+        BitReader r(reply);
+        violator_weight += *r.GetDouble();
+        violator_count += *r.GetVarU64();
+      }
+    }
+
+    if (violator_count == 0) {
+      ++st.successful_iterations;  // Vacuous eps-net success.
+      return finish(std::move(basis));
+    }
+
+    if (violator_weight <= eps * total_weight) {
+      ++st.successful_iterations;
+      pending_update = true;
+      pending_basis = basis.basis;
+    }
+  }
+
+  if (!options.fallback_to_direct) {
+    st.rounds = ch.rounds();
+    st.total_bytes = ch.total_bytes();
+    st.messages = ch.messages();
+    return Status::SamplingFailed("coordinator iteration cap reached");
+  }
+  // Las Vegas fallback: ship everything (counted!) and solve directly.
+  LPLOW_LOG(kWarning) << "SolveCoordinator hit iteration cap; direct fallback";
+  ch.BeginRound();
+  std::vector<Constraint> all;
+  for (size_t i = 0; i < k; ++i) {
+    BitWriter w;
+    for (const auto& c : sites[i].constraints()) {
+      problem.SerializeConstraint(c, &w);
+      all.push_back(c);
+    }
+    ch.ToCoordinator(i, w.buffer());
+  }
+  st.direct_solve = true;
+  return finish(problem.SolveBasis(std::span<const Constraint>(all)));
+}
+
+}  // namespace coord
+}  // namespace lplow
+
+#endif  // LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_

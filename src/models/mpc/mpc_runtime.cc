@@ -1,0 +1,22 @@
+#include "src/models/mpc/mpc_runtime.h"
+
+namespace lplow {
+namespace mpc {
+
+std::vector<size_t> MpcRuntime::MachinesAtDepth(size_t d) const {
+  // Depth of machine i in the (1-indexed shifted) fanout-ary heap layout.
+  std::vector<size_t> out;
+  for (size_t i = 0; i < machines_; ++i) {
+    size_t depth = 0;
+    size_t j = i;
+    while (j > 0) {
+      j = (j - 1) / fanout_;
+      ++depth;
+    }
+    if (depth == d) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace mpc
+}  // namespace lplow

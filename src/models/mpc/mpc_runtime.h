@@ -1,0 +1,106 @@
+// The MPC (massively parallel computation) runtime: M machines exchanging
+// serialized messages in synchronous rounds. The cost measure is the maximum
+// load — bytes sent or received by any single machine in any round (paper
+// Section 1, "load"), tracked per round by this runtime.
+//
+// Tree topology helpers implement the standard O(1/delta)-round broadcast and
+// converge-cast of Goodrich-Sitchinava-Zhang [23] with fan-out ~ n^delta:
+// machine 0 is the root, machine i's parent is (i-1)/fanout.
+
+#ifndef LPLOW_MODELS_MPC_MPC_RUNTIME_H_
+#define LPLOW_MODELS_MPC_MPC_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bit_stream.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace mpc {
+
+using Message = std::vector<uint8_t>;
+
+/// Per-round load accounting over M machines.
+class MpcRuntime {
+ public:
+  explicit MpcRuntime(size_t machines, size_t fanout)
+      : machines_(machines), fanout_(fanout) {
+    LPLOW_CHECK_GE(machines, 1u);
+    LPLOW_CHECK_GE(fanout, 2u);
+  }
+
+  /// Starts a new round; per-machine round loads reset.
+  void BeginRound() {
+    ++rounds_;
+    round_load_.assign(machines_, 0);
+  }
+
+  /// Records msg_bytes flowing from machine `from` to machine `to` in the
+  /// current round (both endpoints are charged, per the model's definition
+  /// of load as information sent or received).
+  void Send(size_t from, size_t to, size_t msg_bytes) {
+    LPLOW_CHECK_LT(from, machines_);
+    LPLOW_CHECK_LT(to, machines_);
+    round_load_[from] += msg_bytes;
+    round_load_[to] += msg_bytes;
+    total_bytes_ += msg_bytes;
+    ++messages_;
+  }
+
+  /// Call at the end of each round to fold the round loads into the maximum.
+  void EndRound() {
+    for (size_t load : round_load_) {
+      max_load_ = std::max(max_load_, load);
+    }
+  }
+
+  // --- tree topology -------------------------------------------------------
+  size_t Parent(size_t machine) const {
+    LPLOW_CHECK_GT(machine, 0u);
+    return (machine - 1) / fanout_;
+  }
+  std::vector<size_t> Children(size_t machine) const {
+    std::vector<size_t> out;
+    for (size_t c = machine * fanout_ + 1;
+         c <= machine * fanout_ + fanout_ && c < machines_; ++c) {
+      out.push_back(c);
+    }
+    return out;
+  }
+  /// Depth of the fanout-ary machine tree (root depth 0).
+  size_t TreeDepth() const {
+    size_t depth = 0;
+    size_t covered = 1;
+    size_t frontier = 1;
+    while (covered < machines_) {
+      frontier *= fanout_;
+      covered += frontier;
+      ++depth;
+    }
+    return depth;
+  }
+  /// Machines at depth exactly `d`, in index order.
+  std::vector<size_t> MachinesAtDepth(size_t d) const;
+
+  size_t machines() const { return machines_; }
+  size_t fanout() const { return fanout_; }
+  size_t rounds() const { return rounds_; }
+  size_t max_load_bytes() const { return max_load_; }
+  size_t total_bytes() const { return total_bytes_; }
+  size_t messages() const { return messages_; }
+
+ private:
+  size_t machines_;
+  size_t fanout_;
+  size_t rounds_ = 0;
+  size_t messages_ = 0;
+  size_t total_bytes_ = 0;
+  size_t max_load_ = 0;
+  std::vector<size_t> round_load_;
+};
+
+}  // namespace mpc
+}  // namespace lplow
+
+#endif  // LPLOW_MODELS_MPC_MPC_RUNTIME_H_

@@ -1,0 +1,9 @@
+// SolveMpc is a header template (mpc_solver.h).
+
+#include "src/models/mpc/mpc_solver.h"
+
+namespace lplow {
+namespace mpc {
+// (Intentionally empty.)
+}  // namespace mpc
+}  // namespace lplow

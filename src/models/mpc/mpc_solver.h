@@ -1,0 +1,329 @@
+// Theorem 3: the MPC implementation of Algorithm 1.
+//
+// Machines hold the partitioned input plus local weights. Each iteration of
+// Algorithm 1 is simulated with tree-structured communication so no machine
+// ever handles more than O~(lambda n^delta nu^2) bytes in a round:
+//
+//   1. converge-cast: subtree weight totals flow leaf->root   (depth rounds)
+//   2. root draws the m-way multinomial split; per-subtree counts flow
+//      root->leaf down the tree                                (depth rounds)
+//   3. machines send their local draws directly to the root    (1 round;
+//      root receives m constraints = the permitted O~(n^delta) load)
+//   4. root solves the sample basis; the basis (plus the previous
+//      iteration's success bit) is broadcast down the tree     (depth rounds)
+//   5. converge-cast of (violator weight, count) totals        (depth rounds)
+//
+// With fanout n^delta the depth is O(1/delta) and the iteration count is
+// O(nu r) with r = 1/delta, giving the O(nu/delta^2) rounds of Theorem 3.
+
+#ifndef LPLOW_MODELS_MPC_MPC_SOLVER_H_
+#define LPLOW_MODELS_MPC_MPC_SOLVER_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/core/clarkson.h"
+#include "src/core/eps_net.h"
+#include "src/core/lp_type.h"
+#include "src/core/sampling.h"
+#include "src/models/mpc/mpc_runtime.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace mpc {
+
+struct MpcOptions {
+  /// The paper's delta: load O~(n^delta), rounds O(nu/delta^2). The weight
+  /// rate uses r = round(1/delta).
+  double delta = 0.5;
+  EpsNetConfig net;
+  /// Machine count; 0 = automatic ceil(n^{1-delta}).
+  size_t machines = 0;
+  size_t max_iterations = 0;
+  uint64_t seed = 0x3BCC0DEULL;
+};
+
+struct MpcStats {
+  size_t n = 0;
+  size_t machines = 0;
+  size_t fanout = 0;
+  size_t tree_depth = 0;
+  size_t sample_size = 0;
+  size_t rounds = 0;
+  size_t max_load_bytes = 0;
+  size_t total_bytes = 0;
+  size_t iterations = 0;
+  size_t successful_iterations = 0;
+  bool direct_solve = false;
+};
+
+namespace internal {
+
+/// Per-machine state.
+template <LpTypeProblem P>
+struct Machine {
+  std::vector<typename P::Constraint> constraints;
+  std::vector<double> weights;
+  double subtree_weight = 0;  // Filled by the converge-cast.
+};
+
+}  // namespace internal
+
+template <LpTypeProblem P>
+Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
+    const P& problem,
+    std::vector<std::vector<typename P::Constraint>> partitions,
+    const MpcOptions& options, MpcStats* stats) {
+  using Constraint = typename P::Constraint;
+  using Value = typename P::Value;
+  MpcStats local;
+  MpcStats& st = stats ? *stats : local;
+  st = MpcStats{};
+
+  size_t n = 0;
+  for (const auto& part : partitions) n += part.size();
+  if (n == 0) return Status::InvalidArgument("empty input");
+  st.n = n;
+
+  LPLOW_CHECK_GT(options.delta, 0.0);
+  LPLOW_CHECK_LE(options.delta, 1.0);
+  const int r = std::max(1, static_cast<int>(std::lround(1.0 / options.delta)));
+  const size_t nu = problem.CombinatorialDimension();
+  const size_t lambda = problem.VcDimension();
+  const double eps = AlgorithmEpsilon(nu, n, r);
+  const double rate = WeightIncreaseRate(n, r);
+  const size_t m = EpsNetSampleSize(eps, lambda, options.net, nu + 1, n);
+  st.sample_size = m;
+
+  const double dn = static_cast<double>(n);
+  size_t machines = options.machines
+                        ? options.machines
+                        : static_cast<size_t>(
+                              std::ceil(std::pow(dn, 1.0 - options.delta)));
+  machines = std::max<size_t>(machines, 1);
+  const size_t fanout = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(std::pow(dn, options.delta))));
+  st.machines = machines;
+  st.fanout = fanout;
+
+  MpcRuntime rt(machines, fanout);
+  st.tree_depth = rt.TreeDepth();
+
+  // Distribute partitions onto machines (pad or fold as needed).
+  std::vector<internal::Machine<P>> mach(machines);
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    auto& dst = mach[i % machines];
+    for (auto& c : partitions[i]) dst.constraints.push_back(std::move(c));
+  }
+  for (auto& mc : mach) mc.weights.assign(mc.constraints.size(), 1.0);
+
+  Rng rng(options.seed);
+  const size_t max_iters =
+      options.max_iterations
+          ? options.max_iterations
+          : ClarksonIterationCap(nu, static_cast<int>(1.0 / options.delta) + 1);
+
+  auto finish = [&](BasisResult<Value, Constraint> result)
+      -> Result<BasisResult<Value, Constraint>> {
+    st.rounds = rt.rounds();
+    st.max_load_bytes = rt.max_load_bytes();
+    st.total_bytes = rt.total_bytes();
+    return result;
+  };
+
+  auto basis_msg_bytes = [&](const std::vector<Constraint>& basis) {
+    size_t total = 2;  // success flag + size byte (approx; exact enough).
+    for (const auto& c : basis) total += problem.ConstraintBytes(c);
+    return total;
+  };
+
+  // Converge-cast of one double per machine: leaf-to-root, depth rounds.
+  auto aggregate_weights = [&]() {
+    for (auto& mc : mach) {
+      mc.subtree_weight = 0;
+      for (double w : mc.weights) mc.subtree_weight += w;
+    }
+    for (size_t d = st.tree_depth; d-- > 0;) {
+      rt.BeginRound();
+      for (size_t i : rt.MachinesAtDepth(d + 1)) {
+        rt.Send(i, rt.Parent(i), 8);
+        mach[rt.Parent(i)].subtree_weight += mach[i].subtree_weight;
+      }
+      rt.EndRound();
+    }
+    return mach[0].subtree_weight;
+  };
+
+  std::vector<Constraint> pending_basis;  // Reweighting applied on broadcast.
+  bool pending_update = false;
+  Value pending_value{};
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    ++st.iterations;
+
+    // ---- (0/4 of previous iteration) broadcast basis + success decision
+    // down the tree; machines apply the reweighting locally.
+    if (pending_update) {
+      size_t bytes = basis_msg_bytes(pending_basis);
+      for (size_t d = 0; d < std::max<size_t>(st.tree_depth, 1); ++d) {
+        rt.BeginRound();
+        for (size_t i : rt.MachinesAtDepth(d)) {
+          for (size_t c : rt.Children(i)) rt.Send(i, c, bytes);
+        }
+        rt.EndRound();
+        if (st.tree_depth == 0) break;
+      }
+      for (auto& mc : mach) {
+        for (size_t j = 0; j < mc.constraints.size(); ++j) {
+          if (problem.Violates(pending_value, mc.constraints[j])) {
+            mc.weights[j] *= rate;
+          }
+        }
+      }
+      pending_update = false;
+    }
+
+    // ---- (1) weight converge-cast.
+    double total_weight = aggregate_weights();
+    if (total_weight <= 0) return Status::Internal("zero total weight");
+
+    // ---- (2) multinomial split down the tree. Each machine receives its
+    // subtree's count from its parent and splits it among itself and its
+    // children's subtrees.
+    std::vector<size_t> draw(machines, 0);
+    {
+      std::vector<size_t> subtree_count(machines, 0);
+      subtree_count[0] = m;
+      for (size_t d = 0; d < std::max<size_t>(st.tree_depth + 1, 1); ++d) {
+        bool is_split_round = d < st.tree_depth;
+        if (is_split_round) rt.BeginRound();
+        for (size_t i : rt.MachinesAtDepth(d)) {
+          auto children = rt.Children(i);
+          // Weights: own items, then each child's subtree.
+          std::vector<double> parts;
+          double own = 0;
+          for (double w : mach[i].weights) own += w;
+          parts.push_back(own);
+          for (size_t c : children) parts.push_back(mach[c].subtree_weight);
+          std::vector<size_t> split =
+              MultinomialSplit(parts, subtree_count[i], &rng);
+          draw[i] = split[0];
+          for (size_t ci = 0; ci < children.size(); ++ci) {
+            subtree_count[children[ci]] = split[ci + 1];
+            if (is_split_round) {
+              rt.Send(i, children[ci], 8);  // The count message.
+            }
+          }
+        }
+        if (is_split_round) rt.EndRound();
+      }
+    }
+
+    // ---- (3) machines ship their draws straight to the root.
+    rt.BeginRound();
+    std::vector<Constraint> sample;
+    sample.reserve(m);
+    for (size_t i = 0; i < machines; ++i) {
+      if (draw[i] == 0 || mach[i].constraints.empty()) continue;
+      size_t bytes = 0;
+      // Local exact weighted draws with replacement (prefix + binary search).
+      std::vector<double> prefix(mach[i].weights.size());
+      double acc = 0;
+      for (size_t j = 0; j < mach[i].weights.size(); ++j) {
+        acc += mach[i].weights[j];
+        prefix[j] = acc;
+      }
+      if (acc <= 0) continue;
+      for (size_t s = 0; s < draw[i]; ++s) {
+        double target = rng.UniformDouble() * acc;
+        size_t pick =
+            std::lower_bound(prefix.begin(), prefix.end(), target) -
+            prefix.begin();
+        if (pick >= prefix.size()) pick = prefix.size() - 1;
+        sample.push_back(mach[i].constraints[pick]);
+        bytes += problem.ConstraintBytes(mach[i].constraints[pick]);
+      }
+      if (i != 0 && bytes > 0) rt.Send(i, 0, bytes);
+    }
+    rt.EndRound();
+    if (sample.empty()) return Status::Internal("empty MPC sample");
+
+    // ---- (4) root solves the sample.
+    auto basis = problem.SolveBasis(
+        std::span<const Constraint>(sample.data(), sample.size()));
+
+    // Broadcast the basis for the violator count (depth rounds), then
+    // converge-cast violator totals (depth rounds).
+    {
+      size_t bytes = basis_msg_bytes(basis.basis);
+      for (size_t d = 0; d < st.tree_depth; ++d) {
+        rt.BeginRound();
+        for (size_t i : rt.MachinesAtDepth(d)) {
+          for (size_t c : rt.Children(i)) rt.Send(i, c, bytes);
+        }
+        rt.EndRound();
+      }
+    }
+    double violator_weight = 0;
+    size_t violator_count = 0;
+    {
+      std::vector<double> vw(machines, 0);
+      std::vector<size_t> vc(machines, 0);
+      for (size_t i = 0; i < machines; ++i) {
+        for (size_t j = 0; j < mach[i].constraints.size(); ++j) {
+          if (problem.Violates(basis.value, mach[i].constraints[j])) {
+            vw[i] += mach[i].weights[j];
+            ++vc[i];
+          }
+        }
+      }
+      for (size_t d = st.tree_depth; d-- > 0;) {
+        rt.BeginRound();
+        for (size_t i : rt.MachinesAtDepth(d + 1)) {
+          rt.Send(i, rt.Parent(i), 16);
+          vw[rt.Parent(i)] += vw[i];
+          vc[rt.Parent(i)] += vc[i];
+        }
+        rt.EndRound();
+      }
+      violator_weight = vw[0];
+      violator_count = vc[0];
+    }
+
+    if (violator_count == 0) {
+      ++st.successful_iterations;  // Vacuous eps-net success.
+      return finish(std::move(basis));
+    }
+
+    if (violator_weight <= eps * total_weight) {
+      ++st.successful_iterations;
+      pending_update = true;
+      pending_basis = basis.basis;
+      pending_value = basis.value;
+    }
+  }
+
+  // Las Vegas fallback: gather everything at the root (counted) and solve.
+  LPLOW_LOG(kWarning) << "SolveMpc hit iteration cap; direct fallback";
+  rt.BeginRound();
+  std::vector<Constraint> all;
+  all.reserve(n);
+  for (size_t i = 0; i < machines; ++i) {
+    size_t bytes = 0;
+    for (const auto& c : mach[i].constraints) {
+      all.push_back(c);
+      bytes += problem.ConstraintBytes(c);
+    }
+    if (i != 0 && bytes > 0) rt.Send(i, 0, bytes);
+  }
+  rt.EndRound();
+  st.direct_solve = true;
+  return finish(problem.SolveBasis(std::span<const Constraint>(all)));
+}
+
+}  // namespace mpc
+}  // namespace lplow
+
+#endif  // LPLOW_MODELS_MPC_MPC_SOLVER_H_

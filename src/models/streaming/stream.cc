@@ -1,0 +1,10 @@
+// Streaming-model templates live in the headers; this file anchors the
+// module in the library build.
+
+#include "src/models/streaming/stream.h"
+
+namespace lplow {
+namespace stream {
+// (Intentionally empty.)
+}  // namespace stream
+}  // namespace lplow

@@ -1,0 +1,128 @@
+// The multi-pass streaming model: a constraint sequence that can only be
+// scanned front-to-back, with pass accounting. Algorithms never index into
+// the data; everything they retain between items counts against their space
+// budget (tracked by the solver's SpaceMeter).
+
+#ifndef LPLOW_MODELS_STREAMING_STREAM_H_
+#define LPLOW_MODELS_STREAMING_STREAM_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace stream {
+
+/// Abstract one-way scan over a constraint sequence.
+template <typename C>
+class ConstraintStream {
+ public:
+  virtual ~ConstraintStream() = default;
+
+  /// Rewinds to the beginning, starting a new pass.
+  void Reset() {
+    ++passes_started_;
+    DoReset();
+  }
+
+  /// Next item, or nullopt at end of stream.
+  virtual std::optional<C> Next() = 0;
+
+  /// Number of items (known up front in our workloads; a solver that should
+  /// not rely on it can spend a counting pass instead).
+  virtual size_t size() const = 0;
+
+  /// Passes started so far (the streaming cost measure of Theorem 1).
+  size_t passes_started() const { return passes_started_; }
+
+ protected:
+  virtual void DoReset() = 0;
+
+ private:
+  size_t passes_started_ = 0;
+};
+
+/// In-memory vector-backed stream (the workload generators produce these).
+template <typename C>
+class VectorStream final : public ConstraintStream<C> {
+ public:
+  explicit VectorStream(std::vector<C> items) : items_(std::move(items)) {}
+
+  std::optional<C> Next() override {
+    if (pos_ >= items_.size()) return std::nullopt;
+    return items_[pos_++];
+  }
+
+  size_t size() const override { return items_.size(); }
+
+  const std::vector<C>& items() const { return items_; }
+
+ protected:
+  void DoReset() override { pos_ = 0; }
+
+ private:
+  std::vector<C> items_;
+  size_t pos_ = 0;
+};
+
+/// Generator-backed stream: items are produced on demand by a factory
+/// f(index) — lets benchmarks stream n >> memory constraints without
+/// materializing them.
+template <typename C>
+class GeneratorStream final : public ConstraintStream<C> {
+ public:
+  GeneratorStream(size_t n, std::function<C(size_t)> gen)
+      : n_(n), gen_(std::move(gen)) {}
+
+  std::optional<C> Next() override {
+    if (pos_ >= n_) return std::nullopt;
+    return gen_(pos_++);
+  }
+
+  size_t size() const override { return n_; }
+
+ protected:
+  void DoReset() override { pos_ = 0; }
+
+ private:
+  size_t n_;
+  std::function<C(size_t)> gen_;
+  size_t pos_ = 0;
+};
+
+/// Tracks the peak number of constraints (and their serialized bytes) a
+/// streaming algorithm holds at once — the space measure of Theorem 1.
+class SpaceMeter {
+ public:
+  void Acquire(size_t items, size_t bytes) {
+    current_items_ += items;
+    current_bytes_ += bytes;
+    peak_items_ = std::max(peak_items_, current_items_);
+    peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+  }
+  void Release(size_t items, size_t bytes) {
+    LPLOW_CHECK_GE(current_items_, items);
+    LPLOW_CHECK_GE(current_bytes_, bytes);
+    current_items_ -= items;
+    current_bytes_ -= bytes;
+  }
+
+  size_t peak_items() const { return peak_items_; }
+  size_t peak_bytes() const { return peak_bytes_; }
+  size_t current_items() const { return current_items_; }
+
+ private:
+  size_t current_items_ = 0;
+  size_t current_bytes_ = 0;
+  size_t peak_items_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace stream
+}  // namespace lplow
+
+#endif  // LPLOW_MODELS_STREAMING_STREAM_H_

@@ -1,0 +1,9 @@
+// SolveStreaming is a header template (streaming_solver.h).
+
+#include "src/models/streaming/streaming_solver.h"
+
+namespace lplow {
+namespace stream {
+// (Intentionally empty.)
+}  // namespace stream
+}  // namespace lplow

@@ -1,0 +1,114 @@
+// Arbitrary-precision signed integers.
+//
+// The Section-5 hard instances use coordinates whose magnitudes grow like
+// N^{O(r)}; the lower-bound module therefore computes exactly, over BigInt
+// and Rational, rather than in floating point. The implementation is a
+// classic sign-magnitude bignum over 32-bit limbs (schoolbook multiplication
+// and Knuth Algorithm D division), which is ample for the instance sizes the
+// experiments use.
+
+#ifndef LPLOW_NUMERIC_BIGINT_H_
+#define LPLOW_NUMERIC_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lplow {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine integer.
+  BigInt(int64_t v);  // NOLINT(runtime/explicit): intended implicit.
+
+  /// Parses an optionally signed decimal string ("-123"). Aborts on malformed
+  /// input (inputs are programmer-supplied literals; use TryParse otherwise).
+  static BigInt FromString(const std::string& s);
+
+  /// Parses a decimal string; returns false on malformed input.
+  static bool TryParse(const std::string& s, BigInt* out);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+
+  /// Truncated division (C++ semantics: quotient rounds toward zero,
+  /// remainder has the sign of the dividend). Divisor must be nonzero.
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  /// Computes both quotient and remainder in one pass.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quot,
+                     BigInt* rem);
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  /// Three-way comparison: negative/zero/positive as *this <=> o.
+  int Compare(const BigInt& o) const;
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  /// Greatest common divisor, always non-negative.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Base-10 representation.
+  std::string ToString() const;
+
+  /// Closest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+
+  /// Returns the value as int64 if it fits, aborts otherwise.
+  int64_t ToInt64() const;
+
+  /// True if the value fits in int64.
+  bool FitsInt64() const;
+
+  /// Number of bits in the magnitude (0 for zero). This is the
+  /// bit-complexity measure `bit(S)` for lower-bound instances.
+  size_t BitLength() const;
+
+ private:
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static void DivModMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b,
+                              std::vector<uint32_t>* quot,
+                              std::vector<uint32_t>* rem);
+  void Trim();
+
+  // Little-endian 32-bit limbs; empty means zero. negative_ is false for zero.
+  std::vector<uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_NUMERIC_BIGINT_H_

@@ -1,0 +1,84 @@
+#include "src/numeric/rational.h"
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  LPLOW_CHECK(!den_.is_zero());
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  LPLOW_CHECK(!o.is_zero());
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+int Rational::Compare(const Rational& o) const {
+  // Denominators are positive, so compare num_*o.den_ with o.num_*den_.
+  return (num_ * o.den_).Compare(o.num_ * den_);
+}
+
+BigInt Rational::Floor() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  // Truncated division rounds toward zero; fix up negatives with remainder.
+  if (num_.is_negative() && !r.is_zero()) q = q - BigInt(1);
+  return q;
+}
+
+BigInt Rational::Ceil() const {
+  BigInt q, r;
+  BigInt::DivMod(num_, den_, &q, &r);
+  if (!num_.is_negative() && !r.is_zero()) q = q + BigInt(1);
+  return q;
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+double Rational::ToDouble() const {
+  // Scale down both parts together to stay in double range when possible.
+  double n = num_.ToDouble();
+  double d = den_.ToDouble();
+  return n / d;
+}
+
+}  // namespace lplow

@@ -1,0 +1,87 @@
+// Exact rational arithmetic over BigInt, always kept in lowest terms with a
+// positive denominator. Used by the lower-bound module (curve coordinates,
+// slopes, exact 2-d LP) where floating point would lose the answer.
+
+#ifndef LPLOW_NUMERIC_RATIONAL_H_
+#define LPLOW_NUMERIC_RATIONAL_H_
+
+#include <string>
+
+#include "src/numeric/bigint.h"
+
+namespace lplow {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// From an integer.
+  Rational(int64_t v) : num_(v), den_(1) {}  // NOLINT(runtime/explicit)
+
+  /// From a BigInt.
+  Rational(BigInt v) : num_(std::move(v)), den_(1) {}  // NOLINT
+
+  /// num / den; den must be nonzero. Normalizes sign and reduces.
+  Rational(BigInt num, BigInt den);
+
+  /// Convenience: p / q from machine integers. q must be nonzero.
+  static Rational Make(int64_t p, int64_t q) {
+    return Rational(BigInt(p), BigInt(q));
+  }
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division; o must be nonzero.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  /// Three-way comparison by cross multiplication.
+  int Compare(const Rational& o) const;
+
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  /// Largest integer <= value (mathematical floor, also for negatives).
+  BigInt Floor() const;
+
+  /// Smallest integer >= value.
+  BigInt Ceil() const;
+
+  /// "p" if integral else "p/q".
+  std::string ToString() const;
+
+  /// Approximate double value (for plotting / logging only).
+  double ToDouble() const;
+
+  /// Total bits in numerator plus denominator: the bit-complexity measure
+  /// used when accounting communication of lower-bound instances.
+  size_t BitLength() const { return num_.BitLength() + den_.BitLength(); }
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;  // Always > 0.
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_NUMERIC_RATIONAL_H_

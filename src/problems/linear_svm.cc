@@ -1,0 +1,154 @@
+#include "src/problems/linear_svm.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+LinearSvm::LinearSvm(size_t dim, Config config)
+    : dim_(dim), config_(config), solver_(config.solver) {
+  LPLOW_CHECK_GE(dim_, 1u);
+}
+
+int LinearSvm::CompareValues(const Value& a, const Value& b) const {
+  if (!a.separable || !b.separable) {
+    if (a.separable == b.separable) return 0;
+    return a.separable ? -1 : 1;
+  }
+  double tol =
+      config_.value_tol * std::max(1.0, std::max(a.norm_squared,
+                                                 b.norm_squared));
+  if (a.norm_squared < b.norm_squared - tol) return -1;
+  if (a.norm_squared > b.norm_squared + tol) return 1;
+  return 0;
+}
+
+bool LinearSvm::Violates(const Value& value, const Constraint& c) const {
+  if (!value.separable) return false;
+  if (value.u.dim() == 0) return true;  // f(empty): u = 0 violates everything.
+  return c.Z().Dot(value.u) < 1.0 - config_.margin_tol;
+}
+
+LinearSvm::Value LinearSvm::SolveValue(
+    std::span<const Constraint> constraints) const {
+  Value v;
+  if (constraints.empty()) return v;  // separable, u absent, norm 0.
+  std::vector<Constraint> pts(constraints.begin(), constraints.end());
+  SvmSolution sol = pts.size() <= 12 ? solver_.SolveExactSmall(pts)
+                                     : solver_.Solve(pts);
+  if (!sol.separable) {
+    v.separable = false;
+    return v;
+  }
+  v.separable = true;
+  v.norm_squared = sol.norm_squared;
+  v.u = sol.u;
+  return v;
+}
+
+BasisResult<LinearSvm::Value, LinearSvm::Constraint> LinearSvm::SolveBasis(
+    std::span<const Constraint> constraints) const {
+  if (constraints.empty()) return {Value{}, {}};
+  std::vector<Constraint> pts(constraints.begin(), constraints.end());
+  SvmSolution sol;
+  if (pts.size() <= 12) {
+    sol = solver_.SolveExactSmall(pts);
+  } else {
+    sol = solver_.Solve(pts);
+  }
+
+  if (!sol.separable) {
+    // Infeasible (non-separable) input: grow a small witness set whose
+    // sub-SVM is already non-separable, mirroring LinearProgram's repair.
+    std::vector<Constraint> t;
+    for (size_t step = 0; step <= pts.size(); ++step) {
+      Value tv = SolveValue(std::span<const Constraint>(t));
+      if (!tv.separable) break;
+      // Most-violated constraint w.r.t. the current sub-solution.
+      double worst = 1.0;  // Margins below 1 violate.
+      size_t worst_idx = pts.size();
+      for (size_t i = 0; i < pts.size(); ++i) {
+        double margin = tv.u.dim() == 0 ? 0.0 : pts[i].Z().Dot(tv.u);
+        if (margin < worst) {
+          worst = margin;
+          worst_idx = i;
+        }
+      }
+      if (worst_idx == pts.size()) break;  // Nothing violates (shouldn't).
+      t.push_back(pts[worst_idx]);
+    }
+    Value v;
+    v.separable = false;
+    // Prune the witness set (small) to a minimal non-separable core.
+    size_t i = 0;
+    while (i < t.size()) {
+      std::vector<Constraint> without;
+      for (size_t j = 0; j < t.size(); ++j) {
+        if (j != i) without.push_back(t[j]);
+      }
+      if (!SolveValue(std::span<const Constraint>(without)).separable) {
+        t = std::move(without);
+      } else {
+        ++i;
+      }
+    }
+    return {v, std::move(t)};
+  }
+
+  Value value;
+  value.separable = true;
+  value.norm_squared = sol.norm_squared;
+  value.u = sol.u;
+
+  // Support vectors: margins equal to 1 within tolerance.
+  std::vector<Constraint> support;
+  for (const Constraint& p : pts) {
+    double margin = p.Z().Dot(sol.u);
+    if (margin <= 1.0 + 10 * config_.margin_tol) {
+      bool dup = false;
+      for (const Constraint& q : support) {
+        if (q.label == p.label && q.x.ApproxEquals(p.x, 0.0)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) support.push_back(p);
+    }
+  }
+  if (support.empty()) return {value, {}};
+  Value check = SolveValue(std::span<const Constraint>(support));
+  if (CompareValues(check, value) != 0) {
+    // Numerical drift: fall back to the full (deduplicated) support set plus
+    // everything — keep the sampled set as the basis, correctness of the
+    // meta-algorithm only needs Violates soundness.
+    return {value, std::move(support)};
+  }
+  std::vector<Constraint> basis = GreedyMinimizeBasis(*this, support, value);
+  return {value, std::move(basis)};
+}
+
+void LinearSvm::SerializeConstraint(const Constraint& c, BitWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(c.x.dim()));
+  for (size_t i = 0; i < c.x.dim(); ++i) w->PutDouble(c.x[i]);
+  w->PutU8(c.label >= 0 ? 1 : 0);
+}
+
+Result<LinearSvm::Constraint> LinearSvm::DeserializeConstraint(
+    BitReader* r) const {
+  auto d = r->GetU32();
+  if (!d.ok()) return d.status();
+  Constraint c;
+  c.x = Vec(*d);
+  for (size_t i = 0; i < *d; ++i) {
+    auto x = r->GetDouble();
+    if (!x.ok()) return x.status();
+    c.x[i] = *x;
+  }
+  auto label = r->GetU8();
+  if (!label.ok()) return label.status();
+  c.label = *label ? 1 : -1;
+  return c;
+}
+
+}  // namespace lplow

@@ -1,0 +1,70 @@
+// Hard-margin linear SVM as an LP-type problem (paper Section 4.2):
+//
+//   min ||u||^2   s.t.   y_j <u, x_j> >= 1.
+//
+// f(A) is the (unique) optimal ||u||^2 on the constraint subset A, with
+// Non-separable as the maximal range element. nu <= d + 1, lambda <= d + 1.
+
+#ifndef LPLOW_PROBLEMS_LINEAR_SVM_H_
+#define LPLOW_PROBLEMS_LINEAR_SVM_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+#include "src/solvers/svm_qp.h"
+
+namespace lplow {
+
+class LinearSvm {
+ public:
+  using Constraint = SvmPoint;
+
+  struct Value {
+    bool separable = true;
+    double norm_squared = 0;  // ||u*||^2; 0 for the empty constraint set.
+    Vec u;                    // The maximum-margin normal.
+  };
+
+  struct Config {
+    SvmSolver::Config solver;
+    /// Margin tolerance for the violation test: violated iff
+    /// y <u, x> < 1 - margin_tol.
+    double margin_tol = 1e-4;
+    /// Relative tolerance when comparing ||u||^2 values (must absorb the
+    /// iterative solver's residual when the exact polish does not apply).
+    double value_tol = 1e-3;
+  };
+
+  explicit LinearSvm(size_t dim) : LinearSvm(dim, Config()) {}
+  LinearSvm(size_t dim, Config config);
+
+  BasisResult<Value, Constraint> SolveBasis(
+      std::span<const Constraint> constraints) const;
+  Value SolveValue(std::span<const Constraint> constraints) const;
+
+  bool Violates(const Value& value, const Constraint& c) const;
+  int CompareValues(const Value& a, const Value& b) const;
+
+  size_t CombinatorialDimension() const { return dim_ + 1; }
+  size_t VcDimension() const { return dim_ + 1; }
+
+  size_t ConstraintBytes(const Constraint& c) const {
+    return 4 + 8 * c.x.dim() + 1;
+  }
+  void SerializeConstraint(const Constraint& c, BitWriter* w) const;
+  Result<Constraint> DeserializeConstraint(BitReader* r) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  Config config_;
+  SvmSolver solver_;
+};
+
+static_assert(LpTypeProblem<LinearSvm>);
+
+}  // namespace lplow
+
+#endif  // LPLOW_PROBLEMS_LINEAR_SVM_H_

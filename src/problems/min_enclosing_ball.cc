@@ -1,0 +1,90 @@
+#include "src/problems/min_enclosing_ball.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+MinEnclosingBall::MinEnclosingBall(size_t dim, Config config)
+    : dim_(dim), config_(config), solver_(config.solver) {
+  LPLOW_CHECK_GE(dim_, 1u);
+}
+
+int MinEnclosingBall::CompareValues(const Value& a, const Value& b) const {
+  // The empty ball (radius < 0) is the minimal element, which the plain
+  // radius comparison already delivers.
+  double tol = config_.value_tol *
+               std::max(1.0, std::max(a.ball.radius, b.ball.radius));
+  if (a.ball.radius < b.ball.radius - tol) return -1;
+  if (a.ball.radius > b.ball.radius + tol) return 1;
+  return 0;
+}
+
+bool MinEnclosingBall::Violates(const Value& value, const Constraint& c) const {
+  if (value.ball.empty()) return true;  // Any point violates the empty ball.
+  return !value.ball.Contains(c, config_.contain_tol);
+}
+
+MinEnclosingBall::Value MinEnclosingBall::SolveValue(
+    std::span<const Constraint> constraints) const {
+  Value v;
+  if (constraints.empty()) return v;
+  std::vector<Vec> pts(constraints.begin(), constraints.end());
+  v.ball = solver_.Solve(pts);
+  return v;
+}
+
+BasisResult<MinEnclosingBall::Value, MinEnclosingBall::Constraint>
+MinEnclosingBall::SolveBasis(std::span<const Constraint> constraints) const {
+  Value value = SolveValue(constraints);
+  if (constraints.empty()) return {value, {}};
+
+  // Support points lie on the boundary.
+  std::vector<Constraint> support;
+  for (const Constraint& p : constraints) {
+    double dist = (p - value.ball.center).Norm();
+    if (std::fabs(dist - value.ball.radius) <=
+        config_.contain_tol * std::max(1.0, value.ball.radius) * 10) {
+      bool dup = false;
+      for (const Constraint& q : support) {
+        if (q.ApproxEquals(p, 0.0)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) support.push_back(p);
+    }
+  }
+  if (support.empty()) {
+    // Degenerate single-point input.
+    return {value, {constraints[0]}};
+  }
+  Value check = SolveValue(std::span<const Constraint>(support));
+  if (CompareValues(check, value) != 0) {
+    return {value, std::move(support)};
+  }
+  std::vector<Constraint> basis = GreedyMinimizeBasis(*this, support, value);
+  return {value, std::move(basis)};
+}
+
+void MinEnclosingBall::SerializeConstraint(const Constraint& c,
+                                           BitWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(c.dim()));
+  for (size_t i = 0; i < c.dim(); ++i) w->PutDouble(c[i]);
+}
+
+Result<MinEnclosingBall::Constraint> MinEnclosingBall::DeserializeConstraint(
+    BitReader* r) const {
+  auto d = r->GetU32();
+  if (!d.ok()) return d.status();
+  Vec p(*d);
+  for (size_t i = 0; i < *d; ++i) {
+    auto x = r->GetDouble();
+    if (!x.ok()) return x.status();
+    p[i] = *x;
+  }
+  return p;
+}
+
+}  // namespace lplow

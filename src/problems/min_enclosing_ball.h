@@ -1,0 +1,65 @@
+// Minimum enclosing ball (core vector machine) as an LP-type problem (paper
+// Section 4.3):
+//
+//   min r  s.t.  || p - p_j || <= r  for all points p_j.
+//
+// f(A) is the minimum enclosing ball of the point subset A, ordered by
+// radius. Always feasible. nu <= d + 1, lambda <= d + 1 (balls in R^d).
+
+#ifndef LPLOW_PROBLEMS_MIN_ENCLOSING_BALL_H_
+#define LPLOW_PROBLEMS_MIN_ENCLOSING_BALL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+#include "src/solvers/welzl.h"
+
+namespace lplow {
+
+class MinEnclosingBall {
+ public:
+  using Constraint = Vec;  // A point to enclose.
+
+  struct Value {
+    Ball ball;  // Empty ball for the empty constraint set.
+  };
+
+  struct Config {
+    WelzlSolver::Config solver;
+    /// Tolerance for the violation test (distance beyond radius).
+    double contain_tol = 1e-7;
+    /// Relative tolerance comparing radii.
+    double value_tol = 1e-7;
+  };
+
+  explicit MinEnclosingBall(size_t dim) : MinEnclosingBall(dim, Config()) {}
+  MinEnclosingBall(size_t dim, Config config);
+
+  BasisResult<Value, Constraint> SolveBasis(
+      std::span<const Constraint> constraints) const;
+  Value SolveValue(std::span<const Constraint> constraints) const;
+
+  bool Violates(const Value& value, const Constraint& c) const;
+  int CompareValues(const Value& a, const Value& b) const;
+
+  size_t CombinatorialDimension() const { return dim_ + 1; }
+  size_t VcDimension() const { return dim_ + 1; }
+
+  size_t ConstraintBytes(const Constraint& c) const { return 4 + 8 * c.dim(); }
+  void SerializeConstraint(const Constraint& c, BitWriter* w) const;
+  Result<Constraint> DeserializeConstraint(BitReader* r) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  Config config_;
+  WelzlSolver solver_;
+};
+
+static_assert(LpTypeProblem<MinEnclosingBall>);
+
+}  // namespace lplow
+
+#endif  // LPLOW_PROBLEMS_MIN_ENCLOSING_BALL_H_

@@ -1,0 +1,55 @@
+#include "src/solvers/coreset_meb.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+CoresetMebResult CoresetMebSolver::Solve(
+    const std::vector<Vec>& points) const {
+  CoresetMebResult out;
+  if (points.empty()) return out;
+  const double eps = config_.eps;
+  LPLOW_CHECK_GT(eps, 0.0);
+  const size_t cap =
+      config_.max_iterations
+          ? config_.max_iterations
+          : static_cast<size_t>(std::ceil(2.0 / (eps * eps))) + 2;
+
+  auto farthest = [&points](const Vec& c) {
+    size_t best = 0;
+    double best_d2 = -1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d2 = (points[i] - c).NormSquared();
+      if (d2 > best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  // Badoiu-Clarkson: start at an arbitrary point, repeatedly step 1/(i+1)
+  // of the way toward the current farthest point.
+  Vec center = points[0];
+  out.coreset.push_back(points[0]);
+  for (size_t i = 1; i <= cap; ++i) {
+    size_t far_idx = farthest(center);
+    const Vec& q = points[far_idx];
+    out.coreset.push_back(q);
+    ++out.iterations;
+    center += (q - center) * (1.0 / static_cast<double>(i + 1));
+  }
+  // Final radius: exact max distance from the final center, guaranteed
+  // within (1+eps) of the optimal radius.
+  double radius = 0;
+  for (const Vec& p : points) {
+    radius = std::max(radius, (p - center).Norm());
+  }
+  out.ball.center = std::move(center);
+  out.ball.radius = radius;
+  return out;
+}
+
+}  // namespace lplow

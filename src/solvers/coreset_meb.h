@@ -1,0 +1,43 @@
+// Badoiu-Clarkson core-set algorithm for approximate minimum enclosing
+// balls — the primitive that core vector machines [42] are built on, and a
+// natural approximate alternative to the exact Welzl T_b for very large
+// samples: O(n/eps^2) time, (1+eps)-approximate radius, and a core-set of
+// O(1/eps^2) points whose exact MEB already (1+eps)-covers the input.
+
+#ifndef LPLOW_SOLVERS_CORESET_MEB_H_
+#define LPLOW_SOLVERS_CORESET_MEB_H_
+
+#include <vector>
+
+#include "src/solvers/welzl.h"
+
+namespace lplow {
+
+struct CoresetMebResult {
+  Ball ball;                  // (1+eps)-approximate enclosing ball.
+  std::vector<Vec> coreset;   // O(1/eps^2) points spanning the ball.
+  size_t iterations = 0;
+};
+
+class CoresetMebSolver {
+ public:
+  struct Config {
+    double eps = 0.01;  // Relative radius slack.
+    /// Iteration cap; the Badoiu-Clarkson bound is ceil(2/eps^2), 0 = auto.
+    size_t max_iterations = 0;
+  };
+
+  CoresetMebSolver() = default;
+  explicit CoresetMebSolver(Config config) : config_(config) {}
+
+  /// Approximate MEB of `points` (empty ball for empty input). The returned
+  /// ball contains every point within (1+eps) * radius.
+  CoresetMebResult Solve(const std::vector<Vec>& points) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_CORESET_MEB_H_

@@ -1,0 +1,54 @@
+#include "src/solvers/lex_lp.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+LpSolution LexLpSolver::Solve(const std::vector<Halfspace>& constraints,
+                              const Vec& objective) const {
+  const size_t d = objective.dim();
+  LpSolution first = seidel_.Solve(constraints, objective);
+  if (!first.optimal()) return first;
+
+  // Work on an augmented copy; each phase appends one upper-bound constraint.
+  std::vector<Halfspace> augmented = constraints;
+  augmented.reserve(constraints.size() + d + 1);
+  // Fix the objective: c.x <= obj* (+ slack scaled to the value magnitude,
+  // absorbing re-solve drift).
+  auto slack_for = [&](double value) {
+    return config_.lex_slack * std::max(1.0, std::fabs(value));
+  };
+  augmented.emplace_back(objective,
+                         first.objective + slack_for(first.objective));
+
+  Vec x = first.point;
+  for (size_t i = 0; i < d; ++i) {
+    Vec e(d);
+    e[i] = 1.0;
+    LpSolution phase = seidel_.Solve(augmented, e);
+    if (!phase.optimal()) {
+      // Numerically possible when drift exceeds the slack; keep the best
+      // point so far — still an optimum, just with weaker tie-breaking.
+      LPLOW_LOG(kDebug) << "lex phase " << i << " lost feasibility";
+      break;
+    }
+    x = phase.point;
+    augmented.emplace_back(e, phase.point[i] + slack_for(phase.point[i]));
+  }
+  return LpSolution::Optimal(x, objective.Dot(x));
+}
+
+bool LexLpSolver::TouchesBox(const LpSolution& solution) const {
+  if (!solution.optimal()) return false;
+  for (size_t i = 0; i < solution.point.dim(); ++i) {
+    if (std::fabs(std::fabs(solution.point[i]) - config_.box_bound) <=
+        config_.tight_tol * std::max(1.0, config_.box_bound)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lplow

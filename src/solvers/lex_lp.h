@@ -1,0 +1,41 @@
+// Lexicographically-smallest optimal point, the exact f(.) of the paper's
+// LP-type formulation of linear programming (Section 4.1 / Proposition 4.1):
+// first minimize c.x, then x_1, then x_2, ... Implemented as d+1 sequential
+// Seidel solves, each fixing the previously attained minima via upper-bound
+// constraints (sufficient because each phase attains its minimum).
+
+#ifndef LPLOW_SOLVERS_LEX_LP_H_
+#define LPLOW_SOLVERS_LEX_LP_H_
+
+#include <vector>
+
+#include "src/geometry/halfspace.h"
+#include "src/solvers/lp_types.h"
+#include "src/solvers/seidel.h"
+
+namespace lplow {
+
+class LexLpSolver {
+ public:
+  explicit LexLpSolver(SolverConfig config = {})
+      : config_(config), seidel_(config) {}
+
+  /// Returns the lexicographically smallest point among the minimizers of
+  /// c.x over `constraints` (intersected with the configured box).
+  LpSolution Solve(const std::vector<Halfspace>& constraints,
+                   const Vec& objective) const;
+
+  /// True when the optimum sits on the artificial box boundary, which means
+  /// the un-boxed program is unbounded (or its optimum exceeds the box).
+  bool TouchesBox(const LpSolution& solution) const;
+
+  const SolverConfig& config() const { return config_; }
+
+ private:
+  SolverConfig config_;
+  SeidelSolver seidel_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_LEX_LP_H_

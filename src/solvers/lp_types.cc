@@ -1,0 +1,40 @@
+#include "src/solvers/lp_types.h"
+
+#include <sstream>
+
+namespace lplow {
+
+const char* LpStatusToString(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "Optimal";
+    case LpStatus::kInfeasible:
+      return "Infeasible";
+    case LpStatus::kUnbounded:
+      return "Unbounded";
+  }
+  return "?";
+}
+
+std::string LpSolution::ToString() const {
+  std::ostringstream oss;
+  oss << LpStatusToString(status);
+  if (optimal()) oss << " obj=" << objective << " x=" << point.ToString();
+  return oss.str();
+}
+
+std::vector<Halfspace> BoxConstraints(size_t dim, double bound) {
+  std::vector<Halfspace> out;
+  out.reserve(2 * dim);
+  for (size_t i = 0; i < dim; ++i) {
+    Vec plus(dim);
+    plus[i] = 1.0;
+    out.emplace_back(plus, bound);  // x_i <= M
+    Vec minus(dim);
+    minus[i] = -1.0;
+    out.emplace_back(minus, bound);  // -x_i <= M
+  }
+  return out;
+}
+
+}  // namespace lplow

@@ -1,0 +1,79 @@
+// Common types shared by the LP solvers.
+
+#ifndef LPLOW_SOLVERS_LP_TYPES_H_
+#define LPLOW_SOLVERS_LP_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/geometry/halfspace.h"
+#include "src/geometry/vec.h"
+
+namespace lplow {
+
+enum class LpStatus {
+  kOptimal = 0,
+  kInfeasible = 1,
+  // With the bounding box the library applies by default this only occurs
+  // for callers that disable the box.
+  kUnbounded = 2,
+};
+
+const char* LpStatusToString(LpStatus status);
+
+/// Outcome of an LP solve: an optimal point and objective, or a status
+/// explaining why none exists.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  Vec point;          // Valid iff status == kOptimal.
+  double objective = 0.0;  // c . point.
+
+  static LpSolution Optimal(Vec x, double obj) {
+    LpSolution s;
+    s.status = LpStatus::kOptimal;
+    s.point = std::move(x);
+    s.objective = obj;
+    return s;
+  }
+  static LpSolution Infeasible() { return LpSolution{}; }
+  static LpSolution Unbounded() {
+    LpSolution s;
+    s.status = LpStatus::kUnbounded;
+    return s;
+  }
+
+  bool optimal() const { return status == LpStatus::kOptimal; }
+  std::string ToString() const;
+};
+
+/// Numeric knobs shared across solvers. All tolerances are absolute; inputs
+/// are expected to be reasonably scaled (coordinates within ~1e6), which the
+/// workload generators guarantee.
+struct SolverConfig {
+  /// Feasibility slack tolerance: a constraint with slack >= -feas_tol is
+  /// considered satisfied.
+  double feas_tol = 1e-7;
+  /// A constraint with |slack| <= tight_tol is considered tight (used for
+  /// basis extraction; must absorb solver drift, which exceeds 1e-6).
+  double tight_tol = 1e-4;
+  /// Slack added to the phase-fixing constraints of the lexicographic solve.
+  double lex_slack = 1e-7;
+  /// Pivots below this are treated as zero in elimination.
+  double pivot_tol = 1e-11;
+  /// Property-(P2) violation-test tolerance (looser than feas_tol: it must
+  /// absorb the cumulative drift of the lexicographic solve phases).
+  double violation_tol = 1e-5;
+  /// Relative tolerance for comparing f-values across solves.
+  double compare_tol = 3e-5;
+  /// Half-width M of the bounding box |x_i| <= M that makes LPs bounded.
+  double box_bound = 1e7;
+  /// Seed for the solver-internal shuffles.
+  uint64_t seed = 0xC0FFEE123456789ULL;
+};
+
+/// The 2d box constraints |x_i| <= M as halfspaces.
+std::vector<Halfspace> BoxConstraints(size_t dim, double bound);
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_LP_TYPES_H_

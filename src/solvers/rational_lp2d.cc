@@ -1,0 +1,130 @@
+#include "src/solvers/rational_lp2d.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+namespace {
+
+// Minimizes line `l` over { x : l(x) >= other_j(x) for j < count }, the 1-d
+// subproblem of Seidel's incremental step. Pre-condition (guaranteed by the
+// caller): the region is nonempty, because l is violated at the previous
+// optimum, so the previous optimum's x lies in the region. Returns the
+// minimizing x.
+Rational MinimizeOnLine(const RationalLine& l,
+                        const std::vector<RationalLine>& others,
+                        size_t count) {
+  bool has_lo = false, has_hi = false;
+  Rational lo, hi;
+  for (size_t j = 0; j < count; ++j) {
+    const RationalLine& o = others[j];
+    Rational ds = l.slope - o.slope;
+    int s = ds.sign();
+    if (s == 0) {
+      // Parallel: l dominates o everywhere or nowhere; the caller's
+      // pre-condition rules out "nowhere".
+      LPLOW_CHECK(l.intercept >= o.intercept);
+      continue;
+    }
+    Rational bound = (o.intercept - l.intercept) / ds;
+    if (s > 0) {
+      if (!has_lo || bound > lo) {
+        lo = bound;
+        has_lo = true;
+      }
+    } else {
+      if (!has_hi || bound < hi) {
+        hi = bound;
+        has_hi = true;
+      }
+    }
+  }
+  if (has_lo && has_hi) LPLOW_CHECK(lo <= hi);
+  int ls = l.slope.sign();
+  if (ls > 0) {
+    // Need a lower bound or the minimum would be unbounded; the prefix
+    // always contains a line of non-positive slope, which provides one.
+    LPLOW_CHECK(has_lo);
+    return lo;
+  }
+  if (ls < 0) {
+    LPLOW_CHECK(has_hi);
+    return hi;
+  }
+  // Flat line: any feasible x attains the minimum.
+  if (has_lo) return lo;
+  if (has_hi) return hi;
+  return Rational(0);
+}
+
+}  // namespace
+
+RationalLp2dSolution RationalLp2dSolver::Solve(
+    const std::vector<RationalLine>& lines) const {
+  LPLOW_CHECK(!lines.empty());
+  RationalLp2dSolution out;
+
+  // The minimum of an upper envelope of lines is bounded iff the slope set
+  // touches both signs (or zero).
+  size_t min_idx = 0, max_idx = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].slope < lines[min_idx].slope) min_idx = i;
+    if (lines[i].slope > lines[max_idx].slope) max_idx = i;
+  }
+  if (lines[min_idx].slope.sign() > 0 || lines[max_idx].slope.sign() < 0) {
+    out.bounded = false;
+    return out;
+  }
+
+  std::vector<RationalLine> order;
+  order.reserve(lines.size());
+  order.push_back(lines[min_idx]);
+  if (max_idx != min_idx) order.push_back(lines[max_idx]);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i != min_idx && i != max_idx) order.push_back(lines[i]);
+  }
+  if (order.size() > 3) {
+    // Shuffle the tail (the leading extreme-slope pair must stay in front so
+    // every prefix has a bounded minimum).
+    Rng rng(seed_);
+    for (size_t i = order.size(); i > 3; --i) {
+      size_t j = 2 + rng.UniformIndex(i - 2);
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+
+  // Optimum of the leading pair.
+  Rational x, y;
+  if (order.size() == 1 || order[0].slope == order[1].slope) {
+    // All slopes are zero (flat envelope): minimum is the max intercept.
+    x = Rational(0);
+    y = order[0].intercept;
+    for (const auto& l : order) {
+      if (l.intercept > y) y = l.intercept;
+    }
+    out.bounded = true;
+    out.x = x;
+    out.y = y;
+    return out;
+  }
+  // V-shaped pair: optimum at the intersection.
+  x = (order[0].intercept - order[1].intercept) /
+      (order[1].slope - order[0].slope);
+  y = order[0].ValueAt(x);
+
+  for (size_t i = 2; i < order.size(); ++i) {
+    const RationalLine& l = order[i];
+    if (l.ValueAt(x) <= y) continue;  // Not violated.
+    x = MinimizeOnLine(l, order, i);
+    y = l.ValueAt(x);
+  }
+
+  out.bounded = true;
+  out.x = x;
+  out.y = y;
+  return out;
+}
+
+}  // namespace lplow

@@ -1,0 +1,53 @@
+// Exact 2-d linear programming over rationals, specialized to the form the
+// TCI -> LP reduction produces (Section 5.2 / Figure 1b):
+//
+//     minimize  y   subject to   y >= s_i * x + t_i   for every line i.
+//
+// Seidel's randomized incremental algorithm over Rational coordinates:
+// expected O(n) line-processing with an exact 1-d subproblem per violation.
+// Always feasible (the region above a finite set of lines is nonempty);
+// unbounded exactly when all slopes have the same strict sign.
+
+#ifndef LPLOW_SOLVERS_RATIONAL_LP2D_H_
+#define LPLOW_SOLVERS_RATIONAL_LP2D_H_
+
+#include <vector>
+
+#include "src/numeric/rational.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// A lower-bounding line y >= slope * x + intercept.
+struct RationalLine {
+  Rational slope;
+  Rational intercept;
+
+  Rational ValueAt(const Rational& x) const {
+    return slope * x + intercept;
+  }
+};
+
+struct RationalLp2dSolution {
+  bool bounded = false;
+  Rational x;  // Valid iff bounded.
+  Rational y;
+};
+
+class RationalLp2dSolver {
+ public:
+  explicit RationalLp2dSolver(uint64_t seed = 0x2D2D2D2DULL) : seed_(seed) {}
+
+  /// Exact minimum of y over the epigraph intersection. `lines` must be
+  /// non-empty. Ties in x (flat segments at the minimum) resolve to the
+  /// smallest x attaining the minimum.
+  RationalLp2dSolution Solve(const std::vector<RationalLine>& lines) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_RATIONAL_LP2D_H_

@@ -1,0 +1,150 @@
+#include "src/solvers/seidel.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+namespace {
+
+// Optimum of min c.x over the box |x_i| <= M alone: each coordinate sits at
+// the corner favored by its objective sign (ties toward -M for determinism).
+Vec BoxOptimum(const Vec& c, double box) {
+  Vec x(c.dim());
+  for (size_t i = 0; i < c.dim(); ++i) x[i] = c[i] > 0 ? -box : box;
+  // For c[i] == 0 the rule above picks +box; any corner is optimal.
+  return x;
+}
+
+// One-dimensional base case: min c*x s.t. a_j*x <= b_j, |x| <= M.
+LpSolution Solve1D(const std::vector<Halfspace>& constraints, double c,
+                   double box, double pivot_tol, double feas_tol) {
+  double lo = -box;
+  double hi = box;
+  for (const Halfspace& h : constraints) {
+    double a = h.a[0];
+    if (a > pivot_tol) {
+      hi = std::min(hi, h.b / a);
+    } else if (a < -pivot_tol) {
+      lo = std::max(lo, h.b / a);
+    } else if (h.b < -feas_tol) {
+      return LpSolution::Infeasible();
+    }
+  }
+  if (lo > hi + feas_tol) return LpSolution::Infeasible();
+  if (lo > hi) {
+    // Within tolerance: collapse to midpoint.
+    lo = hi = 0.5 * (lo + hi);
+  }
+  double x = c > 0 ? lo : (c < 0 ? hi : lo);
+  Vec point(1);
+  point[0] = x;
+  return LpSolution::Optimal(point, c * x);
+}
+
+}  // namespace
+
+LpSolution SeidelSolver::Solve(const std::vector<Halfspace>& constraints,
+                               const Vec& objective) const {
+  for (const Halfspace& h : constraints) {
+    LPLOW_CHECK_EQ(h.dim(), objective.dim());
+  }
+  Rng rng(config_.seed);
+  return SolveRecursive(constraints, objective, config_.box_bound, &rng);
+}
+
+LpSolution SeidelSolver::SolveRecursive(std::vector<Halfspace> constraints,
+                                        Vec c, double box, Rng* rng) const {
+  const size_t d = c.dim();
+  LPLOW_CHECK_GE(d, 1u);
+  if (d == 1) {
+    return Solve1D(constraints, c[0], box, config_.pivot_tol,
+                   config_.feas_tol);
+  }
+
+  rng->Shuffle(&constraints);
+  Vec x = BoxOptimum(c, box);
+  double obj = c.Dot(x);
+
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Halfspace& h = constraints[i];
+    if (h.Contains(x, config_.feas_tol)) continue;
+
+    // The new optimum lies on the hyperplane a.x = b of the violated
+    // constraint. Eliminate the variable with the largest |a_k|.
+    size_t k = 0;
+    double best = std::fabs(h.a[0]);
+    for (size_t j = 1; j < d; ++j) {
+      double v = std::fabs(h.a[j]);
+      if (v > best) {
+        best = v;
+        k = j;
+      }
+    }
+    if (best <= config_.pivot_tol) {
+      // Constraint is (numerically) 0.x <= b with b < 0: infeasible.
+      return LpSolution::Infeasible();
+    }
+
+    const double ak = h.a[k];
+    const double bk = h.b;
+    // Substitution: x_k = (bk - sum_{j != k} a_j x_j) / ak.
+    // Reduced objective: c.x = c_k/ak * bk + sum_{j != k} (c_j - c_k a_j/ak) x_j.
+    Vec c_red(d - 1);
+    {
+      size_t t = 0;
+      for (size_t j = 0; j < d; ++j) {
+        if (j == k) continue;
+        c_red[t++] = c[j] - c[k] * h.a[j] / ak;
+      }
+    }
+
+    // Reduce the first i constraints plus the box constraints on x_k (the
+    // box on remaining variables is passed down as the recursive box).
+    std::vector<Halfspace> reduced;
+    reduced.reserve(i + 2);
+    auto reduce_halfspace = [&](const Halfspace& g) {
+      // g: sum_j g_j x_j <= gb. Substitute x_k.
+      Vec a_red(d - 1);
+      size_t t = 0;
+      for (size_t j = 0; j < d; ++j) {
+        if (j == k) continue;
+        a_red[t++] = g.a[j] - g.a[k] * h.a[j] / ak;
+      }
+      double b_red = g.b - g.a[k] * bk / ak;
+      reduced.emplace_back(std::move(a_red), b_red);
+    };
+    for (size_t j = 0; j < i; ++j) reduce_halfspace(constraints[j]);
+    {
+      Halfspace upper(Vec(d), box);  // x_k <= box
+      upper.a[k] = 1.0;
+      reduce_halfspace(upper);
+      Halfspace lower(Vec(d), box);  // -x_k <= box
+      lower.a[k] = -1.0;
+      reduce_halfspace(lower);
+    }
+
+    LpSolution sub = SolveRecursive(std::move(reduced), c_red, box, rng);
+    if (!sub.optimal()) return sub;
+
+    // Lift the solution back.
+    Vec lifted(d);
+    {
+      size_t t = 0;
+      double xk = bk / ak;
+      for (size_t j = 0; j < d; ++j) {
+        if (j == k) continue;
+        lifted[j] = sub.point[t];
+        xk -= h.a[j] * sub.point[t] / ak;
+        ++t;
+      }
+      lifted[k] = xk;
+    }
+    x = std::move(lifted);
+    obj = c.Dot(x);
+  }
+  return LpSolution::Optimal(x, obj);
+}
+
+}  // namespace lplow

@@ -1,0 +1,42 @@
+// Seidel's randomized incremental algorithm for low-dimensional linear
+// programming (expected O(d! n) time), the T_b primitive of Proposition 4.1.
+//
+// Solves   min c.x   s.t.  a_j.x <= b_j  for all j,  |x_i| <= M (box).
+//
+// The box (SolverConfig::box_bound) plays the role of Seidel's initial
+// bounded region; callers that want to detect genuinely unbounded programs
+// can compare the optimum against the box boundary (LexLpSolver does this).
+
+#ifndef LPLOW_SOLVERS_SEIDEL_H_
+#define LPLOW_SOLVERS_SEIDEL_H_
+
+#include <vector>
+
+#include "src/geometry/halfspace.h"
+#include "src/solvers/lp_types.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+
+class SeidelSolver {
+ public:
+  explicit SeidelSolver(SolverConfig config = {}) : config_(config) {}
+
+  /// Solves min c.x over `constraints` intersected with the box. The input
+  /// order is not modified; the solver shuffles an internal copy with its own
+  /// seeded RNG, so results are deterministic for a fixed config seed.
+  LpSolution Solve(const std::vector<Halfspace>& constraints,
+                   const Vec& objective) const;
+
+  const SolverConfig& config() const { return config_; }
+
+ private:
+  LpSolution SolveRecursive(std::vector<Halfspace> constraints, Vec objective,
+                            double box, Rng* rng) const;
+
+  SolverConfig config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_SEIDEL_H_

@@ -1,0 +1,184 @@
+#include "src/solvers/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+namespace {
+
+// Dense tableau: rows are constraints, last row is the (reduced) objective.
+// Columns: structural variables, then one artificial per row, then RHS.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                      t_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return t_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return t_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pr, size_t pc) {
+    double piv = At(pr, pc);
+    for (size_t c = 0; c < cols_; ++c) At(pr, c) /= piv;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      double f = At(r, pc);
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < cols_; ++c) At(r, c) -= f * At(pr, c);
+    }
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> t_;
+};
+
+enum class PhaseResult { kOptimal, kUnbounded };
+
+// Runs simplex iterations with Bland's rule on the objective row `obj_row`,
+// restricted to columns [0, num_cols). `basis[r]` tracks the basic column of
+// each constraint row.
+PhaseResult RunSimplex(Tableau* t, size_t obj_row, size_t num_cols,
+                       size_t rhs_col, std::vector<size_t>* basis,
+                       double tol) {
+  const size_t m = basis->size();
+  for (size_t iter = 0;; ++iter) {
+    // Bland: entering column = smallest index with negative reduced cost.
+    size_t enter = num_cols;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (t->At(obj_row, c) < -tol) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_cols) return PhaseResult::kOptimal;
+
+    // Ratio test; Bland tie-break on smallest basis variable index.
+    size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      double a = t->At(r, enter);
+      if (a > tol) {
+        double ratio = t->At(r, rhs_col) / a;
+        if (ratio < best_ratio - tol ||
+            (ratio < best_ratio + tol &&
+             (leave == m || (*basis)[r] < (*basis)[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return PhaseResult::kUnbounded;
+    t->Pivot(leave, enter);
+    (*basis)[leave] = enter;
+    // Anti-stall safety net: the dimensionality and Bland's rule bound the
+    // iteration count; this guards against numerical livelock.
+    if (iter > 50000) {
+      LPLOW_LOG(kWarning) << "simplex iteration cap reached";
+      return PhaseResult::kOptimal;
+    }
+  }
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::Solve(const std::vector<Halfspace>& constraints,
+                                const Vec& objective) const {
+  const size_t d = objective.dim();
+  const size_t m = constraints.size();
+  const double tol = config_.feas_tol;
+
+  // Variables: x = xp - xm with xp, xm >= 0 (2d columns), slack per row (m
+  // columns), artificial per negative-RHS row. Layout:
+  // [xp(0..d) | xm(0..d) | slack(0..m) | artificials | RHS]
+  const size_t slack0 = 2 * d;
+  const size_t art0 = slack0 + m;
+
+  // Count artificials: rows with b < 0 after orienting slack.
+  size_t num_art = 0;
+  for (const Halfspace& h : constraints) {
+    if (h.b < 0) ++num_art;
+  }
+  const size_t rhs_col = art0 + num_art;
+  const size_t cols = rhs_col + 1;
+  const size_t obj_row = m;      // Phase-2 objective.
+  const size_t art_row = m + 1;  // Phase-1 objective.
+  Tableau t(m + 2, cols);
+
+  std::vector<size_t> basis(m);
+  size_t art_used = 0;
+  for (size_t r = 0; r < m; ++r) {
+    const Halfspace& h = constraints[r];
+    double sign = h.b < 0 ? -1.0 : 1.0;  // Orient row so RHS >= 0.
+    for (size_t j = 0; j < d; ++j) {
+      t.At(r, j) = sign * h.a[j];
+      t.At(r, d + j) = -sign * h.a[j];
+    }
+    t.At(r, slack0 + r) = sign;  // a.x + s = b  (s >= 0), oriented.
+    t.At(r, rhs_col) = sign * h.b;
+    if (h.b < 0) {
+      size_t ac = art0 + art_used++;
+      t.At(r, ac) = 1.0;
+      basis[r] = ac;
+    } else {
+      basis[r] = slack0 + r;
+    }
+  }
+  // Phase-2 objective row: min c.x -> reduced costs c on xp, -c on xm.
+  for (size_t j = 0; j < d; ++j) {
+    t.At(obj_row, j) = objective[j];
+    t.At(obj_row, d + j) = -objective[j];
+  }
+  // Phase-1 objective: min sum of artificials; express in nonbasic terms by
+  // subtracting artificial rows.
+  if (num_art > 0) {
+    for (size_t c = art0; c < art0 + num_art; ++c) t.At(art_row, c) = 1.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art0) {
+        for (size_t c = 0; c < cols; ++c) t.At(art_row, c) -= t.At(r, c);
+      }
+    }
+    PhaseResult pr = RunSimplex(&t, art_row, art0 + num_art, rhs_col, &basis,
+                                tol);
+    (void)pr;  // Phase 1 is never unbounded (objective >= 0).
+    double art_value = -t.At(art_row, rhs_col);
+    if (std::fabs(art_value) > 1e-6) {
+      return LpSolution::Infeasible();
+    }
+    // Drive any artificial still basic out of the basis if possible.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] < art0) continue;
+      size_t enter = art0;
+      for (size_t c = 0; c < art0; ++c) {
+        if (std::fabs(t.At(r, c)) > tol) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter < art0) {
+        t.Pivot(r, enter);
+        basis[r] = enter;
+      }
+      // Otherwise the row is redundant (all-zero over structurals); harmless.
+    }
+  }
+
+  PhaseResult pr = RunSimplex(&t, obj_row, art0, rhs_col, &basis, tol);
+  if (pr == PhaseResult::kUnbounded) return LpSolution::Unbounded();
+
+  Vec x(d);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < d) {
+      x[basis[r]] += t.At(r, rhs_col);
+    } else if (basis[r] < 2 * d) {
+      x[basis[r] - d] -= t.At(r, rhs_col);
+    }
+  }
+  return LpSolution::Optimal(x, objective.Dot(x));
+}
+
+}  // namespace lplow

@@ -1,0 +1,33 @@
+// Dense two-phase primal simplex with Bland's anti-cycling rule.
+//
+// An independent oracle used to cross-check Seidel's algorithm in tests and
+// to provide exact unboundedness detection (it does not add a bounding box).
+// O(poly) dense tableau — intended for moderate instance sizes, not the
+// streaming path.
+
+#ifndef LPLOW_SOLVERS_SIMPLEX_H_
+#define LPLOW_SOLVERS_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/geometry/halfspace.h"
+#include "src/solvers/lp_types.h"
+
+namespace lplow {
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SolverConfig config = {}) : config_(config) {}
+
+  /// Solves min c.x s.t. a_j.x <= b_j (variables free). Returns kUnbounded
+  /// when the objective is unbounded below on the feasible region.
+  LpSolution Solve(const std::vector<Halfspace>& constraints,
+                   const Vec& objective) const;
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_SIMPLEX_H_

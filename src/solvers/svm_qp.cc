@@ -1,0 +1,191 @@
+#include "src/solvers/svm_qp.h"
+
+#include <cmath>
+
+#include "src/geometry/linear_solve.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+
+namespace {
+
+// Exact refinement: once coordinate ascent has identified the active set
+// (alpha_j > tol), the optimum solves the Gram system G alpha = 1 on that
+// set; if the refined u is primal-feasible with nonnegative alpha, it is the
+// exact optimum (KKT). Returns true and overwrites u on success.
+bool PolishActiveSet(const std::vector<Vec>& z,
+                     const std::vector<double>& alpha, double active_tol,
+                     Vec* u) {
+  std::vector<size_t> active;
+  for (size_t j = 0; j < alpha.size(); ++j) {
+    if (alpha[j] > active_tol) active.push_back(j);
+  }
+  if (active.empty() || active.size() > 3 * (u->dim() + 1)) return false;
+  const size_t k = active.size();
+  Mat gram(k, k);
+  Vec one(k, 1.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      gram.At(i, j) = z[active[i]].Dot(z[active[j]]);
+    }
+  }
+  auto a = SolveLinearSystem(std::move(gram), std::move(one), 1e-12);
+  if (!a.ok()) return false;
+  Vec refined(u->dim());
+  for (size_t i = 0; i < k; ++i) {
+    if ((*a)[i] < -1e-9) return false;
+    refined += z[active[i]] * (*a)[i];
+  }
+  for (const Vec& zj : z) {
+    if (zj.Dot(refined) < 1.0 - 1e-9) return false;
+  }
+  *u = std::move(refined);
+  return true;
+}
+
+}  // namespace
+
+SvmSolution SvmSolver::Solve(const std::vector<SvmPoint>& points) const {
+  SvmSolution out;
+  if (points.empty()) return out;  // Vacuously non-separable result below.
+  const size_t m = points.size();
+  const size_t d = points[0].x.dim();
+
+  std::vector<Vec> z;
+  std::vector<double> znorm2(m);
+  z.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    z.push_back(points[j].Z());
+    znorm2[j] = z[j].NormSquared();
+    if (znorm2[j] <= 0) {
+      return out;  // y <u, 0> >= 1 is unsatisfiable: non-separable.
+    }
+  }
+
+  std::vector<double> alpha(m, 0.0);
+  Vec u(d);
+  double sum_alpha = 0.0;
+  for (size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    double max_violation = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (znorm2[j] <= 0) continue;  // Zero vector can never reach margin 1.
+      double margin = z[j].Dot(u);
+      double g = 1.0 - margin;  // Gradient of dual w.r.t. alpha_j.
+      double na = std::max(0.0, alpha[j] + g / znorm2[j]);
+      double delta = na - alpha[j];
+      if (delta != 0.0) {
+        alpha[j] = na;
+        sum_alpha += delta;
+        u += z[j] * delta;
+      }
+      if (g > max_violation && alpha[j] >= 0) max_violation = g;
+    }
+    // The dual objective sum(alpha) - 1/2 ||u||^2 increases monotonically and
+    // is unbounded exactly when the primal is infeasible; at the separable
+    // optimum it equals 1/2 ||u*||^2.
+    double dual_objective = sum_alpha - 0.5 * u.NormSquared();
+    if (dual_objective > 0.5 * config_.infeasible_norm_cap ||
+        u.NormSquared() > config_.infeasible_norm_cap) {
+      return out;  // Diverging dual => non-separable.
+    }
+    if (max_violation <= config_.kkt_tol) {
+      // All margins >= 1 - tol and coordinate optimality holds; refine to
+      // the exact KKT solution when the active set is small.
+      PolishActiveSet(z, alpha, config_.active_tol, &u);
+      out.separable = true;
+      out.u = u;
+      out.norm_squared = u.NormSquared();
+      out.alpha = std::move(alpha);
+      return out;
+    }
+  }
+  // Epoch cap reached: try the exact polish; else scale u up to primal
+  // feasibility and accept the (slightly superoptimal) certificate when the
+  // residual violation is small, otherwise declare non-separable.
+  if (PolishActiveSet(z, alpha, config_.active_tol, &u)) {
+    out.separable = true;
+    out.u = u;
+    out.norm_squared = u.NormSquared();
+    out.alpha = std::move(alpha);
+    return out;
+  }
+  double worst = 0;
+  for (size_t j = 0; j < m; ++j) {
+    worst = std::max(worst, 1.0 - z[j].Dot(u));
+  }
+  if (worst < 0.2) {
+    u *= 1.0 / (1.0 - worst);  // Now every margin is >= 1.
+    out.separable = true;
+    out.u = u;
+    out.norm_squared = u.NormSquared();
+    out.alpha = std::move(alpha);
+  }
+  return out;
+}
+
+SvmSolution SvmSolver::SolveExactSmall(
+    const std::vector<SvmPoint>& points) const {
+  SvmSolution best;
+  const size_t m = points.size();
+  LPLOW_CHECK_LE(m, 20u);
+  if (m == 0) return best;
+  const size_t d = points[0].x.dim();
+
+  std::vector<Vec> z;
+  z.reserve(m);
+  for (const auto& p : points) z.push_back(p.Z());
+
+  bool found = false;
+  double best_norm = 0;
+  Vec best_u;
+
+  // The optimum u* = sum_{j in T} alpha_j z_j for the active set T (margins
+  // exactly 1 on T), with alpha >= 0 and all other margins >= 1. Enumerate T.
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    std::vector<size_t> t;
+    for (size_t j = 0; j < m; ++j) {
+      if (mask & (1u << j)) t.push_back(j);
+    }
+    if (t.size() > d + 1) continue;
+    const size_t k = t.size();
+    Mat gram(k, k);
+    Vec one(k, 1.0);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) gram.At(i, j) = z[t[i]].Dot(z[t[j]]);
+    }
+    auto alpha = SolveLinearSystem(std::move(gram), std::move(one), 1e-12);
+    if (!alpha.ok()) continue;
+    bool nonneg = true;
+    for (size_t i = 0; i < k; ++i) {
+      if ((*alpha)[i] < -1e-9) {
+        nonneg = false;
+        break;
+      }
+    }
+    if (!nonneg) continue;
+    Vec u(d);
+    for (size_t i = 0; i < k; ++i) u += z[t[i]] * (*alpha)[i];
+    bool feasible = true;
+    for (size_t j = 0; j < m; ++j) {
+      if (z[j].Dot(u) < 1.0 - 1e-7) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double norm = u.NormSquared();
+    if (!found || norm < best_norm) {
+      found = true;
+      best_norm = norm;
+      best_u = std::move(u);
+    }
+  }
+  if (found) {
+    best.separable = true;
+    best.u = best_u;
+    best.norm_squared = best_norm;
+  }
+  return best;
+}
+
+}  // namespace lplow

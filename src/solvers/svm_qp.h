@@ -1,0 +1,68 @@
+// Hard-margin linear SVM solver (homogeneous form, Section 4.2):
+//
+//     min ||u||^2   s.t.   y_j <u, x_j> >= 1   for all j.
+//
+// Writing z_j = y_j x_j, the dual is  max sum_j a_j - 1/2 ||sum_j a_j z_j||^2
+// with a >= 0 (no equality coupling because there is no bias term), solved by
+// cyclic coordinate ascent with exact per-coordinate maximization — the role
+// [47]'s generic convex QP plays in Proposition 4.2. An exact active-set
+// enumeration (SolveExactSmall) refines solutions on basis-sized inputs.
+
+#ifndef LPLOW_SOLVERS_SVM_QP_H_
+#define LPLOW_SOLVERS_SVM_QP_H_
+
+#include <vector>
+
+#include "src/geometry/vec.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// One labeled example; constraint is label * <u, x> >= 1.
+struct SvmPoint {
+  Vec x;
+  int label = 1;  // +1 or -1.
+
+  /// z = y * x, the constraint normal.
+  Vec Z() const { return label >= 0 ? x : x * -1.0; }
+};
+
+/// Separating hyperplane (through the origin) or infeasibility.
+struct SvmSolution {
+  bool separable = false;
+  Vec u;                  // Valid iff separable.
+  double norm_squared = 0;  // ||u||^2.
+  std::vector<double> alpha;  // Dual coefficients (empty for exact solves).
+};
+
+class SvmSolver {
+ public:
+  struct Config {
+    double kkt_tol = 1e-6;     // Max allowed constraint violation at exit.
+    size_t max_epochs = 20000;  // Cyclic passes over the data.
+    /// Dual objective above this cap is declared non-separable (the dual is
+    /// unbounded exactly when the primal is infeasible).
+    double infeasible_norm_cap = 1e10;
+    /// Tolerance for treating an alpha as active in basis extraction.
+    double active_tol = 1e-9;
+  };
+
+  SvmSolver() = default;
+  explicit SvmSolver(Config config) : config_(config) {}
+
+  /// Iterative dual solve; works for any m, approximate to kkt_tol.
+  SvmSolution Solve(const std::vector<SvmPoint>& points) const;
+
+  /// Exact solve by active-set enumeration; m must be small (<= ~16, cost
+  /// 2^m * poly). Used for basis-sized subproblems and as a test oracle.
+  SvmSolution SolveExactSmall(const std::vector<SvmPoint>& points) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_SVM_QP_H_

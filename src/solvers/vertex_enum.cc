@@ -1,0 +1,69 @@
+#include "src/solvers/vertex_enum.h"
+
+#include <cmath>
+
+#include "src/geometry/linear_solve.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+
+LpSolution VertexEnumSolver::Solve(const std::vector<Halfspace>& constraints,
+                                   const Vec& objective) const {
+  const size_t d = objective.dim();
+  std::vector<Halfspace> all = constraints;
+  std::vector<Halfspace> box = BoxConstraints(d, config_.box_bound);
+  all.insert(all.end(), box.begin(), box.end());
+  const size_t n = all.size();
+  LPLOW_CHECK_GE(n, d);
+
+  bool found = false;
+  Vec best;
+  double best_obj = 0;
+
+  std::vector<size_t> idx(d);
+  // Enumerate all d-subsets via manual odometer.
+  for (size_t i = 0; i < d; ++i) idx[i] = i;
+  auto advance = [&]() {
+    size_t i = d;
+    while (i-- > 0) {
+      if (idx[i] + (d - i) < n) {
+        ++idx[i];
+        for (size_t j = i + 1; j < d; ++j) idx[j] = idx[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  do {
+    Mat a(d, d);
+    Vec b(d);
+    for (size_t r = 0; r < d; ++r) {
+      for (size_t c = 0; c < d; ++c) a.At(r, c) = all[idx[r]].a[c];
+      b[r] = all[idx[r]].b;
+    }
+    auto x = SolveLinearSystem(std::move(a), std::move(b), config_.pivot_tol);
+    if (!x.ok()) continue;
+    bool feasible = true;
+    for (const Halfspace& h : all) {
+      if (!h.Contains(*x, config_.feas_tol)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double obj = objective.Dot(*x);
+    if (!found || obj < best_obj - config_.tight_tol ||
+        (std::fabs(obj - best_obj) <= config_.tight_tol &&
+         x->LexCompare(best, config_.tight_tol) < 0)) {
+      found = true;
+      best = std::move(*x);
+      best_obj = obj;
+    }
+  } while (advance());
+
+  if (!found) return LpSolution::Infeasible();
+  return LpSolution::Optimal(best, best_obj);
+}
+
+}  // namespace lplow

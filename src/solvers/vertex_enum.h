@@ -1,0 +1,31 @@
+// Brute-force LP oracle: enumerate all d-subsets of constraints (including
+// the box), intersect their boundary hyperplanes, and keep the best feasible
+// vertex in (objective, lexicographic) order. O(C(n, d) * poly(d)) — a
+// ground-truth oracle for tests on tiny instances, never used by algorithms.
+
+#ifndef LPLOW_SOLVERS_VERTEX_ENUM_H_
+#define LPLOW_SOLVERS_VERTEX_ENUM_H_
+
+#include <vector>
+
+#include "src/geometry/halfspace.h"
+#include "src/solvers/lp_types.h"
+
+namespace lplow {
+
+class VertexEnumSolver {
+ public:
+  explicit VertexEnumSolver(SolverConfig config = {}) : config_(config) {}
+
+  /// Lexicographically-smallest optimum over constraints + box, by exhaustive
+  /// vertex enumeration.
+  LpSolution Solve(const std::vector<Halfspace>& constraints,
+                   const Vec& objective) const;
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_VERTEX_ENUM_H_

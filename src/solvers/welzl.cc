@@ -1,0 +1,97 @@
+#include "src/solvers/welzl.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/geometry/linear_solve.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+
+bool Ball::Contains(const Vec& p, double tol) const {
+  if (empty()) return false;
+  // Compare distances rather than squared distances so tol acts on the
+  // radius scale.
+  return (p - center).Norm() <= radius + tol;
+}
+
+std::string Ball::ToString() const {
+  std::ostringstream oss;
+  oss << "Ball(center=" << center.ToString() << ", r=" << radius << ")";
+  return oss.str();
+}
+
+Result<Ball> Circumsphere(const std::vector<Vec>& boundary,
+                          double singular_tol) {
+  if (boundary.empty()) return Ball{};
+  const Vec& p0 = boundary[0];
+  const size_t k = boundary.size() - 1;
+  if (k == 0) {
+    Ball b;
+    b.center = p0;
+    b.radius = 0;
+    return b;
+  }
+  // Center = p0 + sum_j lambda_j (p_j - p0); equidistance to p0 and p_i gives
+  // the Gram system  sum_j lambda_j 2 (p_i-p0).(p_j-p0) = |p_i - p0|^2.
+  Mat gram(k, k);
+  Vec rhs(k);
+  for (size_t i = 0; i < k; ++i) {
+    Vec vi = boundary[i + 1] - p0;
+    for (size_t j = 0; j < k; ++j) {
+      Vec vj = boundary[j + 1] - p0;
+      gram.At(i, j) = 2.0 * vi.Dot(vj);
+    }
+    rhs[i] = vi.NormSquared();
+  }
+  auto lambda = SolveLinearSystem(std::move(gram), std::move(rhs),
+                                  singular_tol);
+  if (!lambda.ok()) return lambda.status();
+  Ball b;
+  b.center = p0;
+  for (size_t j = 0; j < k; ++j) {
+    b.center += (boundary[j + 1] - p0) * (*lambda)[j];
+  }
+  b.radius = (b.center - p0).Norm();
+  return b;
+}
+
+Ball WelzlSolver::BallFromBoundary(const std::vector<Vec>& boundary) const {
+  auto b = Circumsphere(boundary);
+  if (b.ok()) return *b;
+  // Affinely dependent boundary (e.g. duplicated points): drop the newest
+  // point and retry; the caller's containment checks keep this safe.
+  std::vector<Vec> reduced(boundary.begin(), boundary.end() - 1);
+  if (reduced.empty()) return Ball{};
+  return BallFromBoundary(reduced);
+}
+
+Ball WelzlSolver::SolveWithBoundary(std::vector<Vec>& points, size_t limit,
+                                    std::vector<Vec>& boundary,
+                                    size_t dim) const {
+  Ball ball = BallFromBoundary(boundary);
+  if (boundary.size() == dim + 1) return ball;
+  for (size_t i = 0; i < limit; ++i) {
+    if (ball.Contains(points[i], config_.tol)) continue;
+    boundary.push_back(points[i]);
+    ball = SolveWithBoundary(points, i, boundary, dim);
+    boundary.pop_back();
+    // Move-to-front keeps hard points early, giving the expected-linear
+    // behaviour of Welzl's heuristic.
+    Vec hard = points[i];
+    for (size_t j = i; j > 0; --j) points[j] = points[j - 1];
+    points[0] = std::move(hard);
+  }
+  return ball;
+}
+
+Ball WelzlSolver::Solve(const std::vector<Vec>& points) const {
+  if (points.empty()) return Ball{};
+  std::vector<Vec> pts = points;
+  Rng rng(config_.seed);
+  rng.Shuffle(&pts);
+  std::vector<Vec> boundary;
+  return SolveWithBoundary(pts, pts.size(), boundary, pts[0].dim());
+}
+
+}  // namespace lplow

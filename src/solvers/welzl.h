@@ -1,0 +1,59 @@
+// Minimum enclosing ball via Welzl's algorithm (move-to-front variant,
+// recursion bounded by the support-set size <= d+1). The T_b primitive of
+// Proposition 4.3 (core vector machines).
+
+#ifndef LPLOW_SOLVERS_WELZL_H_
+#define LPLOW_SOLVERS_WELZL_H_
+
+#include <vector>
+
+#include "src/geometry/vec.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// A d-dimensional ball.
+struct Ball {
+  Vec center;
+  double radius = -1.0;  // Negative encodes the empty ball.
+
+  bool empty() const { return radius < 0; }
+
+  /// True when p lies inside or on the ball, within absolute tolerance tol
+  /// on the radius.
+  bool Contains(const Vec& p, double tol) const;
+
+  std::string ToString() const;
+};
+
+/// Smallest ball passing through all `boundary` points (their circumsphere
+/// restricted to the affine hull). Fails on affinely dependent inputs.
+Result<Ball> Circumsphere(const std::vector<Vec>& boundary,
+                          double singular_tol = 1e-12);
+
+class WelzlSolver {
+ public:
+  struct Config {
+    double tol = 1e-9;         // Containment tolerance.
+    uint64_t seed = 0xBA11BA11ULL;
+  };
+
+  WelzlSolver() = default;
+  explicit WelzlSolver(Config config) : config_(config) {}
+
+  /// Minimum enclosing ball of `points`. Returns the empty ball for an empty
+  /// input; a zero-radius ball for a single point.
+  Ball Solve(const std::vector<Vec>& points) const;
+
+ private:
+  Ball SolveWithBoundary(std::vector<Vec>& points, size_t limit,
+                         std::vector<Vec>& boundary, size_t dim) const;
+  Ball BallFromBoundary(const std::vector<Vec>& boundary) const;
+
+  Config config_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_SOLVERS_WELZL_H_

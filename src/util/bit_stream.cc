@@ -1,0 +1,104 @@
+#include "src/util/bit_stream.h"
+
+namespace lplow {
+
+void BitWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BitWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BitWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void BitWriter::PutVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BitWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BitWriter::PutBytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void BitWriter::PutString(const std::string& s) {
+  PutVarU64(s.size());
+  PutBytes(s.data(), s.size());
+}
+
+Result<uint8_t> BitReader::GetU8() {
+  if (pos_ + 1 > size_) return Status::OutOfRange("GetU8 past end");
+  return data_[pos_++];
+}
+
+Result<uint32_t> BitReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::OutOfRange("GetU32 past end");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> BitReader::GetU64() {
+  if (pos_ + 8 > size_) return Status::OutOfRange("GetU64 past end");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<int64_t> BitReader::GetI64() {
+  auto r = GetU64();
+  if (!r.ok()) return r.status();
+  return static_cast<int64_t>(*r);
+}
+
+Result<uint64_t> BitReader::GetVarU64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::OutOfRange("GetVarU64 past end");
+    if (shift >= 64) return Status::OutOfRange("GetVarU64 overlong encoding");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<double> BitReader::GetDouble() {
+  auto r = GetU64();
+  if (!r.ok()) return r.status();
+  double d;
+  uint64_t bits = *r;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Status BitReader::GetBytes(void* out, size_t size) {
+  if (pos_ + size > size_) return Status::OutOfRange("GetBytes past end");
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Result<std::string> BitReader::GetString() {
+  auto len = GetVarU64();
+  if (!len.ok()) return len.status();
+  if (pos_ + *len > size_) return Status::OutOfRange("GetString past end");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+}  // namespace lplow

@@ -1,0 +1,78 @@
+// Byte-oriented serialization with exact size accounting.
+//
+// The coordinator and MPC simulations exchange real serialized messages; the
+// communication cost reported by benchmarks is the exact number of bytes that
+// crossed a channel. BitWriter/BitReader provide primitive encoders (fixed
+// width ints, varints, doubles) that modules compose into message formats.
+// The same encoders compute the `bit(S)` term of Theorems 1-3.
+
+#ifndef LPLOW_UTIL_BIT_STREAM_H_
+#define LPLOW_UTIL_BIT_STREAM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lplow {
+
+/// Append-only byte buffer with typed encoders.
+class BitWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+
+  /// LEB128 variable-length encoding; small values cost few bytes, which
+  /// matters for the `O(l/r * log n)` weight-exponent messages of Lemma 3.7.
+  void PutVarU64(uint64_t v);
+
+  void PutDouble(double v);
+
+  void PutBytes(const void* data, size_t size);
+
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size_bytes() const { return buf_.size(); }
+  size_t size_bits() const { return buf_.size() * 8; }
+
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential decoder over a byte buffer. All getters fail with
+/// Status::OutOfRange on truncated input (never read past the end).
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<uint64_t> GetVarU64();
+  Result<double> GetDouble();
+  Status GetBytes(void* out, size_t size);
+  Result<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_UTIL_BIT_STREAM_H_

@@ -1,0 +1,82 @@
+// Lightweight logging and invariant-checking macros.
+//
+// LPLOW_CHECK*: fatal invariant checks, always on (library invariants are
+// cheap O(1) comparisons; benches showed no measurable overhead). Used for
+// programmer errors; recoverable conditions use Status instead.
+
+#ifndef LPLOW_UTIL_LOGGING_H_
+#define LPLOW_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lplow {
+namespace internal {
+
+/// Terminates the process after printing `msg` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+/// Severity for LPLOW_LOG.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level printed; default kWarning so library internals stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style message collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lplow
+
+#define LPLOW_LOG(level)                                            \
+  ::lplow::internal::LogMessage(::lplow::internal::LogLevel::level, \
+                                __FILE__, __LINE__)                 \
+      .stream()
+
+#define LPLOW_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::lplow::internal::CheckFailed(__FILE__, __LINE__,                   \
+                                     "Check failed: " #cond);              \
+    }                                                                      \
+  } while (false)
+
+#define LPLOW_CHECK_OP_(a, b, op)                                          \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      std::ostringstream _oss;                                             \
+      _oss << "Check failed: " #a " " #op " " #b " (" << (a) << " vs "     \
+           << (b) << ")";                                                  \
+      ::lplow::internal::CheckFailed(__FILE__, __LINE__, _oss.str());      \
+    }                                                                      \
+  } while (false)
+
+#define LPLOW_CHECK_EQ(a, b) LPLOW_CHECK_OP_(a, b, ==)
+#define LPLOW_CHECK_NE(a, b) LPLOW_CHECK_OP_(a, b, !=)
+#define LPLOW_CHECK_LT(a, b) LPLOW_CHECK_OP_(a, b, <)
+#define LPLOW_CHECK_LE(a, b) LPLOW_CHECK_OP_(a, b, <=)
+#define LPLOW_CHECK_GT(a, b) LPLOW_CHECK_OP_(a, b, >)
+#define LPLOW_CHECK_GE(a, b) LPLOW_CHECK_OP_(a, b, >=)
+
+/// Checks that a Status-returning expression is OK; fatal otherwise.
+#define LPLOW_CHECK_OK(expr)                                                \
+  do {                                                                      \
+    ::lplow::Status _st = (expr);                                           \
+    if (!_st.ok()) {                                                        \
+      ::lplow::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                     "Status not OK: " + _st.ToString());   \
+    }                                                                       \
+  } while (false)
+
+#endif  // LPLOW_UTIL_LOGGING_H_

@@ -1,0 +1,72 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  LPLOW_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  LPLOW_CHECK_GT(n, 0u);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+}
+
+double Rng::UniformDouble() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  if (n <= 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  return std::binomial_distribution<int64_t>(n, p)(engine_);
+}
+
+std::vector<size_t> Rng::SampleDistinctIndices(size_t n, size_t k) {
+  LPLOW_CHECK_LE(k, n);
+  // Floyd's algorithm: for j in [n-k, n), pick t uniform in [0, j]; insert t
+  // unless already present, else insert j.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformIndex(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  // Avoid the (astronomically unlikely) degenerate all-zero seed.
+  if (child_seed == 0) child_seed = 0x9e3779b97f4a7c15ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace lplow

@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every randomized component in lplow takes an explicit Rng (or a seed) so
+// that algorithm runs, tests, and benchmarks are reproducible. Rng wraps a
+// 64-bit Mersenne Twister and adds the distributions the algorithms need
+// (including an exact Binomial sampler used by the one-pass with-replacement
+// weighted reservoir).
+
+#ifndef LPLOW_UTIL_RNG_H_
+#define LPLOW_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lplow {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed1234abcdef01ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform real in [0, 1).
+  double UniformDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Binomial(n, p) via the standard library (exact distribution).
+  int64_t Binomial(int64_t n, double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random sample of `k` distinct indices from [0, n).
+  /// Requires k <= n. O(k) expected time via Floyd's algorithm.
+  std::vector<size_t> SampleDistinctIndices(size_t n, size_t k);
+
+  /// Derives an independent child generator (for per-site/per-machine
+  /// randomness in the distributed simulations).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_UTIL_RNG_H_

@@ -1,0 +1,140 @@
+// Status / Result<T> error-handling primitives, in the style used across
+// database engines (Arrow, RocksDB, LevelDB). The lplow library does not throw
+// exceptions: fallible public APIs return Status or Result<T>.
+
+#ifndef LPLOW_UTIL_STATUS_H_
+#define LPLOW_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lplow {
+
+/// Machine-readable error category carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kResourceExhausted,
+  kInternal,
+  kNumericalError,
+  kInfeasible,
+  kUnbounded,
+  kSamplingFailed,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status SamplingFailed(std::string msg) {
+    return Status(StatusCode::kSamplingFailed, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. The value is only accessible when status().ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok(). Checked in debug builds via assert-style CHECK in
+  /// callers; accessing the value of an error Result is undefined.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression if it is not OK.
+#define LPLOW_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::lplow::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// moves the value into `lhs`.
+#define LPLOW_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto LPLOW_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!LPLOW_CONCAT_(_res_, __LINE__).ok())      \
+    return LPLOW_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(LPLOW_CONCAT_(_res_, __LINE__)).value()
+
+#define LPLOW_CONCAT_INNER_(a, b) a##b
+#define LPLOW_CONCAT_(a, b) LPLOW_CONCAT_INNER_(a, b)
+
+}  // namespace lplow
+
+#endif  // LPLOW_UTIL_STATUS_H_

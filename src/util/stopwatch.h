@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for coarse experiment timing (benchmarks use
+// google-benchmark's timers; this is for example programs and logs).
+
+#ifndef LPLOW_UTIL_STOPWATCH_H_
+#define LPLOW_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lplow {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lplow
+
+#endif  // LPLOW_UTIL_STOPWATCH_H_

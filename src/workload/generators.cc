@@ -1,0 +1,188 @@
+#include "src/workload/generators.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace workload {
+
+namespace {
+
+// Uniform direction on the unit sphere.
+Vec RandomDirection(size_t d, Rng* rng) {
+  Vec v(d);
+  double norm = 0;
+  do {
+    for (size_t i = 0; i < d; ++i) v[i] = rng->Normal();
+    norm = v.Norm();
+  } while (norm < 1e-9);
+  return v / norm;
+}
+
+}  // namespace
+
+LpInstance RandomFeasibleLp(size_t n, size_t d, Rng* rng, double radius) {
+  LpInstance out;
+  out.objective = RandomDirection(d, rng);
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng->UniformDouble(-10, 10);
+  out.constraints.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    // Tangent halfspace at a random sphere point p: a = direction,
+    // b = a . (center + radius * a) — contains the ball of radius `radius`.
+    Vec a = RandomDirection(d, rng);
+    double r = radius * rng->UniformDouble(1.0, 2.0);
+    double b = a.Dot(center) + r;
+    out.constraints.emplace_back(std::move(a), b);
+  }
+  return out;
+}
+
+LpInstance RandomInfeasibleLp(size_t n, size_t d, Rng* rng) {
+  LPLOW_CHECK_GE(n, 2u);
+  LpInstance out = RandomFeasibleLp(n > 2 ? n - 2 : 1, d, rng);
+  // Add a contradictory pair: x_0 <= -M and -x_0 <= -M (x_0 >= M).
+  Vec plus(d);
+  plus[0] = 1.0;
+  Vec minus(d);
+  minus[0] = -1.0;
+  out.constraints.emplace_back(plus, -1000.0);
+  out.constraints.emplace_back(minus, -1000.0);
+  return out;
+}
+
+RegressionData RandomRegressionData(size_t n, size_t d, double noise,
+                                    Rng* rng) {
+  RegressionData out;
+  out.true_w = Vec(d);
+  for (size_t i = 0; i < d; ++i) out.true_w[i] = rng->UniformDouble(-5, 5);
+  out.true_b = rng->UniformDouble(-10, 10);
+  out.noise = noise;
+  out.x.reserve(n);
+  out.y.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    Vec x(d);
+    for (size_t i = 0; i < d; ++i) x[i] = rng->UniformDouble(-10, 10);
+    double eps = rng->UniformDouble(-noise, noise);
+    out.y.push_back(out.true_w.Dot(x) + out.true_b + eps);
+    out.x.push_back(std::move(x));
+  }
+  return out;
+}
+
+LpInstance ChebyshevRegressionLp(const RegressionData& data) {
+  const size_t d = data.true_w.dim();
+  const size_t dim = d + 2;  // (w, b, t).
+  LpInstance out;
+  out.objective = Vec(dim);
+  out.objective[dim - 1] = 1.0;  // min t.
+  out.constraints.reserve(2 * data.x.size() + 1);
+  for (size_t j = 0; j < data.x.size(); ++j) {
+    // y_j - w.x_j - b <= t   =>   -w.x_j - b - t <= -y_j.
+    Vec a1(dim);
+    for (size_t i = 0; i < d; ++i) a1[i] = -data.x[j][i];
+    a1[d] = -1.0;
+    a1[d + 1] = -1.0;
+    out.constraints.emplace_back(std::move(a1), -data.y[j]);
+    // w.x_j + b - y_j <= t   =>   w.x_j + b - t <= y_j.
+    Vec a2(dim);
+    for (size_t i = 0; i < d; ++i) a2[i] = data.x[j][i];
+    a2[d] = 1.0;
+    a2[d + 1] = -1.0;
+    out.constraints.emplace_back(std::move(a2), data.y[j]);
+  }
+  // t >= 0 keeps the LP bounded below even with degenerate data.
+  Vec at(dim);
+  at[dim - 1] = -1.0;
+  out.constraints.emplace_back(std::move(at), 0.0);
+  return out;
+}
+
+std::vector<SvmPoint> SeparableSvmData(size_t n, size_t d, double margin,
+                                       Rng* rng) {
+  LPLOW_CHECK_GT(margin, 0.0);
+  Vec w = RandomDirection(d, rng);
+  std::vector<SvmPoint> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    Vec x(d);
+    for (size_t i = 0; i < d; ++i) x[i] = rng->UniformDouble(-10, 10);
+    double proj = w.Dot(x);
+    if (std::fabs(proj) < margin) {
+      // Push the point out of the margin band along w.
+      double push = (proj >= 0 ? margin : -margin) - proj +
+                    (proj >= 0 ? 0.01 : -0.01);
+      x += w * push;
+      proj = w.Dot(x);
+    }
+    SvmPoint p;
+    p.x = std::move(x);
+    p.label = proj >= 0 ? 1 : -1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<SvmPoint> NonSeparableSvmData(size_t n, size_t d, Rng* rng) {
+  std::vector<SvmPoint> out = SeparableSvmData(n, d, 0.5, rng);
+  // Flip a few labels: homogeneous hard-margin SVM becomes infeasible.
+  size_t flips = std::max<size_t>(2, n / 100);
+  for (size_t f = 0; f < flips && f < out.size(); ++f) {
+    out[rng->UniformIndex(out.size())].label *= -1;
+  }
+  // Guarantee infeasibility regardless of which points were flipped: a
+  // directly contradictory pair (same x, both labels).
+  if (!out.empty()) {
+    SvmPoint p = out[0];
+    p.label = -p.label;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Vec> GaussianCloud(size_t n, size_t d, Rng* rng, double stddev) {
+  std::vector<Vec> out;
+  out.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    Vec p(d);
+    for (size_t i = 0; i < d; ++i) p[i] = rng->Normal(0, stddev);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<Vec> SphereCloud(size_t n, size_t d, double radius,
+                             double surface_fraction, Rng* rng) {
+  std::vector<Vec> out;
+  out.reserve(n);
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng->UniformDouble(-5, 5);
+  for (size_t j = 0; j < n; ++j) {
+    Vec dir = RandomDirection(d, rng);
+    double r = rng->Bernoulli(surface_fraction)
+                   ? radius
+                   : radius * rng->UniformDouble(0.0, 0.95);
+    out.push_back(center + dir * r);
+  }
+  return out;
+}
+
+std::vector<baselines::Line2d> RandomEnvelopeLines(size_t n, Rng* rng) {
+  LPLOW_CHECK_GE(n, 2u);
+  std::vector<baselines::Line2d> out;
+  out.reserve(n);
+  // Tangents to the parabola y = x^2/2 at random x: slope x0, intercept
+  // -x0^2/2; their upper envelope has a clean bounded minimum.
+  for (size_t j = 0; j < n; ++j) {
+    double x0 = rng->UniformDouble(-50, 50);
+    out.push_back({x0, -x0 * x0 / 2.0});
+  }
+  // Guarantee both slope signs.
+  out[0] = {-51.0, -51.0 * 51.0 / 2.0};
+  out[1] = {51.0, -51.0 * 51.0 / 2.0};
+  return out;
+}
+
+}  // namespace workload
+}  // namespace lplow

@@ -1,0 +1,111 @@
+// Synthetic workload generators for examples, tests, and benchmarks. Every
+// generator is deterministic given its seed, and each returns instances with
+// a known or independently checkable optimum.
+
+#ifndef LPLOW_WORKLOAD_GENERATORS_H_
+#define LPLOW_WORKLOAD_GENERATORS_H_
+
+#include <vector>
+
+#include "src/baselines/chan_chen_2d.h"
+#include "src/geometry/halfspace.h"
+#include "src/geometry/vec.h"
+#include "src/solvers/svm_qp.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace workload {
+
+// ---------------------------------------------------------------------- LP
+
+struct LpInstance {
+  std::vector<Halfspace> constraints;
+  Vec objective;
+};
+
+/// Random feasible bounded LP: constraints are tangent halfspaces of random
+/// points on a sphere of radius `radius` around `center` (so the feasible
+/// region contains the center and the optimum is bounded and generic).
+LpInstance RandomFeasibleLp(size_t n, size_t d, Rng* rng,
+                            double radius = 100.0);
+
+/// Infeasible LP: a feasible core plus a cluster of halfspaces whose
+/// intersection with it is empty.
+LpInstance RandomInfeasibleLp(size_t n, size_t d, Rng* rng);
+
+/// Chebyshev (L-infinity) regression as an LP, the over-constrained ML
+/// workload the paper's introduction motivates: fit y ~ w.x + b minimizing
+/// the maximum absolute residual. Variables are (w_1..w_d, b, t), objective
+/// minimizes t, and every sample contributes two halfspaces
+/// |y_j - w.x_j - b| <= t.
+struct RegressionData {
+  std::vector<Vec> x;       // d-dimensional features.
+  std::vector<double> y;    // Targets.
+  Vec true_w;               // Ground-truth weights.
+  double true_b = 0;        // Ground-truth intercept.
+  double noise = 0;         // Max |noise| added (the optimal t is <= noise).
+};
+
+RegressionData RandomRegressionData(size_t n, size_t d, double noise,
+                                    Rng* rng);
+
+/// The LP encoding of Chebyshev regression (dimension d + 2).
+LpInstance ChebyshevRegressionLp(const RegressionData& data);
+
+// --------------------------------------------------------------------- SVM
+
+/// Linearly separable labeled points with margin >= `margin` around a random
+/// separating hyperplane through the origin.
+std::vector<SvmPoint> SeparableSvmData(size_t n, size_t d, double margin,
+                                       Rng* rng);
+
+/// Non-separable data: separable base with `flips` labels inverted near the
+/// boundary.
+std::vector<SvmPoint> NonSeparableSvmData(size_t n, size_t d, Rng* rng);
+
+// --------------------------------------------------------------------- MEB
+
+/// Gaussian point cloud (generic position, unique MEB).
+std::vector<Vec> GaussianCloud(size_t n, size_t d, Rng* rng,
+                               double stddev = 10.0);
+
+/// Points on or near a sphere: the MEB radius is ~`radius` and the support
+/// set is well-defined; `surface_fraction` of points lie exactly on the
+/// sphere.
+std::vector<Vec> SphereCloud(size_t n, size_t d, double radius,
+                             double surface_fraction, Rng* rng);
+
+// -------------------------------------------------------------- envelopes
+
+/// Random lower-envelope lines with a bounded minimum (for the Chan-Chen
+/// baseline and 2-d LP experiments).
+std::vector<baselines::Line2d> RandomEnvelopeLines(size_t n, Rng* rng);
+
+// ------------------------------------------------------------ partitioning
+
+/// Splits items into k parts: round-robin when `shuffled`, else contiguous
+/// (adversarial skew: related constraints co-located).
+template <typename T>
+std::vector<std::vector<T>> Partition(const std::vector<T>& items, size_t k,
+                                      bool shuffled, Rng* rng) {
+  std::vector<std::vector<T>> parts(k);
+  if (shuffled) {
+    std::vector<size_t> order(items.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng->Shuffle(&order);
+    for (size_t i = 0; i < items.size(); ++i) {
+      parts[i % k].push_back(items[order[i]]);
+    }
+  } else {
+    size_t per = (items.size() + k - 1) / k;
+    for (size_t i = 0; i < items.size(); ++i) {
+      parts[std::min(i / per, k - 1)].push_back(items[i]);
+    }
+  }
+  return parts;
+}
+
+}  // namespace workload
+}  // namespace lplow
+
+#endif  // LPLOW_WORKLOAD_GENERATORS_H_

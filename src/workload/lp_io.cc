@@ -1,0 +1,137 @@
+#include "src/workload/lp_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace lplow {
+namespace workload {
+
+namespace {
+
+Status LineError(size_t line, const std::string& what) {
+  std::ostringstream oss;
+  oss << "line " << line << ": " << what;
+  return Status::InvalidArgument(oss.str());
+}
+
+// Strips comments and returns whitespace-split tokens.
+std::vector<std::string> Tokenize(const std::string& raw) {
+  std::string line = raw;
+  size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  std::istringstream iss(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Result<LpInstance> ReadLpInstance(std::istream& in) {
+  LpInstance inst;
+  size_t d = 0;
+  bool have_header = false;
+  bool have_objective = false;
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    auto tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "lp") {
+      if (have_header) return LineError(line_no, "duplicate 'lp' header");
+      if (tokens.size() != 2) return LineError(line_no, "expected 'lp <d>'");
+      int dim = 0;
+      try {
+        dim = std::stoi(tokens[1]);
+      } catch (...) {
+        return LineError(line_no, "bad dimension");
+      }
+      if (dim < 1 || dim > 64) {
+        return LineError(line_no, "dimension out of range [1, 64]");
+      }
+      d = static_cast<size_t>(dim);
+      have_header = true;
+    } else if (tokens[0] == "objective") {
+      if (!have_header) return LineError(line_no, "'objective' before 'lp'");
+      if (have_objective) return LineError(line_no, "duplicate objective");
+      if (tokens.size() != d + 1) {
+        return LineError(line_no, "objective needs d coefficients");
+      }
+      inst.objective = Vec(d);
+      for (size_t i = 0; i < d; ++i) {
+        if (!ParseDouble(tokens[i + 1], &inst.objective[i])) {
+          return LineError(line_no, "bad objective coefficient");
+        }
+      }
+      have_objective = true;
+    } else if (tokens[0] == "c") {
+      if (!have_header) return LineError(line_no, "'c' before 'lp'");
+      if (tokens.size() != d + 2) {
+        return LineError(line_no, "constraint needs d coefficients and b");
+      }
+      Halfspace h(Vec(d), 0);
+      for (size_t i = 0; i < d; ++i) {
+        if (!ParseDouble(tokens[i + 1], &h.a[i])) {
+          return LineError(line_no, "bad constraint coefficient");
+        }
+      }
+      if (!ParseDouble(tokens[d + 1], &h.b)) {
+        return LineError(line_no, "bad constraint offset");
+      }
+      inst.constraints.push_back(std::move(h));
+    } else {
+      return LineError(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!have_header) return Status::InvalidArgument("missing 'lp <d>' header");
+  if (!have_objective) return Status::InvalidArgument("missing objective");
+  return inst;
+}
+
+Result<LpInstance> ReadLpInstanceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadLpInstance(in);
+}
+
+Status WriteLpInstance(const LpInstance& instance, std::ostream& out) {
+  const size_t d = instance.objective.dim();
+  out << "lp " << d << "\n";
+  out << std::setprecision(17);
+  out << "objective";
+  for (size_t i = 0; i < d; ++i) out << " " << instance.objective[i];
+  out << "\n";
+  for (const Halfspace& h : instance.constraints) {
+    if (h.dim() != d) {
+      return Status::InvalidArgument("constraint dimension mismatch");
+    }
+    out << "c";
+    for (size_t i = 0; i < d; ++i) out << " " << h.a[i];
+    out << " " << h.b << "\n";
+  }
+  if (!out) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status WriteLpInstanceToFile(const LpInstance& instance,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return WriteLpInstance(instance, out);
+}
+
+}  // namespace workload
+}  // namespace lplow

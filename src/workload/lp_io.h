@@ -1,0 +1,41 @@
+// Plain-text LP instance files, so downstream users can run the solvers on
+// their own data (see examples/lp_solve_cli.cc).
+//
+// Format (whitespace-separated, '#' comments, blank lines ignored):
+//
+//     lp <d>
+//     objective <c_1> ... <c_d>
+//     c <a_1> ... <a_d> <b>          # constraint a.x <= b, repeated
+//
+// Writers emit the same format; round-trips are exact for values
+// representable in decimal (17 significant digits are printed).
+
+#ifndef LPLOW_WORKLOAD_LP_IO_H_
+#define LPLOW_WORKLOAD_LP_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace workload {
+
+/// Parses an instance from a stream. Returns InvalidArgument with a
+/// line-numbered message on malformed input.
+Result<LpInstance> ReadLpInstance(std::istream& in);
+
+/// Parses an instance from a file path.
+Result<LpInstance> ReadLpInstanceFromFile(const std::string& path);
+
+/// Writes an instance in the format above.
+Status WriteLpInstance(const LpInstance& instance, std::ostream& out);
+
+Status WriteLpInstanceToFile(const LpInstance& instance,
+                             const std::string& path);
+
+}  // namespace workload
+}  // namespace lplow
+
+#endif  // LPLOW_WORKLOAD_LP_IO_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/chan_chen_2d.h"
+#include "src/baselines/clarkson_classic.h"
+#include "src/baselines/ship_all.h"
+#include "src/baselines/tree_merge.h"
+#include "src/core/clarkson.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(ClassicClarksonTest, CorrectButMoreIterationsThanPaper) {
+  Rng rng(1);
+  auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  size_t nu = problem.CombinatorialDimension();
+
+  ClarksonStats classic_stats;
+  auto classic_opt =
+      baselines::ClassicClarksonOptions(nu, inst.constraints.size(), 1);
+  auto classic = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), classic_opt,
+      &classic_stats);
+  ASSERT_TRUE(classic.ok());
+
+  ClarksonOptions paper_opt;
+  paper_opt.r = 3;
+  ClarksonStats paper_stats;
+  auto paper = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), paper_opt,
+      &paper_stats);
+  ASSERT_TRUE(paper.ok());
+
+  EXPECT_EQ(problem.CompareValues(classic->value, paper->value), 0);
+  // The headline comparison (E13): classic doubling needs more iterations
+  // than the paper's n^{1/r} rate.
+  EXPECT_GT(classic_stats.iterations, paper_stats.iterations);
+}
+
+TEST(ChanChen2dTest, SolvesParabolaEnvelope) {
+  Rng rng(2);
+  auto lines = workload::RandomEnvelopeLines(5000, &rng);
+  stream::VectorStream<baselines::Line2d> s(lines);
+  baselines::ChanChen2dStats stats;
+  auto result = baselines::SolveChanChen2d(s, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  // Envelope of tangents to y = x^2/2 has minimum at the extreme tangent
+  // crossing; verify against exhaustive evaluation.
+  double best = 1e300;
+  for (double x = -60; x <= 60; x += 0.001) {
+    double env = -1e300;
+    for (const auto& l : lines) env = std::max(env, l.ValueAt(x));
+    best = std::min(best, env);
+  }
+  EXPECT_NEAR(result->y, best, 1e-3 * std::max(1.0, std::fabs(best)));
+  EXPECT_TRUE(stats.converged);
+}
+
+TEST(ChanChen2dTest, PassSpaceTradeoff) {
+  Rng rng(3);
+  auto lines = workload::RandomEnvelopeLines(20000, &rng);
+  baselines::ChanChen2dStats wide, narrow;
+  {
+    stream::VectorStream<baselines::Line2d> s(lines);
+    baselines::ChanChen2dOptions opt;
+    opt.probes = 256;
+    ASSERT_TRUE(baselines::SolveChanChen2d(s, opt, &wide).ok());
+  }
+  {
+    stream::VectorStream<baselines::Line2d> s(lines);
+    baselines::ChanChen2dOptions opt;
+    opt.probes = 4;
+    ASSERT_TRUE(baselines::SolveChanChen2d(s, opt, &narrow).ok());
+  }
+  EXPECT_LE(wide.passes, narrow.passes)
+      << "more probes (space) must not need more passes";
+  EXPECT_GT(narrow.passes, 2u);
+}
+
+TEST(ChanChen2dTest, UnboundedDetected) {
+  std::vector<baselines::Line2d> lines = {{1.0, 0.0}, {2.0, 1.0}};
+  stream::VectorStream<baselines::Line2d> s(lines);
+  auto result = baselines::SolveChanChen2d(s, {}, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(ShipAllTest, ExactWithFullCommunication) {
+  Rng rng(4);
+  auto inst = workload::RandomFeasibleLp(1000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  baselines::ShipAllStats stats;
+  auto result = baselines::ShipAll(problem, parts, &stats);
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result.value, direct), 0);
+  EXPECT_EQ(stats.rounds, 1u);
+  size_t expected_bytes = 0;
+  for (const auto& c : inst.constraints) {
+    expected_bytes += problem.ConstraintBytes(c);
+  }
+  EXPECT_EQ(stats.total_bytes, expected_bytes);
+}
+
+TEST(TreeMergeTest, OnceIsCheapButCanBeWrong) {
+  // Measure the one-shot merge error rate over random partitions: it is a
+  // heuristic, and the test asserts only that it never reports a value
+  // ABOVE the true optimum (bases only under-constrain).
+  Rng rng(5);
+  size_t wrong = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto inst = workload::RandomFeasibleLp(400, 2, &rng);
+    LinearProgram problem(inst.objective);
+    auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+    baselines::TreeMergeStats stats;
+    auto merged = baselines::TreeMergeOnce(problem, parts, &stats);
+    auto direct = problem.SolveValue(
+        std::span<const Halfspace>(inst.constraints));
+    int cmp = problem.CompareValues(merged.value, direct);
+    EXPECT_LE(cmp, 0) << "merge of bases can never overshoot f(S)";
+    if (cmp != 0) ++wrong;
+  }
+  // Not asserting wrong == 0: the point of E6 is that it CAN be nonzero.
+  SUCCEED() << "one-shot merge wrong on " << wrong << "/20 instances";
+}
+
+TEST(TreeMergeTest, IteratedIsExact) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = workload::RandomFeasibleLp(600, 3, &rng);
+    LinearProgram problem(inst.objective);
+    auto parts = workload::Partition(inst.constraints, 6, true, &rng);
+    baselines::TreeMergeStats stats;
+    auto result = baselines::IteratedTreeMerge(problem, parts, &stats);
+    ASSERT_TRUE(result.ok());
+    auto direct = problem.SolveValue(
+        std::span<const Halfspace>(inst.constraints));
+    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+    EXPECT_GE(stats.rounds, 1u);
+  }
+}
+
+TEST(TreeMergeTest, IteratedCommunicationBelowShipAll) {
+  Rng rng(7);
+  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+  baselines::TreeMergeStats merge_stats;
+  ASSERT_TRUE(
+      baselines::IteratedTreeMerge(problem, parts, &merge_stats).ok());
+  baselines::ShipAllStats ship_stats;
+  baselines::ShipAll(problem, parts, &ship_stats);
+  EXPECT_LT(merge_stats.total_bytes, ship_stats.total_bytes);
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,183 @@
+#include "src/numeric/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ((-z).ToString(), "0");
+}
+
+TEST(BigIntTest, Int64Construction) {
+  EXPECT_EQ(BigInt(12345).ToString(), "12345");
+  EXPECT_EQ(BigInt(-12345).ToString(), "-12345");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(INT64_MIN / 2, INT64_MAX / 2);
+    BigInt b(v);
+    ASSERT_TRUE(b.FitsInt64());
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64(), INT64_MIN);
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char* cases[] = {"0", "1", "-1", "4294967296", "-4294967297",
+                         "123456789012345678901234567890",
+                         "-99999999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::FromString(s).ToString(), s);
+  }
+}
+
+TEST(BigIntTest, TryParseRejectsGarbage) {
+  BigInt out;
+  EXPECT_FALSE(BigInt::TryParse("", &out));
+  EXPECT_FALSE(BigInt::TryParse("-", &out));
+  EXPECT_FALSE(BigInt::TryParse("12a", &out));
+  EXPECT_TRUE(BigInt::TryParse("+7", &out));
+  EXPECT_EQ(out.ToInt64(), 7);
+  EXPECT_TRUE(BigInt::TryParse("-0", &out));
+  EXPECT_TRUE(out.is_zero());
+  EXPECT_FALSE(out.is_negative());
+}
+
+TEST(BigIntTest, ArithmeticAgainstInt64) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInt(-1000000, 1000000);
+    int64_t y = rng.UniformInt(-1000000, 1000000);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).ToInt64(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).ToInt64(), x - y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).ToInt64(), x * y);
+    if (y != 0) {
+      EXPECT_EQ((BigInt(x) / BigInt(y)).ToInt64(), x / y);
+      EXPECT_EQ((BigInt(x) % BigInt(y)).ToInt64(), x % y);
+    }
+  }
+}
+
+TEST(BigIntTest, CompareAgainstInt64) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInt(-100, 100);
+    int64_t y = rng.UniformInt(-100, 100);
+    EXPECT_EQ(BigInt(x) < BigInt(y), x < y);
+    EXPECT_EQ(BigInt(x) == BigInt(y), x == y);
+    EXPECT_EQ(BigInt(x) >= BigInt(y), x >= y);
+  }
+}
+
+TEST(BigIntTest, MultiplicationLargeKnownValue) {
+  BigInt a = BigInt::FromString("123456789123456789123456789");
+  BigInt b = BigInt::FromString("987654321987654321");
+  EXPECT_EQ((a * b).ToString(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(BigIntTest, DivModLargeKnownValue) {
+  BigInt a =
+      BigInt::FromString("121932631356500531469135800347203169112635269");
+  BigInt b = BigInt::FromString("987654321987654321");
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q.ToString(), "123456789123456789123456789");
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(BigIntTest, DivModIdentityProperty) {
+  // a == q * b + r with |r| < |b| and sign(r) == sign(a), for random big
+  // operands (property test for the Knuth-D path).
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a(1), b(1);
+    int la = 1 + static_cast<int>(rng.UniformIndex(6));
+    int lb = 1 + static_cast<int>(rng.UniformIndex(4));
+    for (int j = 0; j < la; ++j) a = a * BigInt(rng.UniformInt(1, 1 << 30));
+    for (int j = 0; j < lb; ++j) b = b * BigInt(rng.UniformInt(1, 1 << 30));
+    if (rng.Bernoulli(0.5)) a = -a;
+    if (rng.Bernoulli(0.5)) b = -b;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+  }
+}
+
+TEST(BigIntTest, AddSubRoundTripBig) {
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a(rng.UniformInt(-1000, 1000));
+    BigInt b(1);
+    for (int j = 0; j < 5; ++j) {
+      a = a * BigInt(rng.UniformInt(1, 1 << 30)) + BigInt(rng.UniformInt(-5, 5));
+      b = b * BigInt(rng.UniformInt(1, 1 << 30));
+    }
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(1), BigInt(1)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, GcdDividesAndIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    BigInt g0(rng.UniformInt(1, 1000000));
+    BigInt a = g0 * BigInt(rng.UniformInt(-1000000, 1000000));
+    BigInt b = g0 * BigInt(rng.UniformInt(-1000000, 1000000));
+    if (a.is_zero() && b.is_zero()) continue;
+    BigInt g = BigInt::Gcd(a, b);
+    EXPECT_GT(g.sign(), 0);
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+    EXPECT_TRUE((g % g0).is_zero());  // g0 divides gcd.
+  }
+}
+
+TEST(BigIntTest, PowerChainMatchesKnownDecimal) {
+  // 2^128.
+  BigInt two(2);
+  BigInt v(1);
+  for (int i = 0; i < 128; ++i) v = v * two;
+  EXPECT_EQ(v.ToString(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(v.BitLength(), 129u);
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).ToDouble(), 1000.0);
+  BigInt big = BigInt::FromString("1000000000000000000000");  // 1e21.
+  EXPECT_NEAR(big.ToDouble(), 1e21, 1e6);
+  EXPECT_NEAR((-big).ToDouble(), -1e21, 1e6);
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(2).BitLength(), 2u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt(-256).BitLength(), 9u);
+}
+
+}  // namespace
+}  // namespace lplow

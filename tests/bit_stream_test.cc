@@ -1,0 +1,102 @@
+#include "src/util/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(BitStreamTest, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+
+  BitReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_EQ(*r.GetDouble(), 3.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStreamTest, VarintRoundTripBoundaries) {
+  BitWriter w;
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  255,  300,  (1u << 14), (1u << 14) + 1,
+                                  ~0ULL};
+  for (uint64_t v : values) w.PutVarU64(v);
+  BitReader r(w.buffer());
+  for (uint64_t v : values) EXPECT_EQ(*r.GetVarU64(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStreamTest, VarintIsCompactForSmallValues) {
+  BitWriter w;
+  w.PutVarU64(5);
+  EXPECT_EQ(w.size_bytes(), 1u);
+  w.PutVarU64(1000);
+  EXPECT_EQ(w.size_bytes(), 3u);  // 1 + 2.
+}
+
+TEST(BitStreamTest, StringRoundTrip) {
+  BitWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\0\x01binary", 8));
+  BitReader r(w.buffer());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetString(), std::string("\0\x01binary", 8));
+}
+
+TEST(BitStreamTest, TruncatedReadsFail) {
+  BitWriter w;
+  w.PutU32(7);
+  BitReader r(w.buffer());
+  EXPECT_TRUE(r.GetU64().status().code() == StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, TruncatedVarintFails) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // Unterminated.
+  BitReader r(buf);
+  EXPECT_EQ(r.GetVarU64().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, SizeAccountingMatchesBuffer) {
+  BitWriter w;
+  w.PutU64(1);
+  w.PutU8(2);
+  EXPECT_EQ(w.size_bytes(), 9u);
+  EXPECT_EQ(w.size_bits(), 72u);
+}
+
+TEST(BitStreamTest, RandomizedDoubleRoundTrip) {
+  Rng rng(7);
+  BitWriter w;
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.Normal(0, 1e6));
+    w.PutDouble(values.back());
+  }
+  BitReader r(w.buffer());
+  for (double v : values) EXPECT_EQ(*r.GetDouble(), v);
+}
+
+TEST(BitStreamTest, BytesRoundTrip) {
+  BitWriter w;
+  uint8_t data[4] = {1, 2, 3, 4};
+  w.PutBytes(data, 4);
+  BitReader r(w.buffer());
+  uint8_t out[4];
+  ASSERT_TRUE(r.GetBytes(out, 4).ok());
+  EXPECT_EQ(out[3], 4);
+  EXPECT_FALSE(r.GetBytes(out, 1).ok());
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,227 @@
+// Tests of the sequential Clarkson meta-algorithm (Algorithm 1).
+
+#include "src/core/clarkson.h"
+
+#include <gtest/gtest.h>
+
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(ClarksonTest, MatchesDirectSolveLp) {
+  Rng rng(1);
+  auto inst = workload::RandomFeasibleLp(3000, 3, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.r = 2;
+  opt.net.scale = 0.1;  // Leave the direct-solve regime at this n.
+  ClarksonStats stats;
+  auto result = ClarksonSolve(problem,
+                              std::span<const Halfspace>(inst.constraints),
+                              opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  EXPECT_FALSE(stats.direct_solve);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST(ClarksonTest, SmallInputDirectSolve) {
+  Rng rng(2);
+  auto inst = workload::RandomFeasibleLp(10, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonStats stats;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.direct_solve);
+}
+
+TEST(ClarksonTest, IterationsWithinLemma33Bound) {
+  // Lemma 3.3: O(nu r) iterations w.h.p. — check a slack multiple. The
+  // honest sample constant needs n >> (270)^{r/(r-1)} to leave the
+  // direct-solve regime, hence the large n.
+  Rng rng(3);
+  auto inst = workload::RandomFeasibleLp(200000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  size_t nu = problem.CombinatorialDimension();
+  for (int r : {2, 3}) {
+    ClarksonOptions opt;
+    opt.r = r;
+    opt.seed = 1000 + r;
+    ClarksonStats stats;
+    auto result = ClarksonSolve(
+        problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(stats.direct_solve) << "r=" << r;
+    EXPECT_LE(stats.iterations, (20 * nu * static_cast<size_t>(r)) / 9 + 8)
+        << "r=" << r;
+  }
+}
+
+TEST(ClarksonTest, MostIterationsSuccessful) {
+  // Claim 3.2: each iteration succeeds w.p. >= 2/3; require an empirical
+  // majority over the run.
+  Rng rng(4);
+  auto inst = workload::RandomFeasibleLp(200000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.r = 3;
+  ClarksonStats stats;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(stats.direct_solve);
+  if (stats.iterations >= 2) {
+    EXPECT_GE(2 * stats.successful_iterations + 1, stats.iterations);
+  }
+}
+
+TEST(ClarksonTest, TinySampleStillCorrectLasVegas) {
+  // Failure injection: absurdly small eps-net. Las Vegas correctness must
+  // survive (possibly via more iterations).
+  Rng rng(5);
+  auto inst = workload::RandomFeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.sample_size_override = 8;
+  opt.max_iterations = 500;
+  ClarksonStats stats;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ClarksonTest, MonteCarloCanFail) {
+  // Remark 3.6: with a sample too small to be an eps-net, the Monte Carlo
+  // variant reports SamplingFailed instead of looping.
+  Rng rng(6);
+  auto inst = workload::RandomFeasibleLp(2000, 3, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.sample_size_override = 5;
+  opt.monte_carlo = true;
+  opt.max_iterations = 50;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kSamplingFailed);
+  }
+}
+
+TEST(ClarksonTest, InfeasibleLpDetected) {
+  Rng rng(7);
+  auto inst = workload::RandomInfeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.r = 2;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->value.feasible);
+}
+
+TEST(ClarksonTest, WorksForSvm) {
+  Rng rng(8);
+  auto pts = workload::SeparableSvmData(2000, 2, 0.5, &rng);
+  LinearSvm problem(2);
+  ClarksonOptions opt;
+  opt.r = 2;
+  ClarksonStats stats;
+  auto result =
+      ClarksonSolve(problem, std::span<const SvmPoint>(pts), opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ClarksonTest, WorksForMeb) {
+  Rng rng(9);
+  auto pts = workload::GaussianCloud(5000, 3, &rng);
+  MinEnclosingBall problem(3);
+  ClarksonOptions opt;
+  opt.r = 2;
+  auto result =
+      ClarksonSolve(problem, std::span<const Vec>(pts), opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(std::span<const Vec>(pts));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ClarksonTest, ClassicRateOverrideStillCorrect) {
+  Rng rng(10);
+  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.weight_rate_override = 2.0;
+  opt.eps_override = 1.0 / 9.0;  // 1/(3 nu) for nu = 3.
+  opt.sample_size_override = 6 * 9;
+  opt.max_iterations = 2000;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ClarksonTest, HigherRNeedsMoreIterationsButLessSpace) {
+  Rng rng(11);
+  auto inst = workload::RandomFeasibleLp(40000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonStats s2, s4;
+  ClarksonOptions o2;
+  o2.r = 2;
+  o2.net.scale = 0.2;
+  ClarksonOptions o4;
+  o4.r = 4;
+  o4.net.scale = 0.2;
+  ASSERT_TRUE(ClarksonSolve(problem,
+                            std::span<const Halfspace>(inst.constraints), o2,
+                            &s2)
+                  .ok());
+  ASSERT_TRUE(ClarksonSolve(problem,
+                            std::span<const Halfspace>(inst.constraints), o4,
+                            &s4)
+                  .ok());
+  // Sample (space) shrinks dramatically with r; this is Result 1's trade.
+  ASSERT_FALSE(s2.direct_solve);
+  ASSERT_FALSE(s4.direct_solve);
+  EXPECT_GT(s2.sample_size, 4 * s4.sample_size);
+}
+
+class ClarksonAgreementSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ClarksonAgreementSweep, LpAgreesAcrossR) {
+  auto [r, seed] = GetParam();
+  Rng rng(seed);
+  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  ClarksonOptions opt;
+  opt.r = r;
+  opt.seed = seed * 31;
+  auto result = ClarksonSolve(
+      problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClarksonAgreementSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(31, 32, 33)));
+
+}  // namespace
+}  // namespace lplow

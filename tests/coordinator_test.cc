@@ -1,0 +1,187 @@
+// Tests of the Theorem 2 coordinator solver and the Lemma 3.7 sampling
+// protocol: correctness, round structure (3 rounds per iteration),
+// communication accounting, and scaling in k.
+
+#include "src/models/coordinator/coordinator_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+using coord::CoordinatorOptions;
+using coord::CoordinatorStats;
+using coord::SolveCoordinator;
+
+TEST(ChannelTest, AccountsBytesAndRounds) {
+  coord::Channel ch(2);
+  ch.BeginRound();
+  ch.ToSite(0, {1, 2, 3});
+  ch.ToCoordinator(0, {4, 5});
+  ch.BeginRound();
+  ch.ToSite(1, {6});
+  EXPECT_EQ(ch.rounds(), 2u);
+  EXPECT_EQ(ch.total_bytes(), 6u);
+  EXPECT_EQ(ch.total_bits(), 48u);
+  EXPECT_EQ(ch.messages(), 3u);
+  EXPECT_EQ(ch.bytes_to_sites(), 4u);
+  EXPECT_EQ(ch.bytes_to_coordinator(), 2u);
+}
+
+TEST(CoordinatorTest, MatchesDirectSolveLp) {
+  Rng rng(1);
+  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  CoordinatorStats stats;
+  auto result = SolveCoordinator(problem, parts, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  EXPECT_EQ(stats.k, 4u);
+  EXPECT_EQ(stats.n, inst.constraints.size());
+}
+
+TEST(CoordinatorTest, RoundsAreThreePerIteration) {
+  Rng rng(2);
+  auto inst = workload::RandomFeasibleLp(6000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 3, true, &rng);
+  CoordinatorStats stats;
+  auto result = SolveCoordinator(problem, parts, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.rounds, 3 * stats.iterations);
+}
+
+TEST(CoordinatorTest, CommunicationSublinearInN) {
+  Rng rng(3);
+  auto inst = workload::RandomFeasibleLp(100000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  CoordinatorOptions opt;
+  opt.r = 4;
+  opt.net.scale = 0.25;
+  CoordinatorStats stats;
+  auto result = SolveCoordinator(problem, parts, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  size_t ship_all_bytes = 0;
+  for (const auto& c : inst.constraints) {
+    ship_all_bytes += problem.ConstraintBytes(c);
+  }
+  EXPECT_LT(stats.total_bytes, ship_all_bytes / 2)
+      << "must beat ship-everything";
+}
+
+TEST(CoordinatorTest, SkewedPartitionStillCorrect) {
+  // All constraints on one site, others empty (adversarial partition).
+  Rng rng(4);
+  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  std::vector<std::vector<Halfspace>> parts(5);
+  parts[2] = inst.constraints;
+  CoordinatorStats stats;
+  auto result = SolveCoordinator(problem, parts, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(CoordinatorTest, ContiguousPartitionStillCorrect) {
+  Rng rng(5);
+  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
+  // Adversarial: sort then contiguous-partition, so related constraints are
+  // co-located.
+  std::sort(inst.constraints.begin(), inst.constraints.end(),
+            [](const Halfspace& a, const Halfspace& b) { return a.b < b.b; });
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 8, false, &rng);
+  auto result = SolveCoordinator(problem, parts, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(CoordinatorTest, SingleSiteWorks) {
+  Rng rng(6);
+  auto inst = workload::RandomFeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto result = SolveCoordinator(problem, {inst.constraints}, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(CoordinatorTest, NoSitesFails) {
+  LinearProgram problem(Vec{1, 1});
+  std::vector<std::vector<Halfspace>> parts;
+  auto result = SolveCoordinator(problem, parts, {}, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinatorTest, InfeasibleDetected) {
+  Rng rng(7);
+  auto inst = workload::RandomInfeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 3, true, &rng);
+  auto result = SolveCoordinator(problem, parts, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->value.feasible);
+}
+
+TEST(CoordinatorTest, WorksForSvmAndMeb) {
+  Rng rng(8);
+  {
+    auto pts = workload::SeparableSvmData(2000, 2, 0.5, &rng);
+    LinearSvm problem(2);
+    auto parts = workload::Partition(pts, 4, true, &rng);
+    auto result = SolveCoordinator(problem, parts, {}, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
+    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  }
+  {
+    auto pts = workload::GaussianCloud(4000, 3, &rng);
+    MinEnclosingBall problem(3);
+    auto parts = workload::Partition(pts, 4, true, &rng);
+    auto result = SolveCoordinator(problem, parts, {}, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto direct = problem.SolveValue(std::span<const Vec>(pts));
+    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  }
+}
+
+class CoordinatorSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, int, uint64_t>> {};
+
+TEST_P(CoordinatorSweep, CorrectAcrossKAndR) {
+  auto [k, r, seed] = GetParam();
+  Rng rng(seed);
+  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, k, true, &rng);
+  CoordinatorOptions opt;
+  opt.r = r;
+  opt.seed = seed * 7;
+  auto result = SolveCoordinator(problem, parts, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoordinatorSweep,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{8}, size_t{32}),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(51, 52)));
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,93 @@
+#include "src/solvers/coreset_meb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(CoresetMebTest, EmptyAndSingle) {
+  CoresetMebSolver solver;
+  EXPECT_TRUE(solver.Solve({}).ball.empty());
+  auto r = solver.Solve({Vec{5, 6}});
+  EXPECT_NEAR(r.ball.radius, 0, 1e-12);
+  EXPECT_NEAR(r.ball.center[0], 5, 1e-12);
+}
+
+TEST(CoresetMebTest, ContainsEverything) {
+  Rng rng(1);
+  CoresetMebSolver solver;
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t d = 2 + rng.UniformIndex(4);
+    auto pts = workload::GaussianCloud(2000, d, &rng);
+    auto r = solver.Solve(pts);
+    for (const auto& p : pts) {
+      EXPECT_TRUE(r.ball.Contains(p, 1e-9));  // Exact by construction.
+    }
+  }
+}
+
+TEST(CoresetMebTest, WithinEpsOfExact) {
+  Rng rng(2);
+  WelzlSolver exact;
+  for (double eps : {0.1, 0.03, 0.01}) {
+    CoresetMebSolver::Config cfg;
+    cfg.eps = eps;
+    CoresetMebSolver approx(cfg);
+    auto pts = workload::SphereCloud(3000, 3, 10.0, 0.3, &rng);
+    Ball truth = exact.Solve(pts);
+    auto r = approx.Solve(pts);
+    EXPECT_LE(r.ball.radius, truth.radius * (1 + eps) + 1e-9)
+        << "eps=" << eps;
+    EXPECT_GE(r.ball.radius, truth.radius - 1e-9);
+  }
+}
+
+TEST(CoresetMebTest, CoresetSizeIsEpsBounded) {
+  Rng rng(3);
+  CoresetMebSolver::Config cfg;
+  cfg.eps = 0.1;
+  CoresetMebSolver solver(cfg);
+  auto pts = workload::GaussianCloud(50000, 3, &rng);
+  auto r = solver.Solve(pts);
+  // 2/eps^2 + startup: independent of n.
+  EXPECT_LE(r.coreset.size(), 2.0 / (0.1 * 0.1) + 4);
+}
+
+TEST(CoresetMebTest, CoresetExactMebApproximatesFull) {
+  // The core-set property: the exact MEB of the core-set, inflated by
+  // (1+eps), covers the whole input.
+  Rng rng(4);
+  CoresetMebSolver::Config cfg;
+  cfg.eps = 0.05;
+  CoresetMebSolver solver(cfg);
+  WelzlSolver exact;
+  auto pts = workload::SphereCloud(5000, 3, 20.0, 0.2, &rng);
+  auto r = solver.Solve(pts);
+  Ball core_ball = exact.Solve(r.coreset);
+  Ball inflated = core_ball;
+  inflated.radius *= 1.0 + cfg.eps;
+  size_t outside = 0;
+  for (const auto& p : pts) {
+    if (!inflated.Contains(p, 1e-9)) ++outside;
+  }
+  EXPECT_EQ(outside, 0u);
+}
+
+TEST(CoresetMebTest, TightenedIterationCapStillContains) {
+  // Failure injection: a tiny iteration budget still yields a valid
+  // (if loose) enclosing ball, because the radius is computed exactly.
+  Rng rng(5);
+  CoresetMebSolver::Config cfg;
+  cfg.eps = 0.5;
+  cfg.max_iterations = 2;
+  CoresetMebSolver solver(cfg);
+  auto pts = workload::GaussianCloud(1000, 2, &rng);
+  auto r = solver.Solve(pts);
+  for (const auto& p : pts) EXPECT_TRUE(r.ball.Contains(p, 1e-9));
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,102 @@
+#include "src/core/eps_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/sampling.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(EpsNetTest, TheoryFormulaMatchesLemma22) {
+  // m = max(8L/e log(8L/e), 4/e log(2/delta)).
+  double eps = 0.1;
+  size_t lambda = 3;
+  double delta = 1.0 / 3.0;
+  double a = 8.0 * 3 / 0.1;
+  double expected = std::max(a * std::log(a), 4.0 / 0.1 * std::log(6.0));
+  EXPECT_EQ(EpsNetTheorySampleSize(eps, lambda, delta),
+            static_cast<size_t>(std::ceil(expected)));
+}
+
+TEST(EpsNetTest, TheorySizeGrowsWithShrinkingEps) {
+  EXPECT_LT(EpsNetTheorySampleSize(0.1, 3, 0.3),
+            EpsNetTheorySampleSize(0.01, 3, 0.3));
+}
+
+TEST(EpsNetTest, TheorySizeGrowsWithLambda) {
+  EXPECT_LT(EpsNetTheorySampleSize(0.1, 2, 0.3),
+            EpsNetTheorySampleSize(0.1, 8, 0.3));
+}
+
+TEST(EpsNetTest, PracticalSizeHasSameGrowth) {
+  EpsNetConfig cfg;
+  // eps = 1/(10 nu n^{1/r}): practical m ~ lambda nu n^{1/r}.
+  double eps1 = AlgorithmEpsilon(3, 1000, 2);
+  double eps2 = AlgorithmEpsilon(3, 100000, 2);
+  size_t m1 = EpsNetSampleSize(eps1, 3, cfg, 1, 0);
+  size_t m2 = EpsNetSampleSize(eps2, 3, cfg, 1, 0);
+  double ratio = static_cast<double>(m2) / static_cast<double>(m1);
+  EXPECT_NEAR(ratio, 10.0, 1.0);  // sqrt(100000/1000) = 10.
+}
+
+TEST(EpsNetTest, FloorAndClampRespected) {
+  EpsNetConfig cfg;
+  EXPECT_GE(EpsNetSampleSize(0.5, 1, cfg, 100, 0), 100u);
+  EXPECT_LE(EpsNetSampleSize(1e-9, 5, cfg, 1, 500), 500u);
+}
+
+TEST(EpsNetTest, ScaleMultiplies) {
+  EpsNetConfig cfg1;
+  EpsNetConfig cfg4;
+  cfg4.scale = 4.0;
+  double eps = AlgorithmEpsilon(3, 10000, 2);
+  size_t m1 = EpsNetSampleSize(eps, 4, cfg1, 1, 0);
+  size_t m4 = EpsNetSampleSize(eps, 4, cfg4, 1, 0);
+  EXPECT_NEAR(static_cast<double>(m4) / m1, 4.0, 0.1);
+}
+
+TEST(EpsNetTest, AlgorithmEpsilonFormula) {
+  // eps = 1/(10 nu n^{1/r}).
+  EXPECT_NEAR(AlgorithmEpsilon(3, 10000, 2), 1.0 / (10 * 3 * 100), 1e-12);
+  EXPECT_NEAR(WeightIncreaseRate(10000, 2), 100.0, 1e-9);
+  EXPECT_NEAR(WeightIncreaseRate(8, 3), 2.0, 1e-9);
+}
+
+// Empirical eps-net property (experiment E8's test-sized sibling): sample
+// m points from weighted 1-d intervals and check net coverage. Ranges are
+// intervals [t, +inf): VC dimension 1.
+TEST(EpsNetTest, EmpiricalNetPropertyOnIntervals) {
+  Rng rng(113);
+  const size_t n = 5000;
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.UniformDouble(0, 1);
+
+  const double eps = 0.05;
+  const size_t m = EpsNetTheorySampleSize(eps, 1, 1.0 / 3.0);
+
+  int failures = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    // Uniform weights; sample m values i.i.d.
+    std::vector<double> sample;
+    for (size_t i = 0; i < m; ++i) {
+      sample.push_back(values[rng.UniformIndex(n)]);
+    }
+    // The net property for threshold ranges: for any threshold with >= eps
+    // mass above it, the sample contains a point above it. Equivalently the
+    // sample max must exceed the (1-eps)-quantile.
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    double quantile = sorted[static_cast<size_t>((1.0 - eps) * n)];
+    double sample_max = *std::max_element(sample.begin(), sample.end());
+    if (sample_max < quantile) ++failures;
+  }
+  // Lemma 2.2 promises failure probability <= 1/3; the margin here is large.
+  EXPECT_LE(failures, trials / 3);
+}
+
+}  // namespace
+}  // namespace lplow

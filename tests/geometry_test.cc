@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/geometry/halfspace.h"
+#include "src/geometry/linear_solve.h"
+#include "src/geometry/vec.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(VecTest, Arithmetic) {
+  Vec a{1, 2, 3};
+  Vec b{4, 5, 6};
+  EXPECT_EQ((a + b)[0], 5);
+  EXPECT_EQ((b - a)[2], 3);
+  EXPECT_EQ((a * 2.0)[1], 4);
+  EXPECT_EQ((2.0 * a)[1], 4);
+  EXPECT_EQ(a.Dot(b), 32);
+}
+
+TEST(VecTest, Norms) {
+  Vec a{3, 4};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(a.InfNorm(), 4.0);
+  EXPECT_DOUBLE_EQ((Vec{-7, 2}).InfNorm(), 7.0);
+}
+
+TEST(VecTest, LexCompare) {
+  Vec a{1, 2};
+  Vec b{1, 3};
+  EXPECT_EQ(a.LexCompare(b, 1e-9), -1);
+  EXPECT_EQ(b.LexCompare(a, 1e-9), 1);
+  EXPECT_EQ(a.LexCompare(a, 1e-9), 0);
+  // Tolerance makes near-equal coordinates tie.
+  Vec c{1.0 + 1e-12, 2};
+  EXPECT_EQ(a.LexCompare(c, 1e-9), 0);
+}
+
+TEST(VecTest, ApproxEquals) {
+  Vec a{1, 2};
+  EXPECT_TRUE(a.ApproxEquals(Vec{1 + 1e-10, 2 - 1e-10}, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(Vec{1.1, 2}, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(Vec{1, 2, 3}, 1e-9));
+}
+
+TEST(LinearSolveTest, Identity) {
+  Mat a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(1, 1) = 1;
+  auto x = SolveLinearSystem(a, Vec{3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3, 1e-12);
+  EXPECT_NEAR((*x)[1], 4, 1e-12);
+}
+
+TEST(LinearSolveTest, KnownSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  Mat a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = -1;
+  auto x = SolveLinearSystem(a, Vec{5, 1});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2, 1e-12);
+  EXPECT_NEAR((*x)[1], 1, 1e-12);
+}
+
+TEST(LinearSolveTest, RequiresPivoting) {
+  // Zero on the diagonal: needs row swap.
+  Mat a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  auto x = SolveLinearSystem(a, Vec{7, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 9, 1e-12);
+  EXPECT_NEAR((*x)[1], 7, 1e-12);
+}
+
+TEST(LinearSolveTest, SingularFails) {
+  Mat a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  auto x = SolveLinearSystem(a, Vec{1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(LinearSolveTest, RandomizedResidualProperty) {
+  Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.UniformIndex(8);
+    Mat a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a.At(i, j) = rng.UniformDouble(-10, 10);
+      a.At(i, i) += 20;  // Diagonal dominance: well-conditioned.
+    }
+    Vec b(n);
+    for (size_t i = 0; i < n; ++i) b[i] = rng.UniformDouble(-10, 10);
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    Vec residual = a.Apply(*x) - b;
+    EXPECT_LT(residual.InfNorm(), 1e-9);
+  }
+}
+
+TEST(LinearSolveTest, MatrixRank) {
+  Mat a(3, 3);
+  a.At(0, 0) = 1;
+  a.At(1, 1) = 1;
+  EXPECT_EQ(MatrixRank(a), 2u);
+  a.At(2, 2) = 1;
+  EXPECT_EQ(MatrixRank(a), 3u);
+  Mat zero(4, 4);
+  EXPECT_EQ(MatrixRank(zero), 0u);
+}
+
+TEST(LinearSolveTest, LeastSquaresExactOnConsistentSystem) {
+  // Overdetermined but consistent: y = 2x over three samples.
+  Mat a(3, 1);
+  a.At(0, 0) = 1;
+  a.At(1, 0) = 2;
+  a.At(2, 0) = 3;
+  auto x = SolveLeastSquares(a, Vec{2, 4, 6});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+}
+
+TEST(HalfspaceTest, SlackAndContains) {
+  Halfspace h(Vec{1, 1}, 2);  // x + y <= 2.
+  EXPECT_DOUBLE_EQ(h.Slack(Vec{1, 0}), 1.0);
+  EXPECT_TRUE(h.Contains(Vec{1, 1}, 1e-9));
+  EXPECT_FALSE(h.Contains(Vec{2, 1}, 1e-9));
+  // Tolerance admits slight violations.
+  EXPECT_TRUE(h.Contains(Vec{1.0, 1.0 + 1e-10}, 1e-9));
+}
+
+TEST(HalfspaceTest, SerializationRoundTrip) {
+  Halfspace h(Vec{1.5, -2.25, 3.125}, -7.75);
+  BitWriter w;
+  h.Serialize(&w);
+  EXPECT_EQ(w.size_bytes(), h.SerializedBytes());
+  BitReader r(w.buffer());
+  auto h2 = Halfspace::Deserialize(&r);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2->dim(), 3u);
+  EXPECT_EQ(h2->a[1], -2.25);
+  EXPECT_EQ(h2->b, -7.75);
+}
+
+TEST(HalfspaceTest, DeserializeTruncatedFails) {
+  Halfspace h(Vec{1, 2}, 3);
+  BitWriter w;
+  h.Serialize(&w);
+  auto buf = w.buffer();
+  buf.resize(buf.size() - 4);
+  BitReader r(buf);
+  EXPECT_FALSE(Halfspace::Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,164 @@
+// Cross-model agreement: for identical inputs, the sequential reference
+// (Algorithm 1), the streaming solver (Theorem 1), the coordinator solver
+// (Theorem 2), the MPC solver (Theorem 3), and a direct solve must all
+// report the same f(S) — across all three problems of Section 4.
+
+#include <gtest/gtest.h>
+
+#include "src/core/clarkson.h"
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+template <LpTypeProblem P>
+void CheckAllModelsAgree(const P& problem,
+                         const std::vector<typename P::Constraint>& input,
+                         uint64_t seed) {
+  using Constraint = typename P::Constraint;
+  Rng rng(seed);
+
+  auto direct = problem.SolveValue(std::span<const Constraint>(input));
+
+  ClarksonOptions copt;
+  copt.r = 2;
+  copt.net.scale = 0.1;  // Leave the direct-solve regime at test-sized n.
+  copt.seed = seed;
+  auto sequential =
+      ClarksonSolve(problem, std::span<const Constraint>(input), copt,
+                    nullptr);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(problem.CompareValues(sequential->value, direct), 0)
+      << "sequential != direct";
+
+  stream::VectorStream<Constraint> vs(input);
+  stream::StreamingOptions sopt;
+  sopt.r = 2;
+  sopt.net.scale = 0.1;
+  sopt.seed = seed + 1;
+  auto streaming = stream::SolveStreaming(problem, vs, sopt, nullptr);
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_EQ(problem.CompareValues(streaming->value, direct), 0)
+      << "streaming != direct";
+
+  auto parts = workload::Partition(input, 4, true, &rng);
+  coord::CoordinatorOptions ccopt;
+  ccopt.r = 2;
+  ccopt.net.scale = 0.1;
+  ccopt.seed = seed + 2;
+  auto coordinated = coord::SolveCoordinator(problem, parts, ccopt, nullptr);
+  ASSERT_TRUE(coordinated.ok());
+  EXPECT_EQ(problem.CompareValues(coordinated->value, direct), 0)
+      << "coordinator != direct";
+
+  auto parts2 = workload::Partition(input, 8, true, &rng);
+  mpc::MpcOptions mopt;
+  mopt.delta = 0.5;
+  mopt.net.scale = 0.1;
+  mopt.seed = seed + 3;
+  auto parallel = mpc::SolveMpc(problem, parts2, mopt, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(problem.CompareValues(parallel->value, direct), 0)
+      << "mpc != direct";
+}
+
+class CrossModelLp : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossModelLp, AllAgree) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(2);
+  auto inst = workload::RandomFeasibleLp(3000, d, &rng);
+  LinearProgram problem(inst.objective);
+  CheckAllModelsAgree(problem, inst.constraints, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelLp,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class CrossModelSvm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossModelSvm, AllAgree) {
+  Rng rng(GetParam());
+  auto pts = workload::SeparableSvmData(1500, 2, 0.5, &rng);
+  LinearSvm problem(2);
+  CheckAllModelsAgree(problem, pts, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelSvm, ::testing::Values(11, 12, 13));
+
+class CrossModelMeb : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossModelMeb, AllAgree) {
+  Rng rng(GetParam());
+  auto pts = workload::GaussianCloud(3000, 3, &rng);
+  MinEnclosingBall problem(3);
+  CheckAllModelsAgree(problem, pts, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelMeb, ::testing::Values(21, 22, 23));
+
+TEST(IntegrationTest, ChebyshevRegressionEndToEndStreaming) {
+  // The paper's motivating workload: over-constrained robust regression in
+  // the streaming model.
+  Rng rng(31);
+  auto data = workload::RandomRegressionData(4000, 2, 0.25, &rng);
+  auto lp = workload::ChebyshevRegressionLp(data);
+  LinearProgram problem(lp.objective);
+  stream::VectorStream<Halfspace> s(lp.constraints);
+  stream::StreamingOptions opt;
+  opt.r = 4;
+  opt.net.scale = 0.15;
+  stream::StreamingStats stats;
+  auto result = stream::SolveStreaming(problem, s, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->value.feasible);
+  // The optimal max-residual t is bounded by the injected noise.
+  EXPECT_LE(result->value.objective, 0.25 + 1e-5);
+  EXPECT_GE(result->value.objective, 0.0 - 1e-7);
+  EXPECT_LT(stats.peak_items, lp.constraints.size() / 2);
+}
+
+TEST(IntegrationTest, InfeasibleAcrossModels) {
+  Rng rng(37);
+  auto inst = workload::RandomInfeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+
+  stream::VectorStream<Halfspace> s(inst.constraints);
+  auto streaming = stream::SolveStreaming(problem, s, {}, nullptr);
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_FALSE(streaming->value.feasible);
+
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  auto coordinated = coord::SolveCoordinator(problem, parts, {}, nullptr);
+  ASSERT_TRUE(coordinated.ok());
+  EXPECT_FALSE(coordinated->value.feasible);
+
+  auto parallel = mpc::SolveMpc(problem, parts, {}, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_FALSE(parallel->value.feasible);
+}
+
+TEST(IntegrationTest, BasisCertifiesOptimum) {
+  // The returned basis is a succinct certificate: re-solving just the basis
+  // reproduces f(S), and nothing in S violates it.
+  Rng rng(41);
+  auto inst = workload::RandomFeasibleLp(5000, 3, &rng);
+  LinearProgram problem(inst.objective);
+  stream::VectorStream<Halfspace> s(inst.constraints);
+  auto result = stream::SolveStreaming(problem, s, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->basis.size(), problem.CombinatorialDimension());
+  for (const auto& c : inst.constraints) {
+    EXPECT_FALSE(problem.Violates(result->value, c));
+  }
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,99 @@
+#include "src/solvers/lex_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(LexLpTest, BreaksTiesLexicographically) {
+  // min 0 (constant objective): every feasible point optimal; lex-min picks
+  // the smallest x_0, then smallest x_1.
+  SolverConfig cfg;
+  cfg.box_bound = 10;
+  LexLpSolver solver(cfg);
+  std::vector<Halfspace> cs = {Halfspace(Vec{-1, 0}, 2),   // x >= -2.
+                               Halfspace(Vec{0, -1}, 5)};  // y >= -5.
+  LpSolution s = solver.Solve(cs, Vec{0, 0});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.point[0], -2, 1e-5);
+  EXPECT_NEAR(s.point[1], -5, 1e-5);
+}
+
+TEST(LexLpTest, DegenerateObjectiveEdge) {
+  // min y over a square: the whole bottom edge is optimal; lex picks its
+  // left endpoint.
+  SolverConfig cfg;
+  cfg.box_bound = 100;
+  LexLpSolver solver(cfg);
+  std::vector<Halfspace> cs = {
+      Halfspace(Vec{1, 0}, 3), Halfspace(Vec{-1, 0}, 1),   // -1 <= x <= 3.
+      Halfspace(Vec{0, 1}, 2), Halfspace(Vec{0, -1}, 1)};  // -1 <= y <= 2.
+  LpSolution s = solver.Solve(cs, Vec{0, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.point[1], -1, 1e-5);  // min y.
+  EXPECT_NEAR(s.point[0], -1, 1e-5);  // lex tie-break.
+}
+
+TEST(LexLpTest, MatchesSeidelObjective) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t d = 2 + rng.UniformIndex(3);
+    auto inst = workload::RandomFeasibleLp(60, d, &rng);
+    LexLpSolver lex;
+    SeidelSolver plain;
+    LpSolution a = lex.Solve(inst.constraints, inst.objective);
+    LpSolution b = plain.Solve(inst.constraints, inst.objective);
+    ASSERT_TRUE(a.optimal());
+    ASSERT_TRUE(b.optimal());
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-5 * std::max(1.0, std::fabs(b.objective)));
+  }
+}
+
+TEST(LexLpTest, InfeasiblePassesThrough) {
+  LexLpSolver solver;
+  LpSolution s = solver.Solve(
+      {Halfspace(Vec{1, 0}, -5), Halfspace(Vec{-1, 0}, -5)}, Vec{1, 0});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(LexLpTest, TouchesBoxDetectsUnbounded) {
+  SolverConfig cfg;
+  cfg.box_bound = 1000;
+  LexLpSolver solver(cfg);
+  // min x with no constraints: optimum pinned at the box.
+  LpSolution s = solver.Solve({}, Vec{1, 0});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_TRUE(solver.TouchesBox(s));
+  // A genuinely bounded program does not touch the box.
+  LpSolution t = solver.Solve({Halfspace(Vec{-1, 0}, 2),
+                               Halfspace(Vec{0, -1}, 2),
+                               Halfspace(Vec{1, 0}, 2),
+                               Halfspace(Vec{0, 1}, 2)},
+                              Vec{1, 1});
+  ASSERT_TRUE(t.optimal());
+  EXPECT_FALSE(solver.TouchesBox(t));
+}
+
+TEST(LexLpTest, LexUniquenessAcrossEquivalentOrderings) {
+  // The lex optimum must not depend on constraint order.
+  Rng rng(67);
+  auto inst = workload::RandomFeasibleLp(30, 3, &rng);
+  LexLpSolver solver;
+  LpSolution ref = solver.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(ref.optimal());
+  for (int trial = 0; trial < 5; ++trial) {
+    auto shuffled = inst.constraints;
+    rng.Shuffle(&shuffled);
+    LpSolution s = solver.Solve(shuffled, inst.objective);
+    ASSERT_TRUE(s.optimal());
+    EXPECT_TRUE(s.point.ApproxEquals(ref.point, 1e-4))
+        << s.point.ToString() << " vs " << ref.point.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace lplow

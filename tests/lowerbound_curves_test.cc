@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/lowerbound/aug_index.h"
+#include "src/lowerbound/curves.h"
+#include "src/lowerbound/tci.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace lb {
+namespace {
+
+TEST(StepCurveTest, CorrectedIndexing) {
+  // bits x_1..x_3 drive increments 2..4: z = [1, 1+2+x1, ..., ].
+  std::vector<uint8_t> bits = {1, 0, 1};
+  auto z = StepCurve(bits, Rational(0));
+  ASSERT_EQ(z.size(), 4u);
+  EXPECT_EQ(z[0], Rational(1));
+  EXPECT_EQ(z[1], Rational(1 + 2 + 1));
+  EXPECT_EQ(z[2], Rational(4 + 3 + 0));
+  EXPECT_EQ(z[3], Rational(7 + 4 + 1));
+}
+
+TEST(StepCurveTest, AlphaShiftsSlopes) {
+  std::vector<uint8_t> bits = {0, 0};
+  auto base = StepCurve(bits, Rational(0));
+  auto shifted = StepCurve(bits, Rational(5));
+  for (size_t i = 1; i < base.size(); ++i) {
+    Rational ds = (shifted[i] - shifted[i - 1]) - (base[i] - base[i - 1]);
+    EXPECT_EQ(ds, Rational(5));
+  }
+}
+
+TEST(StepCurveTest, AlwaysIncreasingAndConvex) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> bits(10);
+    for (auto& b : bits) b = rng.Bernoulli(0.5);
+    auto z = StepCurve(bits, Rational(0));
+    for (size_t i = 1; i < z.size(); ++i) EXPECT_GT(z[i], z[i - 1]);
+    // Convexity: increments i + x_{i-1} can regress by at most... check the
+    // defining inequality directly.
+    for (size_t i = 2; i < z.size(); ++i) {
+      EXPECT_GE(z[i] - z[i - 1], z[i - 1] - z[i - 2]);
+    }
+  }
+}
+
+TEST(LineSegmentTest, MatchesFact55) {
+  RationalPoint p1{Rational(1), Rational(10)};
+  RationalPoint p2{Rational(5), Rational(2)};  // Slope -2.
+  auto z = LineSegment(p1, p2, 1, 5);
+  ASSERT_EQ(z.size(), 5u);
+  EXPECT_EQ(z[0], Rational(10));
+  EXPECT_EQ(z[4], Rational(2));
+  for (size_t i = 1; i < z.size(); ++i) {
+    EXPECT_EQ(z[i] - z[i - 1], Rational(-2));
+  }
+}
+
+TEST(LineSegmentTest, RationalSlope) {
+  RationalPoint p1{Rational(0), Rational(0)};
+  RationalPoint p2{Rational(3), Rational(1)};  // Slope 1/3.
+  auto z = LineSegment(p1, p2, 0, 3);
+  EXPECT_EQ(z[1], Rational::Make(1, 3));
+  EXPECT_EQ(z[3], Rational(1));
+}
+
+TEST(SlopesTest, RangeComputation) {
+  std::vector<Rational> z = {Rational(0), Rational(1), Rational(3),
+                             Rational(6)};
+  auto slopes = Slopes(z);
+  ASSERT_EQ(slopes.size(), 3u);
+  EXPECT_EQ(slopes[2], Rational(3));
+  auto range = ComputeSlopeRange(z);
+  EXPECT_EQ(range.min, Rational(1));
+  EXPECT_EQ(range.max, Rational(3));
+}
+
+TEST(TciValidateTest, AcceptsValidInstance) {
+  TciInstance t;
+  t.a = {Rational(1), Rational(3), Rational(6), Rational(10)};
+  t.b = {Rational(9), Rational(5), Rational(2), Rational(0)};
+  EXPECT_TRUE(ValidateTci(t).ok());
+  auto ans = TciAnswer(t);
+  ASSERT_TRUE(ans.has_value());
+  EXPECT_EQ(*ans, 2u);  // a_2=3 <= b_2=5, a_3=6 > b_3=2.
+}
+
+TEST(TciValidateTest, RejectsNonMonotone) {
+  TciInstance t;
+  t.a = {Rational(1), Rational(1)};  // Not strictly increasing.
+  t.b = {Rational(5), Rational(4)};
+  EXPECT_FALSE(ValidateTci(t).ok());
+}
+
+TEST(TciValidateTest, RejectsNonConvexA) {
+  TciInstance t;
+  t.a = {Rational(0), Rational(5), Rational(6), Rational(7)};  // Diffs 5,1,1.
+  t.b = {Rational(10), Rational(8), Rational(6), Rational(4)};
+  auto st = ValidateTci(t);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("A not convex"), std::string::npos);
+}
+
+TEST(TciValidateTest, RejectsNoCrossing) {
+  TciInstance t;
+  t.a = {Rational(1), Rational(2)};
+  t.b = {Rational(9), Rational(8)};  // B stays above A.
+  EXPECT_FALSE(ValidateTci(t).ok());
+}
+
+TEST(TciValidateTest, RejectsLengthMismatch) {
+  TciInstance t;
+  t.a = {Rational(1), Rational(2)};
+  t.b = {Rational(9)};
+  EXPECT_FALSE(ValidateTci(t).ok());
+}
+
+TEST(TciGaugeTest, AffineGaugePreservesAnswer) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    AugIndexInstance aug = RandomAugIndex(6, &rng);
+    auto red = BuildTciFromAugIndex(aug, Rational(7));
+    auto before = TciAnswer(red.tci);
+    ASSERT_TRUE(before.has_value());
+    ApplyAffineGauge(&red.tci, Rational::Make(rng.UniformInt(-20, 20), 3),
+                     Rational(1), Rational(rng.UniformInt(-100, 100)));
+    auto after = TciAnswer(red.tci);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(*before, *after) << "gauge invariance (slope/origin shifts)";
+  }
+}
+
+TEST(TciBitComplexityTest, GrowsWithMagnitude) {
+  TciInstance small;
+  small.a = {Rational(1), Rational(2)};
+  small.b = {Rational(5), Rational(3)};
+  TciInstance big = small;
+  BigInt huge = BigInt::FromString("123456789012345678901234567890");
+  big.a[1] = Rational(huge);
+  EXPECT_GT(TciBitComplexity(big), TciBitComplexity(small));
+}
+
+// --- Lemma 5.6 reduction: exhaustive over all bit patterns and indices for
+// small sizes (the DESIGN.md correction's acceptance test).
+TEST(AugIndexReductionTest, ExhaustiveSmall) {
+  for (size_t m = 1; m <= 8; ++m) {
+    for (uint32_t pattern = 0; pattern < (1u << m); ++pattern) {
+      for (size_t istar = 1; istar <= m; ++istar) {
+        AugIndexInstance aug;
+        aug.bits.resize(m);
+        for (size_t j = 0; j < m; ++j) aug.bits[j] = (pattern >> j) & 1;
+        aug.index = istar;
+        auto red = BuildTciFromAugIndex(aug, Rational(3));
+        ASSERT_TRUE(ValidateTci(red.tci).ok())
+            << "m=" << m << " pattern=" << pattern << " i*=" << istar;
+        auto ans = TciAnswer(red.tci);
+        ASSERT_TRUE(ans.has_value());
+        // Corrected Lemma 5.6: answer i* iff bit 1, i*+1 iff bit 0.
+        size_t expected = aug.TargetBit() ? istar : istar + 1;
+        EXPECT_EQ(*ans, expected);
+        EXPECT_EQ(DecodeAugIndexBit(red, *ans), aug.TargetBit());
+      }
+    }
+  }
+}
+
+TEST(AugIndexReductionTest, WorksWithHugeSlope) {
+  Rng rng(3);
+  AugIndexInstance aug = RandomAugIndex(10, &rng);
+  BigInt k = BigInt::FromString("1000000000000000000000000");
+  auto red = BuildTciFromAugIndex(aug, Rational(k));
+  EXPECT_TRUE(ValidateTci(red.tci).ok());
+  auto ans = TciAnswer(red.tci);
+  ASSERT_TRUE(ans.has_value());
+  EXPECT_EQ(DecodeAugIndexBit(red, *ans), aug.TargetBit());
+}
+
+TEST(RandomAugIndexTest, Shapes) {
+  Rng rng(4);
+  auto aug = RandomAugIndex(17, &rng);
+  EXPECT_EQ(aug.bits.size(), 17u);
+  EXPECT_GE(aug.index, 1u);
+  EXPECT_LE(aug.index, 17u);
+}
+
+}  // namespace
+}  // namespace lb
+}  // namespace lplow

@@ -1,0 +1,185 @@
+// Tests of the TCI communication protocols and the Figure 1b LP reduction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lowerbound/aug_index.h"
+#include "src/lowerbound/hard_instance.h"
+#include "src/lowerbound/tci_protocols.h"
+#include "src/lowerbound/tci_to_lp.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace lb {
+namespace {
+
+TciInstance RandomValidInstance(size_t bits, Rng* rng) {
+  AugIndexInstance aug = RandomAugIndex(bits, rng);
+  return BuildTciFromAugIndex(aug, Rational(3 + rng->UniformInt(0, 20))).tci;
+}
+
+TEST(FullSendTest, CorrectAndLinearCost) {
+  Rng rng(1);
+  auto t = RandomValidInstance(20, &rng);
+  ProtocolStats st;
+  auto ans = FullSendProtocol(t, &st);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(*ans, *TciAnswer(t));
+  EXPECT_EQ(st.messages, 1u);
+  EXPECT_GE(st.bits, t.n() * 16);  // At least the headers of n rationals.
+}
+
+TEST(BlockDescentTest, CorrectOnRandomInstances) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto t = RandomValidInstance(5 + rng.UniformIndex(40), &rng);
+    BlockDescentOptions opt;
+    opt.grid = 2 + rng.UniformIndex(8);
+    ProtocolStats st;
+    auto ans = BlockDescentProtocol(t, opt, &st);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(*ans, *TciAnswer(t)) << "trial " << trial;
+  }
+}
+
+TEST(BlockDescentTest, CorrectOnHardInstances) {
+  for (int r = 1; r <= 3; ++r) {
+    HardInstanceOptions opt;
+    opt.base_n = 4;
+    opt.rounds = r;
+    Rng rng(100 + r);
+    HardInstance h = BuildHardInstance(opt, &rng);
+    BlockDescentOptions bopt;
+    bopt.grid = 4;
+    ProtocolStats st;
+    auto ans = BlockDescentProtocol(h.tci, bopt, &st);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(*ans, h.expected_answer);
+    // Grid = n^{1/r} = 4 should finish in about r grid rounds (each round is
+    // an Alice message plus a Bob reply).
+    EXPECT_LE(st.messages, 2u * (static_cast<size_t>(r) + 2));
+  }
+}
+
+TEST(BlockDescentTest, CommunicationFallsWithMoreRounds) {
+  // The pass/communication trade-off: larger grid = fewer rounds but more
+  // bits per round; the total for grid=n is ~n while grid=2 is ~log n.
+  HardInstanceOptions opt;
+  opt.base_n = 6;
+  opt.rounds = 3;  // n = 216.
+  Rng rng(7);
+  HardInstance h = BuildHardInstance(opt, &rng);
+
+  ProtocolStats one_shot, binary;
+  {
+    BlockDescentOptions o;
+    o.grid = h.tci.n();
+    ASSERT_TRUE(BlockDescentProtocol(h.tci, o, &one_shot).ok());
+  }
+  {
+    BlockDescentOptions o;
+    o.grid = 2;
+    ASSERT_TRUE(BlockDescentProtocol(h.tci, o, &binary).ok());
+  }
+  EXPECT_LT(one_shot.messages, binary.messages);
+  EXPECT_GT(one_shot.bits, binary.bits);
+}
+
+TEST(TciToLpTest, LinesCountAndContainCurves) {
+  Rng rng(3);
+  auto t = RandomValidInstance(10, &rng);
+  auto lines = TciToLines(t);
+  EXPECT_EQ(lines.size(), 2 * t.n() - 2);
+  // Every curve point lies ON its segment's line (and above no line by
+  // construction of convexity — spot check containment).
+  for (size_t i = 0; i + 1 < t.n(); ++i) {
+    Rational x(static_cast<int64_t>(i + 1));
+    EXPECT_EQ(lines[i].ValueAt(x), t.a[i]);
+  }
+}
+
+TEST(TciToLpTest, ReductionMatchesAnswerOnRandomInstances) {
+  Rng rng(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto t = RandomValidInstance(4 + rng.UniformIndex(30), &rng);
+    auto lp = SolveTciViaLp(t);
+    ASSERT_TRUE(lp.ok());
+    EXPECT_EQ(lp->index, *TciAnswer(t)) << "trial " << trial;
+  }
+}
+
+TEST(TciToLpTest, ReductionMatchesAnswerOnHardInstances) {
+  // Corollary 8 end-to-end with exact arithmetic, including r = 3 instances
+  // whose coordinates exceed double precision.
+  for (int r = 1; r <= 3; ++r) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      HardInstanceOptions opt;
+      opt.base_n = 4;
+      opt.rounds = r;
+      Rng rng(seed * 17 + r);
+      HardInstance h = BuildHardInstance(opt, &rng);
+      auto lp = SolveTciViaLp(h.tci);
+      ASSERT_TRUE(lp.ok());
+      EXPECT_EQ(lp->index, h.expected_answer) << "r=" << r << " s=" << seed;
+    }
+  }
+}
+
+TEST(TciToLpTest, LpOptimumIsOnBothCurveEnvelopes) {
+  Rng rng(5);
+  auto t = RandomValidInstance(12, &rng);
+  auto lp = SolveTciViaLp(t);
+  ASSERT_TRUE(lp.ok());
+  // The optimum must satisfy every constraint line.
+  for (const auto& line : TciToLines(t)) {
+    EXPECT_GE(lp->y, line.ValueAt(lp->x));
+  }
+}
+
+TEST(RationalWireBitsTest, TracksMagnitude) {
+  EXPECT_LT(RationalWireBits(Rational(1)),
+            RationalWireBits(Rational(BigInt::FromString(
+                "9999999999999999999999999999"))));
+}
+
+// The measured communication shape of Theorem 7's bracketing upper bound:
+// block-descent with grid n^{1/r} costs Theta(r * n^{1/r}) values. Growing
+// r must reduce the per-protocol bit count on the same instance family.
+TEST(ProtocolShapeTest, BitsShrinkWithRounds) {
+  HardInstanceOptions opt;
+  opt.base_n = 4;
+  opt.rounds = 4;  // n = 256.
+  Rng rng(6);
+  HardInstance h = BuildHardInstance(opt, &rng);
+  const size_t n = h.tci.n();
+
+  size_t bits_r1, bits_r2, bits_r4;
+  {
+    ProtocolStats st;
+    BlockDescentOptions o;
+    o.grid = n;  // 1 grid round.
+    ASSERT_TRUE(BlockDescentProtocol(h.tci, o, &st).ok());
+    bits_r1 = st.bits;
+  }
+  {
+    ProtocolStats st;
+    BlockDescentOptions o;
+    o.grid = 16;  // n^{1/2}.
+    ASSERT_TRUE(BlockDescentProtocol(h.tci, o, &st).ok());
+    bits_r2 = st.bits;
+  }
+  {
+    ProtocolStats st;
+    BlockDescentOptions o;
+    o.grid = 4;  // n^{1/4}.
+    ASSERT_TRUE(BlockDescentProtocol(h.tci, o, &st).ok());
+    bits_r4 = st.bits;
+  }
+  EXPECT_GT(bits_r1, bits_r2);
+  EXPECT_GT(bits_r2, bits_r4);
+}
+
+}  // namespace
+}  // namespace lb
+}  // namespace lplow

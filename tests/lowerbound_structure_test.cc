@@ -1,0 +1,133 @@
+// Structural checks on the D_r assembly that back Observations 5.11/5.12:
+// in an even-level instance the *inactive* player's curve (Alice) is linear
+// outside the single special block, while the active player's curve (Bob)
+// carries genuine per-block structure everywhere — and vice versa at odd
+// levels. These are the geometric prerequisites for the information-
+// theoretic obliviousness argument.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/lowerbound/curves.h"
+#include "src/lowerbound/hard_instance.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace lb {
+namespace {
+
+// Number of indices i where the slope changes (kinks) in z.
+size_t CountKinks(const std::vector<Rational>& z) {
+  auto slopes = Slopes(z);
+  size_t kinks = 0;
+  for (size_t i = 1; i < slopes.size(); ++i) {
+    if (slopes[i] != slopes[i - 1]) ++kinks;
+  }
+  return kinks;
+}
+
+TEST(HardStructureTest, EvenLevelAliceLinearOutsideSpecialBlock) {
+  // r = 2: Alice = extension + one real step-curve block + extension. Her
+  // kinks must all fall inside (or at the edges of) block z*.
+  HardInstanceOptions opt;
+  opt.base_n = 6;
+  opt.rounds = 2;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    HardInstance h = BuildHardInstance(opt, &rng);
+    const size_t block = 6;  // n_{r-1}.
+    const size_t zstar = h.zstar_chain[0];
+    auto slopes = Slopes(h.tci.a);
+    // Slope index i is the step from point i+1 to i+2 (1-based points).
+    size_t lo = (zstar - 1) * block;      // First in-block slope index.
+    size_t hi = zstar * block - 1;        // One past the block's last slope.
+    for (size_t i = 1; i < slopes.size(); ++i) {
+      if (slopes[i] != slopes[i - 1]) {
+        EXPECT_GE(i + 1, lo == 0 ? 0 : lo)
+            << "kink outside block z* (left), seed " << seed;
+        EXPECT_LE(i, hi) << "kink outside block z* (right), seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(HardStructureTest, EvenLevelBobCarriesAllBlocks) {
+  // Bob's curve concatenates N base lines with distinct gauged slopes: at
+  // least N distinct slope values must appear.
+  HardInstanceOptions opt;
+  opt.base_n = 6;
+  opt.rounds = 2;
+  Rng rng(3);
+  HardInstance h = BuildHardInstance(opt, &rng);
+  auto slopes = Slopes(h.tci.b);
+  std::set<std::string> distinct;
+  for (const auto& s : slopes) distinct.insert(s.ToString());
+  EXPECT_GE(distinct.size(), opt.base_n)
+      << "every block must contribute its own slope range";
+}
+
+TEST(HardStructureTest, OddLevelBobLinearOutsideSpecialBlock) {
+  // r = 3 (odd): Bob = extension + one real block + extension; Alice is the
+  // concatenation. Bob's kink count must be bounded by the block interior,
+  // Alice's must exceed it.
+  HardInstanceOptions opt;
+  opt.base_n = 4;
+  opt.rounds = 3;
+  Rng rng(5);
+  HardInstance h = BuildHardInstance(opt, &rng);
+  const size_t block = 16;  // n_{r-1} = 4^2.
+  size_t bob_kinks = CountKinks(h.tci.b);
+  size_t alice_kinks = CountKinks(h.tci.a);
+  EXPECT_LE(bob_kinks, block + 1) << "Bob is linear outside block z*";
+  EXPECT_GT(alice_kinks, bob_kinks)
+      << "Alice (active at odd levels) carries all blocks";
+}
+
+TEST(HardStructureTest, EvenLevelBobEndsAtAnchor) {
+  // The paper's origin anchor p_B = (n_r, 0): Bob's last value is exactly 0
+  // at even levels.
+  HardInstanceOptions opt;
+  opt.base_n = 5;
+  opt.rounds = 2;
+  Rng rng(7);
+  HardInstance h = BuildHardInstance(opt, &rng);
+  EXPECT_EQ(h.tci.b.back(), Rational(0));
+}
+
+TEST(HardStructureTest, GaugePreservesSubInstanceAnswerMechanism) {
+  // The operator invariance the whole construction rests on: applying any
+  // affine gauge to a valid instance preserves validity and the answer.
+  Rng rng(9);
+  HardInstanceOptions opt;
+  opt.base_n = 4;
+  opt.rounds = 2;
+  HardInstance h = BuildHardInstance(opt, &rng);
+  size_t before = *TciAnswer(h.tci);
+  ApplyAffineGauge(&h.tci, Rational::Make(7, 3), Rational(1),
+                   Rational(-12345));
+  ASSERT_TRUE(ValidateTci(h.tci).ok());
+  EXPECT_EQ(*TciAnswer(h.tci), before);
+}
+
+TEST(HardStructureTest, AnswerUniformishAcrossBlocks) {
+  // z* is uniform over blocks; a chi-square-lite check that no block is
+  // starved over 60 samples (6 blocks, expect 10 each; allow wide band).
+  HardInstanceOptions opt;
+  opt.base_n = 6;
+  opt.rounds = 2;
+  std::vector<int> counts(6, 0);
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(1000 + seed);
+    HardInstance h = BuildHardInstance(opt, &rng);
+    counts[h.zstar_chain[0] - 1]++;
+  }
+  for (int c : counts) {
+    EXPECT_GE(c, 2);
+    EXPECT_LE(c, 25);
+  }
+}
+
+}  // namespace
+}  // namespace lb
+}  // namespace lplow

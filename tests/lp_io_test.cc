@@ -1,0 +1,131 @@
+#include "src/workload/lp_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace workload {
+namespace {
+
+TEST(LpIoTest, ParsesMinimalInstance) {
+  std::istringstream in(
+      "# comment\n"
+      "lp 2\n"
+      "objective 1 0.5\n"
+      "c -1 0 2   # x >= -2\n"
+      "c 0 -1 3\n");
+  auto inst = ReadLpInstance(in);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->objective.dim(), 2u);
+  EXPECT_EQ(inst->objective[1], 0.5);
+  ASSERT_EQ(inst->constraints.size(), 2u);
+  EXPECT_EQ(inst->constraints[0].a[0], -1);
+  EXPECT_EQ(inst->constraints[1].b, 3);
+}
+
+TEST(LpIoTest, RoundTripExact) {
+  Rng rng(9);
+  auto inst = RandomFeasibleLp(50, 3, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLpInstance(inst, out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadLpInstance(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->constraints.size(), inst.constraints.size());
+  for (size_t i = 0; i < inst.constraints.size(); ++i) {
+    EXPECT_EQ(parsed->constraints[i].b, inst.constraints[i].b);
+    EXPECT_TRUE(parsed->constraints[i].a.ApproxEquals(
+        inst.constraints[i].a, 0.0));
+  }
+  EXPECT_TRUE(parsed->objective.ApproxEquals(inst.objective, 0.0));
+}
+
+TEST(LpIoTest, RoundTripSolvesToSameOptimum) {
+  Rng rng(10);
+  auto inst = RandomFeasibleLp(100, 2, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLpInstance(inst, out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadLpInstance(in);
+  ASSERT_TRUE(parsed.ok());
+  LinearProgram problem(inst.objective);
+  auto a = problem.SolveValue(std::span<const Halfspace>(inst.constraints));
+  auto b = problem.SolveValue(
+      std::span<const Halfspace>(parsed->constraints));
+  EXPECT_EQ(problem.CompareValues(a, b), 0);
+}
+
+TEST(LpIoTest, ErrorsCarryLineNumbers) {
+  {
+    std::istringstream in("objective 1 2\n");
+    auto r = ReadLpInstance(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  }
+  {
+    std::istringstream in("lp 2\nobjective 1\n");
+    auto r = ReadLpInstance(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  }
+  {
+    std::istringstream in("lp 2\nobjective 1 2\nc 1 2\n");
+    EXPECT_FALSE(ReadLpInstance(in).ok());  // Missing b.
+  }
+  {
+    std::istringstream in("lp 2\nobjective 1 2\nfrobnicate\n");
+    auto r = ReadLpInstance(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(LpIoTest, RejectsMissingPieces) {
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadLpInstance(in).ok());
+  }
+  {
+    std::istringstream in("lp 2\n");
+    EXPECT_FALSE(ReadLpInstance(in).ok());  // No objective.
+  }
+  {
+    std::istringstream in("lp 0\n");
+    EXPECT_FALSE(ReadLpInstance(in).ok());  // Bad dimension.
+  }
+  {
+    std::istringstream in("lp 2\nlp 2\n");
+    EXPECT_FALSE(ReadLpInstance(in).ok());  // Duplicate header.
+  }
+  {
+    std::istringstream in("lp 2\nobjective 1 2\nc 1 x 3\n");
+    EXPECT_FALSE(ReadLpInstance(in).ok());  // Non-numeric.
+  }
+}
+
+TEST(LpIoTest, FileRoundTrip) {
+  Rng rng(11);
+  auto inst = RandomFeasibleLp(10, 2, &rng);
+  const std::string path = "/tmp/lplow_io_test.lp";
+  ASSERT_TRUE(WriteLpInstanceToFile(inst, path).ok());
+  auto parsed = ReadLpInstanceFromFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->constraints.size(), 10u);
+  EXPECT_FALSE(ReadLpInstanceFromFile("/tmp/does_not_exist.lp").ok());
+}
+
+TEST(LpIoTest, DimensionMismatchOnWrite) {
+  LpInstance inst;
+  inst.objective = Vec{1, 2};
+  inst.constraints.push_back(Halfspace(Vec{1, 2, 3}, 4));
+  std::ostringstream out;
+  EXPECT_FALSE(WriteLpInstance(inst, out).ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace lplow

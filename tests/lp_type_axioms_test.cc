@@ -1,0 +1,189 @@
+// Property tests of the LP-type axioms (paper Section 2.1) for all three
+// problem instantiations: monotonicity, locality-consistency of the
+// violation test with f, basis size bounds (combinatorial dimension), and
+// basis correctness (f(basis) == f(set)).
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "src/core/lp_type.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+template <LpTypeProblem P>
+void CheckAxioms(const P& problem,
+                 const std::vector<typename P::Constraint>& constraints,
+                 Rng* rng) {
+  using Constraint = typename P::Constraint;
+  // Random nested pair X subseteq Y subseteq S.
+  std::vector<Constraint> y;
+  std::vector<Constraint> x;
+  for (const auto& c : constraints) {
+    if (rng->Bernoulli(0.7)) {
+      y.push_back(c);
+      if (rng->Bernoulli(0.5)) x.push_back(c);
+    }
+  }
+  auto fx = problem.SolveValue(std::span<const Constraint>(x));
+  auto fy = problem.SolveValue(std::span<const Constraint>(y));
+  auto fs = problem.SolveValue(std::span<const Constraint>(constraints));
+
+  // Monotonicity: f(X) <= f(Y) <= f(S).
+  EXPECT_LE(problem.CompareValues(fx, fy), 0);
+  EXPECT_LE(problem.CompareValues(fy, fs), 0);
+
+  // Violation consistency ((P2)): c violates f(Y) iff f(Y + c) > f(Y).
+  for (int t = 0; t < 5 && !constraints.empty(); ++t) {
+    const Constraint& c = constraints[rng->UniformIndex(constraints.size())];
+    std::vector<Constraint> y_plus = y;
+    y_plus.push_back(c);
+    auto fyc = problem.SolveValue(std::span<const Constraint>(y_plus));
+    int cmp = problem.CompareValues(fyc, fy);
+    if (problem.Violates(fy, c)) {
+      // Borderline violations (within the comparison tolerance band) may
+      // leave f numerically unchanged; f must never decrease.
+      EXPECT_GE(cmp, 0) << "violating constraint must not decrease f";
+    } else {
+      EXPECT_EQ(cmp, 0) << "non-violating constraint must not change f";
+    }
+  }
+
+  // Basis: f(B) == f(S), |B| <= nu.
+  auto basis = problem.SolveBasis(std::span<const Constraint>(constraints));
+  EXPECT_EQ(problem.CompareValues(basis.value, fs), 0);
+  EXPECT_LE(basis.basis.size(), problem.CombinatorialDimension());
+  auto fb = problem.SolveValue(std::span<const Constraint>(basis.basis));
+  EXPECT_EQ(problem.CompareValues(fb, basis.value), 0)
+      << "basis must reproduce the value";
+}
+
+class LpAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LpAxioms, RandomFeasible) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  auto inst = workload::RandomFeasibleLp(30, d, &rng);
+  LinearProgram problem(inst.objective);
+  CheckAxioms(problem, inst.constraints, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpAxioms,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class SvmAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SvmAxioms, RandomSeparable) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(2);
+  auto pts = workload::SeparableSvmData(25, d, 0.6, &rng);
+  LinearSvm problem(d);
+  CheckAxioms(problem, pts, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmAxioms,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+class MebAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MebAxioms, RandomCloud) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  auto pts = workload::GaussianCloud(30, d, &rng);
+  MinEnclosingBall problem(d);
+  CheckAxioms(problem, pts, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MebAxioms,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(LpTypeTest, EmptySetValues) {
+  LinearProgram lp(Vec{1, 1});
+  auto v = lp.SolveValue({});
+  EXPECT_TRUE(v.feasible);  // The box optimum.
+
+  LinearSvm svm(2);
+  auto sv = svm.SolveValue({});
+  EXPECT_TRUE(sv.separable);
+  EXPECT_EQ(sv.norm_squared, 0);
+
+  MinEnclosingBall meb(2);
+  auto mv = meb.SolveValue({});
+  EXPECT_TRUE(mv.ball.empty());
+}
+
+TEST(LpTypeTest, InfeasibleLpIsMaximal) {
+  Rng rng(31);
+  auto inst = workload::RandomInfeasibleLp(12, 2, &rng);
+  LinearProgram lp(inst.objective);
+  auto basis = lp.SolveBasis(std::span<const Halfspace>(inst.constraints));
+  EXPECT_FALSE(basis.value.feasible);
+  // Nothing violates the maximal element.
+  for (const auto& c : inst.constraints) {
+    EXPECT_FALSE(lp.Violates(basis.value, c));
+  }
+  // The infeasible core itself must be infeasible and small.
+  EXPECT_LE(basis.basis.size(), inst.constraints.size());
+  auto core_val = lp.SolveValue(std::span<const Halfspace>(basis.basis));
+  EXPECT_FALSE(core_val.feasible);
+}
+
+TEST(LpTypeTest, NonSeparableSvmCore) {
+  Rng rng(37);
+  auto pts = workload::NonSeparableSvmData(40, 2, &rng);
+  LinearSvm svm(2);
+  auto basis = svm.SolveBasis(std::span<const SvmPoint>(pts));
+  EXPECT_FALSE(basis.value.separable);
+  auto core = svm.SolveValue(std::span<const SvmPoint>(basis.basis));
+  EXPECT_FALSE(core.separable) << "core must witness non-separability";
+}
+
+TEST(LpTypeTest, SerializationRoundTripAllProblems) {
+  Rng rng(41);
+  // LP.
+  {
+    LinearProgram lp(Vec{1, 0, 0});
+    Halfspace h(Vec{1, -2, 3}, 4.5);
+    BitWriter w;
+    lp.SerializeConstraint(h, &w);
+    EXPECT_EQ(w.size_bytes(), lp.ConstraintBytes(h));
+    BitReader r(w.buffer());
+    auto h2 = lp.DeserializeConstraint(&r);
+    ASSERT_TRUE(h2.ok());
+    EXPECT_TRUE(h2->a.ApproxEquals(h.a, 0));
+  }
+  // SVM.
+  {
+    LinearSvm svm(2);
+    SvmPoint p{Vec{1.25, -3.5}, -1};
+    BitWriter w;
+    svm.SerializeConstraint(p, &w);
+    EXPECT_EQ(w.size_bytes(), svm.ConstraintBytes(p));
+    BitReader r(w.buffer());
+    auto p2 = svm.DeserializeConstraint(&r);
+    ASSERT_TRUE(p2.ok());
+    EXPECT_EQ(p2->label, -1);
+    EXPECT_EQ(p2->x[1], -3.5);
+  }
+  // MEB.
+  {
+    MinEnclosingBall meb(3);
+    Vec p{1, 2, 3};
+    BitWriter w;
+    meb.SerializeConstraint(p, &w);
+    EXPECT_EQ(w.size_bytes(), meb.ConstraintBytes(p));
+    BitReader r(w.buffer());
+    auto p2 = meb.DeserializeConstraint(&r);
+    ASSERT_TRUE(p2.ok());
+    EXPECT_TRUE(p2->ApproxEquals(p, 0));
+  }
+}
+
+}  // namespace
+}  // namespace lplow

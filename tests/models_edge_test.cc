@@ -1,0 +1,150 @@
+// Edge cases and reproducibility guarantees of the three model runtimes.
+
+#include <gtest/gtest.h>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(ModelsEdgeTest, GeneratorStreamEndToEnd) {
+  // Constraints produced on demand — nothing materialized up front.
+  const size_t n = 50000;
+  Rng gen_rng(3);
+  auto inst = workload::RandomFeasibleLp(n, 2, &gen_rng);
+  LinearProgram problem(inst.objective);
+  stream::GeneratorStream<Halfspace> s(
+      n, [&inst](size_t i) { return inst.constraints[i]; });
+  stream::StreamingOptions opt;
+  opt.r = 3;
+  opt.net.scale = 0.1;
+  stream::StreamingStats stats;
+  auto result = stream::SolveStreaming(problem, s, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  EXPECT_LT(stats.peak_items, n / 4);
+}
+
+TEST(ModelsEdgeTest, StreamingIsDeterministic) {
+  Rng rng(5);
+  auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  stream::StreamingOptions opt;
+  opt.r = 3;
+  opt.net.scale = 0.1;
+  opt.seed = 777;
+  stream::StreamingStats s1, s2;
+  stream::VectorStream<Halfspace> a(inst.constraints);
+  stream::VectorStream<Halfspace> b(inst.constraints);
+  auto r1 = stream::SolveStreaming(problem, a, opt, &s1);
+  auto r2 = stream::SolveStreaming(problem, b, opt, &s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(s1.passes, s2.passes);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.peak_items, s2.peak_items);
+  EXPECT_EQ(r1->value.objective, r2->value.objective);
+}
+
+TEST(ModelsEdgeTest, CoordinatorMoreSitesThanConstraints) {
+  Rng rng(7);
+  auto inst = workload::RandomFeasibleLp(10, 2, &rng);
+  LinearProgram problem(inst.objective);
+  std::vector<std::vector<Halfspace>> parts(50);  // Mostly empty sites.
+  for (size_t i = 0; i < inst.constraints.size(); ++i) {
+    parts[i % 50].push_back(inst.constraints[i]);
+  }
+  auto result = coord::SolveCoordinator(problem, parts, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ModelsEdgeTest, CoordinatorNoFallbackReportsSamplingFailed) {
+  Rng rng(8);
+  auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  coord::CoordinatorOptions opt;
+  opt.max_iterations = 1;
+  opt.net.scale = 0.02;  // Far too small to finish in one iteration.
+  opt.fallback_to_direct = false;
+  coord::CoordinatorStats stats;
+  auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kSamplingFailed);
+    EXPECT_EQ(stats.rounds, 3u);  // Exactly one iteration's protocol.
+  }
+}
+
+TEST(ModelsEdgeTest, MpcMoreMachinesThanConstraints) {
+  Rng rng(9);
+  auto inst = workload::RandomFeasibleLp(20, 2, &rng);
+  LinearProgram problem(inst.objective);
+  mpc::MpcOptions opt;
+  opt.machines = 100;
+  auto result = mpc::SolveMpc(problem, {inst.constraints}, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ModelsEdgeTest, MpcDeterministicAcrossRuns) {
+  Rng rng(10);
+  auto inst = workload::RandomFeasibleLp(8000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+  mpc::MpcOptions opt;
+  opt.net.scale = 0.1;
+  opt.seed = 321;
+  mpc::MpcStats s1, s2;
+  auto r1 = mpc::SolveMpc(problem, parts, opt, &s1);
+  auto r2 = mpc::SolveMpc(problem, parts, opt, &s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.max_load_bytes, s2.max_load_bytes);
+  EXPECT_EQ(r1->value.objective, r2->value.objective);
+}
+
+TEST(ModelsEdgeTest, DuplicateHeavyStream) {
+  // 90% of the stream is the same redundant constraint.
+  Rng rng(11);
+  auto inst = workload::RandomFeasibleLp(2000, 2, &rng);
+  std::vector<Halfspace> cs = inst.constraints;
+  Halfspace dup(Vec{1.0, 0.0}, 1e6);  // Slack everywhere.
+  for (int i = 0; i < 18000; ++i) cs.push_back(dup);
+  Rng shuffle_rng(12);
+  shuffle_rng.Shuffle(&cs);
+  LinearProgram problem(inst.objective);
+  stream::VectorStream<Halfspace> s(cs);
+  stream::StreamingOptions opt;
+  opt.net.scale = 0.1;
+  auto result = stream::SolveStreaming(problem, s, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(ModelsEdgeTest, StreamingSingleConstraint) {
+  LinearProgram problem(Vec{1.0, 1.0});
+  std::vector<Halfspace> cs = {Halfspace(Vec{-1.0, -1.0}, -2.0)};
+  stream::VectorStream<Halfspace> s(cs);
+  auto result = stream::SolveStreaming(problem, s, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->value.feasible);
+  EXPECT_NEAR(result->value.objective, 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace lplow

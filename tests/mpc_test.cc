@@ -1,0 +1,181 @@
+// Tests of the Theorem 3 MPC solver: correctness, tree topology, round
+// structure O(nu/delta^2), and per-round load O~(n^delta).
+
+#include "src/models/mpc/mpc_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/problems/linear_program.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+using mpc::MpcOptions;
+using mpc::MpcRuntime;
+using mpc::MpcStats;
+using mpc::SolveMpc;
+
+TEST(MpcRuntimeTest, TreeTopology) {
+  MpcRuntime rt(13, 3);
+  EXPECT_EQ(rt.Parent(1), 0u);
+  EXPECT_EQ(rt.Parent(3), 0u);
+  EXPECT_EQ(rt.Parent(4), 1u);
+  auto children = rt.Children(0);
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], 1u);
+  EXPECT_EQ(children[2], 3u);
+  EXPECT_EQ(rt.TreeDepth(), 2u);  // 1 + 3 + 9 = 13 machines: depths 0..2.
+  EXPECT_EQ(rt.MachinesAtDepth(0).size(), 1u);
+  EXPECT_EQ(rt.MachinesAtDepth(1).size(), 3u);
+  EXPECT_EQ(rt.MachinesAtDepth(2).size(), 9u);
+}
+
+TEST(MpcRuntimeTest, LoadAccounting) {
+  MpcRuntime rt(4, 2);
+  rt.BeginRound();
+  rt.Send(1, 0, 100);
+  rt.Send(2, 0, 50);
+  rt.EndRound();
+  // Machine 0 received 150; that is the round max.
+  EXPECT_EQ(rt.max_load_bytes(), 150u);
+  rt.BeginRound();
+  rt.Send(0, 1, 10);
+  rt.EndRound();
+  EXPECT_EQ(rt.max_load_bytes(), 150u);  // Unchanged.
+  EXPECT_EQ(rt.total_bytes(), 160u);
+  EXPECT_EQ(rt.rounds(), 2u);
+}
+
+TEST(MpcTest, MatchesDirectSolveLp) {
+  Rng rng(1);
+  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 16, true, &rng);
+  MpcOptions opt;
+  opt.delta = 0.5;
+  MpcStats stats;
+  auto result = SolveMpc(problem, parts, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  EXPECT_GT(stats.machines, 1u);
+}
+
+TEST(MpcTest, LoadSublinearInN) {
+  Rng rng(2);
+  auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 32, true, &rng);
+  MpcOptions opt;
+  opt.delta = 0.5;
+  opt.net.scale = 0.1;  // Leave the sample-everything regime at this n.
+  MpcStats stats;
+  auto result = SolveMpc(problem, parts, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  size_t total_input_bytes = 0;
+  for (const auto& c : inst.constraints) {
+    total_input_bytes += problem.ConstraintBytes(c);
+  }
+  EXPECT_LT(stats.max_load_bytes, total_input_bytes / 4)
+      << "no machine may ever hold a constant fraction of the input";
+}
+
+TEST(MpcTest, SmallerDeltaMoreRoundsSmallerFanout) {
+  Rng rng(3);
+  auto inst = workload::RandomFeasibleLp(10000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 16, true, &rng);
+  MpcStats s_half, s_quarter;
+  {
+    MpcOptions opt;
+    opt.delta = 0.5;
+    ASSERT_TRUE(SolveMpc(problem, parts, opt, &s_half).ok());
+  }
+  {
+    MpcOptions opt;
+    opt.delta = 0.25;
+    ASSERT_TRUE(SolveMpc(problem, parts, opt, &s_quarter).ok());
+  }
+  EXPECT_GT(s_quarter.machines, s_half.machines);
+  EXPECT_LT(s_quarter.sample_size, s_half.sample_size)
+      << "smaller delta -> smaller per-iteration samples (n^delta)";
+}
+
+TEST(MpcTest, ExplicitMachineCount) {
+  Rng rng(4);
+  auto inst = workload::RandomFeasibleLp(2000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  MpcOptions opt;
+  opt.machines = 7;
+  MpcStats stats;
+  auto result = SolveMpc(problem, parts, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.machines, 7u);
+}
+
+TEST(MpcTest, SingleMachineDegenerate) {
+  Rng rng(5);
+  auto inst = workload::RandomFeasibleLp(500, 2, &rng);
+  LinearProgram problem(inst.objective);
+  MpcOptions opt;
+  opt.machines = 1;
+  auto result = SolveMpc(problem, {inst.constraints}, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(MpcTest, EmptyInputFails) {
+  LinearProgram problem(Vec{1, 1});
+  std::vector<std::vector<Halfspace>> parts(3);
+  auto result = SolveMpc(problem, parts, {}, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MpcTest, WorksForMeb) {
+  Rng rng(6);
+  auto pts = workload::GaussianCloud(6000, 3, &rng);
+  MinEnclosingBall problem(3);
+  auto parts = workload::Partition(pts, 16, true, &rng);
+  MpcOptions opt;
+  opt.delta = 1.0 / 3.0;
+  auto result = SolveMpc(problem, parts, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(std::span<const Vec>(pts));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+class MpcSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(MpcSweep, CorrectAcrossDelta) {
+  auto [delta, seed] = GetParam();
+  Rng rng(seed);
+  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+  MpcOptions opt;
+  opt.delta = delta;
+  opt.seed = seed * 13;
+  auto result = SolveMpc(problem, parts, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MpcSweep,
+    ::testing::Combine(::testing::Values(0.25, 1.0 / 3.0, 0.5),
+                       ::testing::Values(uint64_t{61}, uint64_t{62})));
+
+}  // namespace
+}  // namespace lplow

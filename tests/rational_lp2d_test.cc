@@ -1,0 +1,142 @@
+#include "src/solvers/rational_lp2d.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+RationalLine MakeLine(int64_t sp, int64_t sq, int64_t tp, int64_t tq) {
+  return {Rational::Make(sp, sq), Rational::Make(tp, tq)};
+}
+
+// Exact brute force: the optimum of the upper envelope is at a crossing of
+// two lines (or flat); try all pairs.
+RationalLp2dSolution BruteForce(const std::vector<RationalLine>& lines) {
+  RationalLp2dSolution best;
+  auto envelope_at = [&](const Rational& x) {
+    Rational v = lines[0].ValueAt(x);
+    for (const auto& l : lines) {
+      Rational lv = l.ValueAt(x);
+      if (lv > v) v = lv;
+    }
+    return v;
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      if (lines[i].slope == lines[j].slope) continue;
+      Rational x = (lines[j].intercept - lines[i].intercept) /
+                   (lines[i].slope - lines[j].slope);
+      Rational y = envelope_at(x);
+      if (!best.bounded || y < best.y) {
+        best.bounded = true;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(RationalLp2dTest, TwoLineVee) {
+  // y >= -x and y >= x: minimum at (0, 0).
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(-1, 1, 0, 1), MakeLine(1, 1, 0, 1)});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.x, Rational(0));
+  EXPECT_EQ(s.y, Rational(0));
+}
+
+TEST(RationalLp2dTest, FractionalOptimum) {
+  // y >= -2x + 3 and y >= x: cross at x = 1, y = 1... with exact fractions:
+  // -2x + 3 = x -> x = 1. Shift: y >= -2x + 4 -> x = 4/3, y = 4/3.
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(-2, 1, 4, 1), MakeLine(1, 1, 0, 1)});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.x, Rational::Make(4, 3));
+  EXPECT_EQ(s.y, Rational::Make(4, 3));
+}
+
+TEST(RationalLp2dTest, UnboundedAllPositiveSlopes) {
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(1, 1, 0, 1), MakeLine(2, 1, 5, 1)});
+  EXPECT_FALSE(s.bounded);
+}
+
+TEST(RationalLp2dTest, UnboundedAllNegativeSlopes) {
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(-1, 1, 0, 1), MakeLine(-3, 2, 5, 1)});
+  EXPECT_FALSE(s.bounded);
+}
+
+TEST(RationalLp2dTest, AllFlatLines) {
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(0, 1, 3, 1), MakeLine(0, 1, 7, 2)});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.y, Rational::Make(7, 2));  // max intercept.
+}
+
+TEST(RationalLp2dTest, AllFlatTakesMaxIntercept) {
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(0, 1, 3, 1), MakeLine(0, 1, 9, 2)});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.y, Rational::Make(9, 2));
+}
+
+TEST(RationalLp2dTest, FlatBottomDominatedByFlatLine) {
+  // V plus a flat line above the vee bottom: min = flat level.
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({MakeLine(-1, 1, 0, 1), MakeLine(1, 1, 0, 1),
+                         MakeLine(0, 1, 2, 1)});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.y, Rational(2));
+}
+
+TEST(RationalLp2dTest, DuplicateLinesHarmless) {
+  RationalLp2dSolver solver;
+  std::vector<RationalLine> lines(5, MakeLine(-1, 1, 0, 1));
+  lines.push_back(MakeLine(1, 1, 0, 1));
+  auto s = solver.Solve(lines);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.y, Rational(0));
+}
+
+TEST(RationalLp2dTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(107);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = 3 + rng.UniformIndex(20);
+    std::vector<RationalLine> lines;
+    for (size_t i = 0; i < n; ++i) {
+      lines.push_back(MakeLine(rng.UniformInt(-20, 20),
+                               1 + rng.UniformIndex(5),
+                               rng.UniformInt(-50, 50),
+                               1 + rng.UniformIndex(5)));
+    }
+    // Force both slope signs so the instance is bounded.
+    lines[0].slope = Rational::Make(-21, 1);
+    lines[1].slope = Rational::Make(21, 1);
+    RationalLp2dSolver solver(trial);
+    auto fast = solver.Solve(lines);
+    auto slow = BruteForce(lines);
+    ASSERT_TRUE(fast.bounded);
+    ASSERT_TRUE(slow.bounded);
+    EXPECT_EQ(fast.y, slow.y) << "trial " << trial;
+  }
+}
+
+TEST(RationalLp2dTest, ExactWithHugeCoefficients) {
+  // Coefficients beyond double precision: the crossing of
+  // y >= K x - K and y >= -K x + K is exactly (1, 0) for huge K.
+  BigInt k = BigInt::FromString("123456789012345678901234567890");
+  RationalLine up{Rational(k), Rational(-k)};
+  RationalLine down{Rational(-k), Rational(k)};
+  RationalLp2dSolver solver;
+  auto s = solver.Solve({up, down});
+  ASSERT_TRUE(s.bounded);
+  EXPECT_EQ(s.x, Rational(1));
+  EXPECT_EQ(s.y, Rational(0));
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,131 @@
+#include "src/numeric/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(RationalTest, NormalizationLowestTerms) {
+  Rational r = Rational::Make(6, 8);
+  EXPECT_EQ(r.num().ToInt64(), 3);
+  EXPECT_EQ(r.den().ToInt64(), 4);
+}
+
+TEST(RationalTest, NormalizationSign) {
+  Rational r = Rational::Make(3, -6);
+  EXPECT_EQ(r.num().ToInt64(), -1);
+  EXPECT_EQ(r.den().ToInt64(), 2);
+  EXPECT_EQ(r.sign(), -1);
+}
+
+TEST(RationalTest, ZeroNormalizesDenominator) {
+  Rational r = Rational::Make(0, -7);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den().ToInt64(), 1);
+}
+
+TEST(RationalTest, ArithmeticKnownValues) {
+  Rational a = Rational::Make(1, 3);
+  Rational b = Rational::Make(1, 6);
+  EXPECT_EQ((a + b).ToString(), "1/2");
+  EXPECT_EQ((a - b).ToString(), "1/6");
+  EXPECT_EQ((a * b).ToString(), "1/18");
+  EXPECT_EQ((a / b).ToString(), "2");
+}
+
+TEST(RationalTest, ArithmeticAgainstDoubles) {
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    int64_t p1 = rng.UniformInt(-100, 100), q1 = rng.UniformInt(1, 50);
+    int64_t p2 = rng.UniformInt(-100, 100), q2 = rng.UniformInt(1, 50);
+    Rational a = Rational::Make(p1, q1), b = Rational::Make(p2, q2);
+    double da = static_cast<double>(p1) / q1, db = static_cast<double>(p2) / q2;
+    EXPECT_NEAR((a + b).ToDouble(), da + db, 1e-12);
+    EXPECT_NEAR((a - b).ToDouble(), da - db, 1e-12);
+    EXPECT_NEAR((a * b).ToDouble(), da * db, 1e-12);
+    if (p2 != 0) EXPECT_NEAR((a / b).ToDouble(), da / db, 1e-9);
+  }
+}
+
+TEST(RationalTest, ComparisonTotalOrder) {
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    int64_t p1 = rng.UniformInt(-50, 50), q1 = rng.UniformInt(1, 30);
+    int64_t p2 = rng.UniformInt(-50, 50), q2 = rng.UniformInt(1, 30);
+    Rational a = Rational::Make(p1, q1), b = Rational::Make(p2, q2);
+    double da = static_cast<double>(p1) / q1, db = static_cast<double>(p2) / q2;
+    if (da < db - 1e-9) EXPECT_LT(a, b);
+    if (da > db + 1e-9) EXPECT_GT(a, b);
+  }
+  EXPECT_EQ(Rational::Make(2, 4), Rational::Make(1, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational::Make(7, 2).Floor().ToInt64(), 3);
+  EXPECT_EQ(Rational::Make(7, 2).Ceil().ToInt64(), 4);
+  EXPECT_EQ(Rational::Make(-7, 2).Floor().ToInt64(), -4);
+  EXPECT_EQ(Rational::Make(-7, 2).Ceil().ToInt64(), -3);
+  EXPECT_EQ(Rational(5).Floor().ToInt64(), 5);
+  EXPECT_EQ(Rational(5).Ceil().ToInt64(), 5);
+  EXPECT_EQ(Rational(-5).Floor().ToInt64(), -5);
+  EXPECT_EQ(Rational(0).Floor().ToInt64(), 0);
+}
+
+TEST(RationalTest, FloorCeilProperty) {
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    int64_t p = rng.UniformInt(-10000, 10000);
+    int64_t q = rng.UniformInt(1, 100);
+    Rational r = Rational::Make(p, q);
+    BigInt fl = r.Floor();
+    BigInt ce = r.Ceil();
+    EXPECT_LE(Rational(fl), r);
+    EXPECT_LT(r - Rational(fl), Rational(1));
+    EXPECT_GE(Rational(ce), r);
+    EXPECT_LT(Rational(ce) - r, Rational(1));
+  }
+}
+
+TEST(RationalTest, UnaryNegation) {
+  Rational r = Rational::Make(3, 7);
+  EXPECT_EQ((-r).ToString(), "-3/7");
+  EXPECT_TRUE((r + -r).is_zero());
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r = Rational::Make(1, 2);
+  r += Rational::Make(1, 3);
+  r -= Rational::Make(1, 6);
+  r *= Rational(3);
+  r /= Rational(2);
+  EXPECT_EQ(r.ToString(), "1");
+}
+
+TEST(RationalTest, HugeValuesStayExact) {
+  // (10^30 + 1) / 10^30 stays distinguishable from 1.
+  BigInt p = BigInt::FromString("1000000000000000000000000000001");
+  BigInt q = BigInt::FromString("1000000000000000000000000000000");
+  Rational r(p, q);
+  EXPECT_GT(r, Rational(1));
+  EXPECT_LT(r, Rational::Make(2, 1));
+  EXPECT_EQ((r - Rational(1)).ToString(),
+            "1/1000000000000000000000000000000");
+}
+
+TEST(RationalTest, IsIntegerAndToString) {
+  EXPECT_TRUE(Rational::Make(10, 5).is_integer());
+  EXPECT_EQ(Rational::Make(10, 5).ToString(), "2");
+  EXPECT_FALSE(Rational::Make(10, 4).is_integer());
+}
+
+TEST(RationalTest, BitLengthGrowsWithComplexity) {
+  Rational small = Rational::Make(1, 2);
+  Rational big(BigInt::FromString("123456789123456789"),
+               BigInt::FromString("987654321987654323"));
+  EXPECT_LT(small.BitLength(), big.BitLength());
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,124 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lplow {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10);
+  EXPECT_EQ(rng.Binomial(-5, 0.5), 0);
+}
+
+TEST(RngTest, BinomialMeanApproximatelyNp) {
+  Rng rng(5);
+  double total = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) total += rng.Binomial(100, 0.3);
+  double mean = total / trials;
+  EXPECT_NEAR(mean, 30.0, 1.0);
+}
+
+TEST(RngTest, SampleDistinctIndicesAreDistinctAndInRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.UniformIndex(100);
+    size_t k = rng.UniformIndex(n + 1);
+    auto s = rng.SampleDistinctIndices(n, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (size_t idx : s) EXPECT_LT(idx, n);
+  }
+}
+
+TEST(RngTest, SampleDistinctIndicesFullRange) {
+  Rng rng(5);
+  auto s = rng.SampleDistinctIndices(10, 10);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, SampleDistinctIndicesUniformity) {
+  // Each index of [0,5) should appear in ~k/n = 2/5 of samples.
+  Rng rng(99);
+  std::vector<int> counts(5, 0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t idx : rng.SampleDistinctIndices(5, 2)) counts[idx]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.4, 0.05);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The child should not replay the parent's stream.
+  Rng b(42);
+  b.Fork();
+  EXPECT_EQ(child.UniformInt(0, 1 << 30), Rng(42).Fork().UniformInt(0, 1 << 30))
+      << "fork must be deterministic";
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,158 @@
+#include "src/core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace {
+
+TEST(MultiChaoTest, SingleItemFillsAllSlots) {
+  Rng rng(1);
+  MultiChaoReservoir<int> res(8, &rng);
+  res.Offer(42, 3.0);
+  for (int v : res.Samples()) EXPECT_EQ(v, 42);
+  EXPECT_EQ(res.total_weight(), 3.0);
+}
+
+TEST(MultiChaoTest, ZeroWeightSkipped) {
+  Rng rng(1);
+  MultiChaoReservoir<int> res(4, &rng);
+  res.Offer(1, 0.0);
+  EXPECT_TRUE(res.empty());
+  res.Offer(2, 1.0);
+  EXPECT_FALSE(res.empty());
+  EXPECT_EQ(res.offered(), 1u);
+}
+
+TEST(MultiChaoTest, MarginalsProportionalToWeights) {
+  // Items with weights 1:2:5; slot marginals must match 1/8 : 2/8 : 5/8.
+  Rng rng(127);
+  const size_t m = 4;
+  std::map<int, int> counts;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    MultiChaoReservoir<int> res(m, &rng);
+    res.Offer(1, 1.0);
+    res.Offer(2, 2.0);
+    res.Offer(3, 5.0);
+    for (int v : res.Samples()) counts[v]++;
+  }
+  double total = static_cast<double>(trials * m);
+  EXPECT_NEAR(counts[1] / total, 1.0 / 8, 0.02);
+  EXPECT_NEAR(counts[2] / total, 2.0 / 8, 0.02);
+  EXPECT_NEAR(counts[3] / total, 5.0 / 8, 0.02);
+}
+
+TEST(MultiChaoTest, OrderInvarianceOfMarginals) {
+  // Offering heavy item first or last must not change marginals.
+  Rng rng(131);
+  const int trials = 3000;
+  int heavy_first = 0, heavy_last = 0;
+  for (int t = 0; t < trials; ++t) {
+    MultiChaoReservoir<int> a(1, &rng);
+    a.Offer(9, 9.0);
+    a.Offer(1, 1.0);
+    if (a.Samples()[0] == 9) ++heavy_first;
+    MultiChaoReservoir<int> b(1, &rng);
+    b.Offer(1, 1.0);
+    b.Offer(9, 9.0);
+    if (b.Samples()[0] == 9) ++heavy_last;
+  }
+  EXPECT_NEAR(heavy_first / static_cast<double>(trials), 0.9, 0.03);
+  EXPECT_NEAR(heavy_last / static_cast<double>(trials), 0.9, 0.03);
+}
+
+TEST(MultiChaoTest, SlotsAreIndependentDraws) {
+  // With-replacement: two slots can hold different items and their joint
+  // matches the product of marginals (chi-square-lite check on 2x2 table).
+  Rng rng(137);
+  const int trials = 4000;
+  int both_heavy = 0, heavy_any = 0;
+  for (int t = 0; t < trials; ++t) {
+    MultiChaoReservoir<int> res(2, &rng);
+    res.Offer(0, 1.0);
+    res.Offer(1, 1.0);
+    auto s = res.Samples();
+    if (s[0] == 1 && s[1] == 1) ++both_heavy;
+    if (s[0] == 1) ++heavy_any;
+  }
+  EXPECT_NEAR(heavy_any / static_cast<double>(trials), 0.5, 0.03);
+  EXPECT_NEAR(both_heavy / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(EfraimidisSpirakisTest, TakesAtMostM) {
+  Rng rng(139);
+  EfraimidisSpirakisSampler<int> s(5, &rng);
+  for (int i = 0; i < 100; ++i) s.Offer(i, 1.0);
+  auto out = s.TakeSamples();
+  EXPECT_EQ(out.size(), 5u);
+  std::set<int> distinct(out.begin(), out.end());
+  EXPECT_EQ(distinct.size(), 5u) << "without replacement: distinct";
+}
+
+TEST(EfraimidisSpirakisTest, FewerItemsThanM) {
+  Rng rng(141);
+  EfraimidisSpirakisSampler<int> s(10, &rng);
+  s.Offer(1, 1.0);
+  s.Offer(2, 1.0);
+  EXPECT_EQ(s.TakeSamples().size(), 2u);
+}
+
+TEST(EfraimidisSpirakisTest, HeavyItemsAlmostAlwaysKept) {
+  Rng rng(149);
+  int kept = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    EfraimidisSpirakisSampler<int> s(1, &rng);
+    s.Offer(0, 1000.0);
+    for (int i = 1; i <= 20; ++i) s.Offer(i, 1.0);
+    if (s.TakeSamples()[0] == 0) ++kept;
+  }
+  EXPECT_GT(kept, trials * 9 / 10);
+}
+
+TEST(MultinomialSplitTest, SumsToM) {
+  Rng rng(151);
+  std::vector<double> w = {1, 2, 3, 4};
+  for (int t = 0; t < 100; ++t) {
+    auto counts = MultinomialSplit(w, 57, &rng);
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    EXPECT_EQ(total, 57u);
+  }
+}
+
+TEST(MultinomialSplitTest, ZeroWeightGetsNothing) {
+  Rng rng(157);
+  std::vector<double> w = {0, 5, 0, 5};
+  for (int t = 0; t < 50; ++t) {
+    auto counts = MultinomialSplit(w, 20, &rng);
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[2], 0u);
+  }
+}
+
+TEST(MultinomialSplitTest, ExpectationProportionalToWeights) {
+  Rng rng(163);
+  std::vector<double> w = {1, 3};
+  double total0 = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    total0 += static_cast<double>(MultinomialSplit(w, 40, &rng)[0]);
+  }
+  EXPECT_NEAR(total0 / trials, 10.0, 0.5);
+}
+
+TEST(MultinomialSplitTest, AllZeroWeights) {
+  Rng rng(167);
+  std::vector<double> w = {0, 0};
+  auto counts = MultinomialSplit(w, 10, &rng);
+  EXPECT_EQ(counts[0] + counts[1], 0u);
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,143 @@
+#include "src/solvers/seidel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/solvers/vertex_enum.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(SeidelTest, UnconstrainedHitsBoxCorner) {
+  SolverConfig cfg;
+  cfg.box_bound = 100;
+  SeidelSolver solver(cfg);
+  LpSolution s = solver.Solve({}, Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.point[0], -100, 1e-9);
+  EXPECT_NEAR(s.point[1], -100, 1e-9);
+}
+
+TEST(SeidelTest, SingleConstraint2d) {
+  // min x + y s.t. -x - y <= -1 (x + y >= 1): optimum value 1.
+  SeidelSolver solver;
+  LpSolution s = solver.Solve({Halfspace(Vec{-1, -1}, -1)}, Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(SeidelTest, KnownVertexOptimum) {
+  // min -x - y s.t. x <= 3, y <= 4: optimum (3, 4).
+  SeidelSolver solver;
+  LpSolution s = solver.Solve(
+      {Halfspace(Vec{1, 0}, 3), Halfspace(Vec{0, 1}, 4)}, Vec{-1, -1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.point[0], 3, 1e-7);
+  EXPECT_NEAR(s.point[1], 4, 1e-7);
+  EXPECT_NEAR(s.objective, -7, 1e-7);
+}
+
+TEST(SeidelTest, DetectsInfeasible) {
+  SeidelSolver solver;
+  LpSolution s = solver.Solve(
+      {Halfspace(Vec{1, 0}, -5), Halfspace(Vec{-1, 0}, -5)}, Vec{1, 0});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SeidelTest, ZeroNormalFeasibleConstraintIgnored) {
+  SeidelSolver solver;
+  LpSolution s =
+      solver.Solve({Halfspace(Vec{0, 0}, 1), Halfspace(Vec{-1, -1}, -1)},
+                   Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(SeidelTest, ZeroNormalInfeasibleConstraint) {
+  SeidelSolver solver;
+  LpSolution s = solver.Solve({Halfspace(Vec{0, 0}, -1)}, Vec{1, 1});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SeidelTest, DuplicateConstraintsHarmless) {
+  SeidelSolver solver;
+  std::vector<Halfspace> cs(10, Halfspace(Vec{-1, -1}, -1));
+  LpSolution s = solver.Solve(cs, Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(SeidelTest, DeterministicForFixedSeed) {
+  Rng rng(77);
+  auto inst = workload::RandomFeasibleLp(200, 3, &rng);
+  SeidelSolver solver;
+  LpSolution s1 = solver.Solve(inst.constraints, inst.objective);
+  LpSolution s2 = solver.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(s1.optimal());
+  EXPECT_EQ(s1.point.data(), s2.point.data());
+}
+
+// --- Property suite: Seidel agrees with brute-force vertex enumeration on
+// random instances across dimensions.
+struct SeidelParam {
+  size_t n;
+  size_t d;
+  uint64_t seed;
+};
+
+class SeidelVsBruteForce : public ::testing::TestWithParam<SeidelParam> {};
+
+TEST_P(SeidelVsBruteForce, ObjectiveMatches) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  auto inst = workload::RandomFeasibleLp(p.n, p.d, &rng);
+  SolverConfig cfg;
+  cfg.box_bound = 1e4;  // Keep vertex enumeration well-conditioned.
+  SeidelSolver seidel(cfg);
+  VertexEnumSolver brute(cfg);
+  LpSolution fast = seidel.Solve(inst.constraints, inst.objective);
+  LpSolution slow = brute.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(fast.optimal());
+  ASSERT_TRUE(slow.optimal());
+  EXPECT_NEAR(fast.objective, slow.objective,
+              1e-6 * std::max(1.0, std::fabs(slow.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLps, SeidelVsBruteForce,
+    ::testing::Values(SeidelParam{6, 2, 1}, SeidelParam{12, 2, 2},
+                      SeidelParam{25, 2, 3}, SeidelParam{8, 3, 4},
+                      SeidelParam{14, 3, 5}, SeidelParam{20, 3, 6},
+                      SeidelParam{10, 4, 7}, SeidelParam{15, 4, 8},
+                      SeidelParam{12, 5, 9}, SeidelParam{16, 5, 10},
+                      SeidelParam{30, 2, 11}, SeidelParam{24, 3, 12}));
+
+// Infeasible random instances are detected as such.
+class SeidelInfeasible : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeidelInfeasible, Detected) {
+  Rng rng(GetParam());
+  auto inst = workload::RandomInfeasibleLp(20, 3, &rng);
+  SeidelSolver solver;
+  EXPECT_EQ(solver.Solve(inst.constraints, inst.objective).status,
+            LpStatus::kInfeasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeidelInfeasible,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(SeidelTest, LargeInstanceLinearishTime) {
+  Rng rng(31);
+  auto inst = workload::RandomFeasibleLp(20000, 3, &rng);
+  SeidelSolver solver;
+  LpSolution s = solver.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(s.optimal());
+  // Every constraint satisfied.
+  for (const auto& h : inst.constraints) {
+    EXPECT_GE(h.Slack(s.point), -1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,93 @@
+#include "src/solvers/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "src/solvers/seidel.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(SimplexTest, KnownOptimum) {
+  // min -x - 2y s.t. x + y <= 4, x <= 2, y <= 3, x >= 0, y >= 0.
+  std::vector<Halfspace> cs = {
+      Halfspace(Vec{1, 1}, 4),   Halfspace(Vec{1, 0}, 2),
+      Halfspace(Vec{0, 1}, 3),   Halfspace(Vec{-1, 0}, 0),
+      Halfspace(Vec{0, -1}, 0)};
+  SimplexSolver solver;
+  LpSolution s = solver.Solve(cs, Vec{-1, -2});
+  ASSERT_TRUE(s.optimal());
+  // Optimum at (1, 3): objective -7.
+  EXPECT_NEAR(s.objective, -7, 1e-7);
+  EXPECT_NEAR(s.point[0], 1, 1e-7);
+  EXPECT_NEAR(s.point[1], 3, 1e-7);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  SimplexSolver solver;
+  // min -x with only x >= 0: unbounded below.
+  LpSolution s = solver.Solve({Halfspace(Vec{-1, 0}, 0)}, Vec{-1, 0});
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  SimplexSolver solver;
+  LpSolution s = solver.Solve(
+      {Halfspace(Vec{1, 0}, -5), Halfspace(Vec{-1, 0}, -5)}, Vec{1, 0});
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsNeedsPhase1) {
+  // x + y >= 2 encoded as -x - y <= -2 (negative RHS row), min x + y.
+  SimplexSolver solver;
+  LpSolution s = solver.Solve({Halfspace(Vec{-1, -1}, -2)}, Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2, 1e-7);
+}
+
+TEST(SimplexTest, FreeVariablesGoNegative) {
+  // min x s.t. x >= -7 (as -x <= 7), bounded: optimum -7.
+  SimplexSolver solver;
+  LpSolution s = solver.Solve({Halfspace(Vec{-1.0}, 7.0)}, Vec{1.0});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -7, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateConstraintsNoCycle) {
+  // Many constraints tight at the optimum (classic cycling risk without
+  // Bland's rule).
+  std::vector<Halfspace> cs = {
+      Halfspace(Vec{-1, 0}, 0),  Halfspace(Vec{0, -1}, 0),
+      Halfspace(Vec{-1, -1}, 0), Halfspace(Vec{-2, -1}, 0),
+      Halfspace(Vec{-1, -2}, 0), Halfspace(Vec{1, 1}, 10)};
+  SimplexSolver solver;
+  LpSolution s = solver.Solve(cs, Vec{1, 1});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 0, 1e-7);
+}
+
+// Agreement with Seidel (which adds a box; the instances used here have
+// optima far from the box, so both solve the same program).
+class SimplexVsSeidel : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexVsSeidel, ObjectiveMatches) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  auto inst = workload::RandomFeasibleLp(40, d, &rng);
+  SimplexSolver simplex;
+  SeidelSolver seidel;
+  LpSolution a = simplex.Solve(inst.constraints, inst.objective);
+  LpSolution b = seidel.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-5 * std::max(1.0, std::fabs(a.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsSeidel,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108, 109, 110));
+
+}  // namespace
+}  // namespace lplow

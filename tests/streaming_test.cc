@@ -1,0 +1,243 @@
+// Tests of the Theorem 1 streaming solver: correctness against the direct
+// solve, pass accounting (O(nu r) passes), and space accounting
+// (O~(n^{1/r}) items).
+
+#include "src/models/streaming/streaming_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+using stream::SolveStreaming;
+using stream::StreamingOptions;
+using stream::StreamingStats;
+using stream::VectorStream;
+
+TEST(StreamTest, VectorStreamPassCounting) {
+  VectorStream<int> s({1, 2, 3});
+  EXPECT_EQ(s.passes_started(), 0u);
+  s.Reset();
+  EXPECT_EQ(*s.Next(), 1);
+  EXPECT_EQ(*s.Next(), 2);
+  EXPECT_EQ(*s.Next(), 3);
+  EXPECT_FALSE(s.Next().has_value());
+  s.Reset();
+  EXPECT_EQ(s.passes_started(), 2u);
+  EXPECT_EQ(*s.Next(), 1);
+}
+
+TEST(StreamTest, GeneratorStreamProducesOnDemand) {
+  stream::GeneratorStream<int> s(5, [](size_t i) {
+    return static_cast<int>(i * i);
+  });
+  s.Reset();
+  EXPECT_EQ(*s.Next(), 0);
+  EXPECT_EQ(*s.Next(), 1);
+  EXPECT_EQ(*s.Next(), 4);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(StreamTest, SpaceMeterTracksPeak) {
+  stream::SpaceMeter m;
+  m.Acquire(10, 100);
+  m.Acquire(5, 50);
+  m.Release(10, 100);
+  m.Acquire(2, 20);
+  EXPECT_EQ(m.peak_items(), 15u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  EXPECT_EQ(m.current_items(), 7u);
+}
+
+TEST(StreamingSolverTest, MatchesDirectSolveLp) {
+  Rng rng(1);
+  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  VectorStream<Halfspace> s(inst.constraints);
+  StreamingOptions opt;
+  opt.net.scale = 0.1;  // Leave the direct-solve regime at this n.
+  StreamingStats stats;
+  auto result = SolveStreaming(problem, s, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  EXPECT_FALSE(stats.direct_solve);
+}
+
+TEST(StreamingSolverTest, PassBoundONuR) {
+  Rng rng(2);
+  auto inst = workload::RandomFeasibleLp(200000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  size_t nu = problem.CombinatorialDimension();
+  for (int r : {2, 3}) {
+    VectorStream<Halfspace> s(inst.constraints);
+    StreamingOptions opt;
+    opt.r = r;
+    opt.seed = 100 + r;
+    StreamingStats stats;
+    auto result = SolveStreaming(problem, s, opt, &stats);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(stats.direct_solve);
+    // Pipelined: passes = iterations + 1 <= (20/9) nu r + slack.
+    EXPECT_EQ(stats.passes, stats.iterations + 1);
+    EXPECT_LE(stats.passes, (20 * nu * static_cast<size_t>(r)) / 9 + 8);
+  }
+}
+
+TEST(StreamingSolverTest, SpaceShrinksWithLargerR) {
+  Rng rng(3);
+  auto inst = workload::RandomFeasibleLp(40000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  size_t peak_r1 = 0, peak_r3 = 0;
+  {
+    VectorStream<Halfspace> s(inst.constraints);
+    StreamingOptions opt;
+    opt.r = 1;  // n^{1/1} sample: stores the stream (direct).
+    StreamingStats stats;
+    ASSERT_TRUE(SolveStreaming(problem, s, opt, &stats).ok());
+    peak_r1 = stats.peak_items;
+  }
+  {
+    VectorStream<Halfspace> s(inst.constraints);
+    StreamingOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.2;
+    StreamingStats stats;
+    ASSERT_TRUE(SolveStreaming(problem, s, opt, &stats).ok());
+    peak_r3 = stats.peak_items;
+  }
+  EXPECT_GT(peak_r1, 4 * peak_r3)
+      << "space must fall sharply from n^{1} to n^{1/3} samples";
+}
+
+TEST(StreamingSolverTest, SpaceSublinearInN) {
+  Rng rng(4);
+  auto inst = workload::RandomFeasibleLp(40000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  VectorStream<Halfspace> s(inst.constraints);
+  StreamingOptions opt;
+  opt.r = 3;
+  opt.net.scale = 0.2;
+  StreamingStats stats;
+  ASSERT_TRUE(SolveStreaming(problem, s, opt, &stats).ok());
+  EXPECT_LT(stats.peak_items, inst.constraints.size() / 4)
+      << "peak space must be well below n";
+}
+
+TEST(StreamingSolverTest, NonPipelinedAgrees) {
+  Rng rng(5);
+  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  StreamingOptions pipe;
+  pipe.pipeline = true;
+  pipe.net.scale = 0.1;
+  StreamingOptions two_pass;
+  two_pass.pipeline = false;
+  two_pass.net.scale = 0.1;
+  VectorStream<Halfspace> s1(inst.constraints);
+  VectorStream<Halfspace> s2(inst.constraints);
+  StreamingStats st1, st2;
+  auto r1 = SolveStreaming(problem, s1, pipe, &st1);
+  auto r2 = SolveStreaming(problem, s2, two_pass, &st2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(problem.CompareValues(r1->value, r2->value), 0);
+  if (!st1.direct_solve && st2.iterations > 1) {
+    EXPECT_GT(st2.passes, st2.iterations)
+        << "two-pass mode spends an extra pass per iteration";
+  }
+}
+
+TEST(StreamingSolverTest, SmallStreamDirectSolve) {
+  Rng rng(6);
+  auto inst = workload::RandomFeasibleLp(20, 2, &rng);
+  LinearProgram problem(inst.objective);
+  VectorStream<Halfspace> s(inst.constraints);
+  StreamingStats stats;
+  auto result = SolveStreaming(problem, s, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.direct_solve);
+  EXPECT_EQ(stats.passes, 1u);
+}
+
+TEST(StreamingSolverTest, AdversarialOrderSameAnswer) {
+  // Sorted constraint order (worst case for naive heuristics).
+  Rng rng(7);
+  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
+  std::sort(inst.constraints.begin(), inst.constraints.end(),
+            [](const Halfspace& a, const Halfspace& b) { return a.b < b.b; });
+  LinearProgram problem(inst.objective);
+  VectorStream<Halfspace> s(inst.constraints);
+  auto result = SolveStreaming(problem, s, {}, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+TEST(StreamingSolverTest, WorksForSvmAndMeb) {
+  Rng rng(8);
+  {
+    auto pts = workload::SeparableSvmData(3000, 2, 0.5, &rng);
+    LinearSvm problem(2);
+    VectorStream<SvmPoint> s(pts);
+    auto result = SolveStreaming(problem, s, {}, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
+    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  }
+  {
+    auto pts = workload::GaussianCloud(5000, 2, &rng);
+    MinEnclosingBall problem(2);
+    VectorStream<Vec> s(pts);
+    auto result = SolveStreaming(problem, s, {}, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto direct = problem.SolveValue(std::span<const Vec>(pts));
+    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  }
+}
+
+TEST(StreamingSolverTest, EmptyStreamFails) {
+  LinearProgram problem(Vec{1, 1});
+  VectorStream<Halfspace> s({});
+  auto result = SolveStreaming(problem, s, {}, nullptr);
+  // n = 0 <= m triggers the direct path, which solves the empty program
+  // (the box optimum) — it must not crash.
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->value.feasible);
+}
+
+class StreamingSweep
+    : public ::testing::TestWithParam<std::tuple<int, size_t, uint64_t>> {};
+
+TEST_P(StreamingSweep, CorrectAcrossRAndD) {
+  auto [r, d, seed] = GetParam();
+  Rng rng(seed);
+  auto inst = workload::RandomFeasibleLp(3000, d, &rng);
+  LinearProgram problem(inst.objective);
+  VectorStream<Halfspace> s(inst.constraints);
+  StreamingOptions opt;
+  opt.r = r;
+  opt.seed = seed;
+  auto result = SolveStreaming(problem, s, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StreamingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(size_t{2}, size_t{3}, size_t{4}),
+                       ::testing::Values(41, 42)));
+
+}  // namespace
+}  // namespace lplow

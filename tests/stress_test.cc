@@ -1,0 +1,193 @@
+// Wide randomized stress sweeps: many seeds x dimensions x problem kinds,
+// cross-checking independent solvers and the model implementations. These
+// are the "keep honest over the whole parameter box" tests; each individual
+// case is small so the full sweep stays fast.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/clarkson.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/numeric/rational.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/solvers/simplex.h"
+#include "src/solvers/vertex_enum.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, SeidelVsSimplexVsBruteForce) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  size_t n = 5 + rng.UniformIndex(20);
+  auto inst = workload::RandomFeasibleLp(n, d, &rng);
+  SolverConfig cfg;
+  cfg.box_bound = 1e4;
+  SeidelSolver seidel(cfg);
+  SimplexSolver simplex(cfg);
+  VertexEnumSolver brute(cfg);
+
+  // Sparse instances can be genuinely unbounded; Seidel and the brute-force
+  // oracle clamp at the box, so give simplex the same box explicitly.
+  std::vector<Halfspace> boxed = inst.constraints;
+  auto box = BoxConstraints(d, cfg.box_bound);
+  boxed.insert(boxed.end(), box.begin(), box.end());
+
+  LpSolution a = seidel.Solve(inst.constraints, inst.objective);
+  LpSolution b = simplex.Solve(boxed, inst.objective);
+  LpSolution c = brute.Solve(inst.constraints, inst.objective);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  ASSERT_TRUE(c.optimal());
+  double tol = 1e-5 * std::max(1.0, std::fabs(c.objective));
+  EXPECT_NEAR(a.objective, c.objective, tol) << "seed " << GetParam();
+  EXPECT_NEAR(b.objective, c.objective, tol) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, MebInvariants) {
+  Rng rng(GetParam() * 31 + 1);
+  size_t d = 2 + rng.UniformIndex(5);
+  size_t n = 10 + rng.UniformIndex(200);
+  auto pts = workload::GaussianCloud(n, d, &rng);
+  WelzlSolver solver;
+  Ball ball = solver.Solve(pts);
+  ASSERT_FALSE(ball.empty());
+  size_t boundary = 0;
+  for (const auto& p : pts) {
+    double dist = (p - ball.center).Norm();
+    EXPECT_LE(dist, ball.radius + 1e-6);
+    if (std::fabs(dist - ball.radius) < 1e-6) ++boundary;
+  }
+  EXPECT_GE(boundary, 2u);
+}
+
+TEST_P(SeedSweep, StreamingLpAgreesWithDirect) {
+  Rng rng(GetParam() * 131 + 7);
+  size_t d = 2 + rng.UniformIndex(2);
+  auto inst = workload::RandomFeasibleLp(1500, d, &rng);
+  LinearProgram problem(inst.objective);
+  stream::VectorStream<Halfspace> s(inst.constraints);
+  stream::StreamingOptions opt;
+  opt.r = 2 + static_cast<int>(rng.UniformIndex(3));
+  opt.net.scale = 0.1;
+  opt.seed = GetParam();
+  auto result = stream::SolveStreaming(problem, s, opt, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(
+      std::span<const Halfspace>(inst.constraints));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0)
+      << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, RationalFieldAxioms) {
+  Rng rng(GetParam() * 271 + 13);
+  auto rand_rational = [&]() {
+    return Rational::Make(rng.UniformInt(-200, 200),
+                          1 + rng.UniformIndex(60));
+  };
+  for (int i = 0; i < 20; ++i) {
+    Rational a = rand_rational(), b = rand_rational(), c = rand_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+    EXPECT_EQ(-(-a), a);
+  }
+}
+
+TEST_P(SeedSweep, ClarksonMebAgreesWithDirect) {
+  Rng rng(GetParam() * 977 + 3);
+  size_t d = 2 + rng.UniformIndex(2);
+  auto pts = workload::SphereCloud(2500, d, 20.0, 0.3, &rng);
+  MinEnclosingBall problem(d);
+  ClarksonOptions opt;
+  opt.r = 3;
+  opt.net.scale = 0.1;
+  opt.seed = GetParam();
+  auto result = ClarksonSolve(problem, std::span<const Vec>(pts), opt,
+                              nullptr);
+  ASSERT_TRUE(result.ok());
+  auto direct = problem.SolveValue(std::span<const Vec>(pts));
+  EXPECT_EQ(problem.CompareValues(result->value, direct), 0)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// Degenerate-input torture: duplicated, parallel, and zero-normal
+// constraints must never crash or mis-solve.
+TEST(DegenerateStress, PathologicalConstraintMixes) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t d = 2 + rng.UniformIndex(2);
+    auto inst = workload::RandomFeasibleLp(20, d, &rng);
+    std::vector<Halfspace> cs = inst.constraints;
+    // Duplicates.
+    for (int i = 0; i < 5; ++i) {
+      cs.push_back(cs[rng.UniformIndex(inst.constraints.size())]);
+    }
+    // Scaled copies (parallel constraints).
+    for (int i = 0; i < 5; ++i) {
+      Halfspace h = cs[rng.UniformIndex(inst.constraints.size())];
+      double s = rng.UniformDouble(0.5, 3.0);
+      h.a *= s;
+      h.b *= s;
+      cs.push_back(h);
+    }
+    // Trivially satisfied zero-normal constraints.
+    cs.push_back(Halfspace(Vec(d), 1.0));
+    LinearProgram problem(inst.objective);
+    auto with = problem.SolveBasis(std::span<const Halfspace>(cs));
+    auto without = problem.SolveValue(
+        std::span<const Halfspace>(inst.constraints));
+    EXPECT_EQ(problem.CompareValues(with.value, without), 0);
+    EXPECT_LE(with.basis.size(), problem.CombinatorialDimension());
+  }
+}
+
+TEST(DegenerateStress, CollinearAndCoincidentMebPoints) {
+  WelzlSolver solver;
+  // Collinear points.
+  std::vector<Vec> line;
+  for (int i = 0; i <= 10; ++i) {
+    line.push_back(Vec{static_cast<double>(i), 2.0 * i, -1.0 * i});
+  }
+  Ball b = solver.Solve(line);
+  ASSERT_FALSE(b.empty());
+  for (const auto& p : line) EXPECT_TRUE(b.Contains(p, 1e-6));
+  // Expected: diameter endpoints define it.
+  EXPECT_NEAR(b.radius, (line.back() - line.front()).Norm() / 2, 1e-6);
+
+  // Heavily coincident cloud.
+  std::vector<Vec> dup(50, Vec{1, 1, 1});
+  dup.push_back(Vec{2, 1, 1});
+  dup.push_back(Vec{0, 1, 1});
+  Ball b2 = solver.Solve(dup);
+  EXPECT_NEAR(b2.radius, 1.0, 1e-9);
+}
+
+TEST(DegenerateStress, StreamingInfeasibleManySeeds) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    auto inst = workload::RandomInfeasibleLp(1200, 2, &rng);
+    LinearProgram problem(inst.objective);
+    stream::VectorStream<Halfspace> s(inst.constraints);
+    stream::StreamingOptions opt;
+    opt.net.scale = 0.1;
+    opt.seed = seed;
+    auto result = stream::SolveStreaming(problem, s, opt, nullptr);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->value.feasible) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lplow

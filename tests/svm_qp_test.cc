@@ -1,0 +1,145 @@
+#include "src/solvers/svm_qp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+TEST(SvmQpTest, TwoSymmetricPoints) {
+  // +1 at (1, 0), -1 at (-1, 0): u* = (1, 0), ||u||^2 = 1.
+  std::vector<SvmPoint> pts = {{Vec{1, 0}, 1}, {Vec{-1, 0}, -1}};
+  SvmSolver solver;
+  SvmSolution s = solver.Solve(pts);
+  ASSERT_TRUE(s.separable);
+  EXPECT_NEAR(s.norm_squared, 1.0, 1e-4);
+  EXPECT_NEAR(s.u[0], 1.0, 1e-3);
+  EXPECT_NEAR(s.u[1], 0.0, 1e-3);
+}
+
+TEST(SvmQpTest, MarginScalesInversely) {
+  // Points at distance gamma from the separator: ||u*|| = 1/gamma.
+  for (double gamma : {0.5, 1.0, 2.0}) {
+    std::vector<SvmPoint> pts = {{Vec{gamma, 0}, 1}, {Vec{-gamma, 0}, -1}};
+    SvmSolver solver;
+    SvmSolution s = solver.Solve(pts);
+    ASSERT_TRUE(s.separable);
+    EXPECT_NEAR(std::sqrt(s.norm_squared), 1.0 / gamma, 1e-3);
+  }
+}
+
+TEST(SvmQpTest, ExactSmallMatchesIterative) {
+  Rng rng(83);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t d = 2 + rng.UniformIndex(3);
+    auto pts = workload::SeparableSvmData(8, d, 0.8, &rng);
+    SvmSolver solver;
+    SvmSolution iterative = solver.Solve(pts);
+    SvmSolution exact = solver.SolveExactSmall(pts);
+    ASSERT_TRUE(exact.separable);
+    ASSERT_TRUE(iterative.separable);
+    EXPECT_NEAR(iterative.norm_squared, exact.norm_squared,
+                1e-3 * std::max(1.0, exact.norm_squared));
+  }
+}
+
+TEST(SvmQpTest, AllConstraintsSatisfiedAtSolution) {
+  Rng rng(89);
+  auto pts = workload::SeparableSvmData(500, 3, 0.5, &rng);
+  SvmSolver solver;
+  SvmSolution s = solver.Solve(pts);
+  ASSERT_TRUE(s.separable);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.Z().Dot(s.u), 1.0 - 1e-4);
+  }
+}
+
+TEST(SvmQpTest, DetectsNonSeparable) {
+  // Directly contradictory labels on the same point.
+  std::vector<SvmPoint> pts = {{Vec{1, 1}, 1}, {Vec{1, 1}, -1}};
+  SvmSolver solver;
+  EXPECT_FALSE(solver.Solve(pts).separable);
+}
+
+TEST(SvmQpTest, DetectsNonSeparableRandom) {
+  Rng rng(97);
+  auto pts = workload::NonSeparableSvmData(100, 2, &rng);
+  SvmSolver solver;
+  EXPECT_FALSE(solver.Solve(pts).separable);
+}
+
+TEST(SvmQpTest, ZeroVectorConstraintNonSeparable) {
+  // y <u, 0> >= 1 can never hold.
+  std::vector<SvmPoint> pts = {{Vec{0, 0}, 1}};
+  SvmSolver solver;
+  EXPECT_FALSE(solver.Solve(pts).separable);
+}
+
+TEST(SvmQpTest, SupportVectorsHaveUnitMargin) {
+  Rng rng(101);
+  auto pts = workload::SeparableSvmData(200, 2, 0.7, &rng);
+  SvmSolver solver;
+  SvmSolution s = solver.Solve(pts);
+  ASSERT_TRUE(s.separable);
+  ASSERT_EQ(s.alpha.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (s.alpha[i] > 1e-6) {
+      EXPECT_NEAR(pts[i].Z().Dot(s.u), 1.0, 1e-3)
+          << "support vector must sit on the margin";
+    }
+  }
+}
+
+TEST(SvmQpTest, SolutionIsMinimalNorm) {
+  // Any feasible u has norm >= ||u*||: check against a few random feasible
+  // perturbations made feasible by scaling.
+  Rng rng(103);
+  auto pts = workload::SeparableSvmData(100, 3, 0.6, &rng);
+  SvmSolver solver;
+  SvmSolution s = solver.Solve(pts);
+  ASSERT_TRUE(s.separable);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec v(3);
+    for (size_t i = 0; i < 3; ++i) {
+      v[i] = s.u[i] + rng.Normal(0, 0.2 * std::sqrt(s.norm_squared));
+    }
+    double min_margin = 1e300;
+    for (const auto& p : pts) min_margin = std::min(min_margin, p.Z().Dot(v));
+    if (min_margin <= 1e-9) continue;  // Not a separator at any scale.
+    Vec feasible = v / min_margin;  // Now all margins >= 1.
+    EXPECT_GE(feasible.NormSquared(), s.norm_squared * (1 - 1e-3));
+  }
+}
+
+TEST(SvmQpTest, ExactSmallRejectsEmpty) {
+  SvmSolver solver;
+  EXPECT_FALSE(solver.SolveExactSmall({}).separable);
+  EXPECT_FALSE(solver.Solve({}).separable);
+}
+
+class SvmSeparableSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SvmSeparableSweep, SolvesAndSeparates) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(4);
+  size_t n = 20 + rng.UniformIndex(300);
+  auto pts = workload::SeparableSvmData(n, d, 0.4, &rng);
+  SvmSolver solver;
+  SvmSolution s = solver.Solve(pts);
+  ASSERT_TRUE(s.separable);
+  for (const auto& p : pts) {
+    EXPECT_GT(static_cast<double>(p.label) * p.x.Dot(s.u), 0.0)
+        << "u must classify all points correctly";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmSeparableSweep,
+                         ::testing::Values(201, 202, 203, 204, 205, 206, 207,
+                                           208));
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,142 @@
+#include "src/solvers/welzl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+// O(n^{d+1}) brute force: try every support subset of size <= d+1.
+Ball BruteForceMeb(const std::vector<Vec>& pts) {
+  Ball best;
+  const size_t n = pts.size();
+  auto consider = [&](const std::vector<Vec>& boundary) {
+    auto b = Circumsphere(boundary);
+    if (!b.ok()) return;
+    for (const Vec& p : pts) {
+      if (!b->Contains(p, 1e-7)) return;
+    }
+    if (best.empty() || b->radius < best.radius) best = *b;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    consider({pts[i]});
+    for (size_t j = i + 1; j < n; ++j) {
+      consider({pts[i], pts[j]});
+      for (size_t k = j + 1; k < n; ++k) {
+        consider({pts[i], pts[j], pts[k]});
+      }
+    }
+  }
+  return best;
+}
+
+TEST(CircumsphereTest, TwoPointsMidpoint) {
+  auto b = Circumsphere({Vec{0, 0}, Vec{2, 0}});
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->center[0], 1, 1e-12);
+  EXPECT_NEAR(b->center[1], 0, 1e-12);
+  EXPECT_NEAR(b->radius, 1, 1e-12);
+}
+
+TEST(CircumsphereTest, EquilateralTriangle) {
+  double h = std::sqrt(3.0) / 2.0;
+  auto b = Circumsphere({Vec{0, 0}, Vec{1, 0}, Vec{0.5, h}});
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->radius, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(CircumsphereTest, DuplicatePointsFail) {
+  auto b = Circumsphere({Vec{1, 1}, Vec{1, 1}});
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(WelzlTest, EmptyAndSingle) {
+  WelzlSolver solver;
+  EXPECT_TRUE(solver.Solve({}).empty());
+  Ball b = solver.Solve({Vec{3, 4}});
+  EXPECT_NEAR(b.radius, 0, 1e-12);
+  EXPECT_NEAR(b.center[0], 3, 1e-12);
+}
+
+TEST(WelzlTest, TwoPoints) {
+  WelzlSolver solver;
+  Ball b = solver.Solve({Vec{-1, 0}, Vec{1, 0}});
+  EXPECT_NEAR(b.radius, 1, 1e-9);
+  EXPECT_NEAR(b.center[0], 0, 1e-9);
+}
+
+TEST(WelzlTest, InteriorPointsIgnored) {
+  WelzlSolver solver;
+  std::vector<Vec> pts = {Vec{-5, 0}, Vec{5, 0}, Vec{0, 0}, Vec{1, 1},
+                          Vec{-2, 2}};
+  Ball b = solver.Solve(pts);
+  EXPECT_NEAR(b.radius, 5, 1e-9);
+}
+
+TEST(WelzlTest, DuplicatedPointsHandled) {
+  WelzlSolver solver;
+  std::vector<Vec> pts(20, Vec{1, 2});
+  pts.push_back(Vec{3, 2});
+  Ball b = solver.Solve(pts);
+  EXPECT_NEAR(b.radius, 1, 1e-9);
+  EXPECT_NEAR(b.center[0], 2, 1e-9);
+}
+
+TEST(WelzlTest, AllPointsContained) {
+  Rng rng(71);
+  WelzlSolver solver;
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t d = 2 + rng.UniformIndex(4);
+    auto pts = workload::GaussianCloud(200, d, &rng);
+    Ball b = solver.Solve(pts);
+    ASSERT_FALSE(b.empty());
+    for (const auto& p : pts) EXPECT_TRUE(b.Contains(p, 1e-6));
+  }
+}
+
+TEST(WelzlTest, SphereCloudRadiusKnown) {
+  Rng rng(73);
+  WelzlSolver solver;
+  auto pts = workload::SphereCloud(500, 3, 7.0, 0.3, &rng);
+  Ball b = solver.Solve(pts);
+  EXPECT_NEAR(b.radius, 7.0, 0.05);
+}
+
+class WelzlVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WelzlVsBruteForce, RadiusMatches) {
+  Rng rng(GetParam());
+  size_t n = 4 + rng.UniformIndex(12);
+  auto pts = workload::GaussianCloud(n, 2, &rng);
+  WelzlSolver solver;
+  Ball fast = solver.Solve(pts);
+  Ball slow = BruteForceMeb(pts);
+  ASSERT_FALSE(slow.empty());
+  EXPECT_NEAR(fast.radius, slow.radius, 1e-6 * std::max(1.0, slow.radius));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelzlVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15));
+
+TEST(WelzlTest, MinimalityProperty) {
+  // Shrinking the radius by epsilon must exclude some point.
+  Rng rng(79);
+  WelzlSolver solver;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto pts = workload::GaussianCloud(50, 3, &rng);
+    Ball b = solver.Solve(pts);
+    size_t on_boundary = 0;
+    for (const auto& p : pts) {
+      if (std::fabs((p - b.center).Norm() - b.radius) < 1e-6) ++on_boundary;
+    }
+    EXPECT_GE(on_boundary, 2u) << "an MEB is pinned by >= 2 points";
+  }
+}
+
+}  // namespace
+}  // namespace lplow

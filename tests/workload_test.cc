@@ -1,0 +1,159 @@
+#include "src/workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/problems/linear_program.h"
+#include "src/solvers/lex_lp.h"
+
+namespace lplow {
+namespace workload {
+namespace {
+
+TEST(WorkloadTest, RandomFeasibleLpIsFeasible) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = RandomFeasibleLp(200, 3, &rng);
+    LexLpSolver solver;
+    EXPECT_TRUE(solver.Solve(inst.constraints, inst.objective).optimal());
+  }
+}
+
+TEST(WorkloadTest, RandomInfeasibleLpIsInfeasible) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = RandomInfeasibleLp(50, 2, &rng);
+    LexLpSolver solver;
+    EXPECT_EQ(solver.Solve(inst.constraints, inst.objective).status,
+              LpStatus::kInfeasible);
+  }
+}
+
+TEST(WorkloadTest, RegressionDataResidualsBounded) {
+  Rng rng(3);
+  auto data = RandomRegressionData(100, 3, 0.5, &rng);
+  for (size_t j = 0; j < data.x.size(); ++j) {
+    double residual = data.y[j] - data.true_w.Dot(data.x[j]) - data.true_b;
+    EXPECT_LE(std::fabs(residual), 0.5 + 1e-12);
+  }
+}
+
+TEST(WorkloadTest, ChebyshevLpRecoversNoiseLevel) {
+  // The optimal t of the Chebyshev LP is at most the injected noise bound
+  // (the true model achieves it) and nonnegative.
+  Rng rng(4);
+  auto data = RandomRegressionData(150, 2, 0.3, &rng);
+  auto lp = ChebyshevRegressionLp(data);
+  LinearProgram problem(lp.objective);
+  auto value = problem.SolveValue(std::span<const Halfspace>(lp.constraints));
+  ASSERT_TRUE(value.feasible);
+  EXPECT_GE(value.objective, -1e-7);
+  EXPECT_LE(value.objective, 0.3 + 1e-6);
+}
+
+TEST(WorkloadTest, ChebyshevLpDimensions) {
+  Rng rng(5);
+  auto data = RandomRegressionData(10, 3, 0.1, &rng);
+  auto lp = ChebyshevRegressionLp(data);
+  EXPECT_EQ(lp.objective.dim(), 5u);          // w(3) + b + t.
+  EXPECT_EQ(lp.constraints.size(), 2 * 10 + 1u);
+}
+
+TEST(WorkloadTest, SeparableSvmHasMargin) {
+  Rng rng(6);
+  auto pts = SeparableSvmData(300, 3, 0.8, &rng);
+  EXPECT_EQ(pts.size(), 300u);
+  // Labels must be realizable: verify against the construction by checking
+  // both classes appear and no point is at the origin.
+  int pos = 0, neg = 0;
+  for (const auto& p : pts) {
+    (p.label > 0 ? pos : neg)++;
+    EXPECT_GT(p.x.Norm(), 0.0);
+  }
+  EXPECT_GT(pos, 0);
+  EXPECT_GT(neg, 0);
+}
+
+TEST(WorkloadTest, NonSeparableContainsContradiction) {
+  Rng rng(7);
+  auto pts = NonSeparableSvmData(50, 2, &rng);
+  // The last point duplicates some x with both labels present.
+  bool found = false;
+  for (size_t i = 0; i + 1 < pts.size() && !found; ++i) {
+    if (pts[i].x.ApproxEquals(pts.back().x, 0) &&
+        pts[i].label != pts.back().label) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadTest, GaussianCloudShape) {
+  Rng rng(8);
+  auto pts = GaussianCloud(500, 4, &rng, 2.0);
+  EXPECT_EQ(pts.size(), 500u);
+  EXPECT_EQ(pts[0].dim(), 4u);
+  // Empirical stddev near 2.
+  double sum2 = 0;
+  for (const auto& p : pts) sum2 += p[0] * p[0];
+  EXPECT_NEAR(std::sqrt(sum2 / 500), 2.0, 0.4);
+}
+
+TEST(WorkloadTest, SphereCloudWithinRadius) {
+  Rng rng(9);
+  auto pts = SphereCloud(400, 3, 5.0, 0.5, &rng);
+  // All points within radius 5 of some center; diameter <= 10.
+  for (const auto& p : pts) {
+    for (const auto& q : pts) {
+      EXPECT_LE((p - q).Norm(), 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(WorkloadTest, EnvelopeLinesBothSigns) {
+  Rng rng(10);
+  auto lines = RandomEnvelopeLines(50, &rng);
+  bool pos = false, neg = false;
+  for (const auto& l : lines) {
+    if (l.slope > 0) pos = true;
+    if (l.slope < 0) neg = true;
+  }
+  EXPECT_TRUE(pos);
+  EXPECT_TRUE(neg);
+}
+
+TEST(WorkloadTest, PartitionRoundRobinBalanced) {
+  Rng rng(11);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  auto parts = Partition(items, 7, true, &rng);
+  ASSERT_EQ(parts.size(), 7u);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    EXPECT_GE(p.size(), 100 / 7u);
+    EXPECT_LE(p.size(), 100 / 7 + 1u);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(WorkloadTest, PartitionContiguousPreservesOrder) {
+  Rng rng(12);
+  std::vector<int> items = {0, 1, 2, 3, 4, 5};
+  auto parts = Partition(items, 2, false, &rng);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parts[1], (std::vector<int>{3, 4, 5}));
+}
+
+TEST(WorkloadTest, GeneratorsDeterministic) {
+  Rng a(13), b(13);
+  auto la = RandomFeasibleLp(20, 2, &a);
+  auto lb = RandomFeasibleLp(20, 2, &b);
+  EXPECT_EQ(la.constraints[7].b, lb.constraints[7].b);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace lplow
