@@ -1,0 +1,16 @@
+# lplow_add_module(<name> SOURCES <src>... [DEPS <lplow::target>...])
+#
+# Declares one module library `lplow_<name>` with alias `lplow::<name>`,
+# attaches the shared build flags, and links the listed module dependencies.
+# Keeping every module on this one entry point keeps the layering explicit:
+# a module's CMakeLists.txt is exactly its sources plus the modules it is
+# allowed to see.
+function(lplow_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "lplow_add_module(${name}): SOURCES required")
+  endif()
+  add_library(lplow_${name} STATIC ${ARG_SOURCES})
+  add_library(lplow::${name} ALIAS lplow_${name})
+  target_link_libraries(lplow_${name} PUBLIC lplow::build_flags ${ARG_DEPS})
+endfunction()

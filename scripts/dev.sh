@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# One-command inner loop: configure (if needed), build, run the quick tests.
+#
+#   scripts/dev.sh            # quick label only (sub-minute)
+#   scripts/dev.sh all        # full suite, including the slow suites
+#   scripts/dev.sh asan       # quick label under ASan/UBSan
+set -eu
+
+cd "$(dirname "$0")/.."
+mode="${1:-quick}"
+
+case "$mode" in
+  asan)
+    build=build-asan
+    cmake_flags="-DCMAKE_BUILD_TYPE=Debug -DLPLOW_SANITIZE=ON"
+    ctest_flags="-L quick"
+    ;;
+  all)
+    build=build
+    cmake_flags="-DCMAKE_BUILD_TYPE=Release"
+    ctest_flags=""
+    ;;
+  quick)
+    build=build
+    cmake_flags="-DCMAKE_BUILD_TYPE=Release"
+    ctest_flags="-L quick"
+    ;;
+  *)
+    echo "usage: scripts/dev.sh [quick|all|asan]" >&2
+    exit 2
+    ;;
+esac
+
+[ -f "$build/CMakeCache.txt" ] || cmake -B "$build" -S . $cmake_flags
+cmake --build "$build" -j "$(nproc)"
+# shellcheck disable=SC2086  # ctest_flags is intentionally word-split.
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" $ctest_flags

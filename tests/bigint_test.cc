@@ -114,7 +114,9 @@ TEST(BigIntTest, DivModIdentityProperty) {
     BigInt::DivMod(a, b, &q, &r);
     EXPECT_EQ(q * b + r, a);
     EXPECT_TRUE(r.Abs() < b.Abs());
-    if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
   }
 }
 

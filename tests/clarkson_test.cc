@@ -9,9 +9,12 @@
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
+
+using testing_util::ExpectMatchesDirect;
 
 TEST(ClarksonTest, MatchesDirectSolveLp) {
   Rng rng(1);
@@ -25,9 +28,8 @@ TEST(ClarksonTest, MatchesDirectSolveLp) {
                               std::span<const Halfspace>(inst.constraints),
                               opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "clarkson");
   EXPECT_FALSE(stats.direct_solve);
   EXPECT_GE(stats.iterations, 1u);
 }
@@ -96,9 +98,8 @@ TEST(ClarksonTest, TinySampleStillCorrectLasVegas) {
   auto result = ClarksonSolve(
       problem, std::span<const Halfspace>(inst.constraints), opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "clarkson");
 }
 
 TEST(ClarksonTest, MonteCarloCanFail) {
@@ -140,8 +141,8 @@ TEST(ClarksonTest, WorksForSvm) {
   auto result =
       ClarksonSolve(problem, std::span<const SvmPoint>(pts), opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, pts, result->value,
+                      "clarkson");
 }
 
 TEST(ClarksonTest, WorksForMeb) {
@@ -153,8 +154,8 @@ TEST(ClarksonTest, WorksForMeb) {
   auto result =
       ClarksonSolve(problem, std::span<const Vec>(pts), opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(std::span<const Vec>(pts));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, pts, result->value,
+                      "clarkson");
 }
 
 TEST(ClarksonTest, ClassicRateOverrideStillCorrect) {
@@ -169,9 +170,8 @@ TEST(ClarksonTest, ClassicRateOverrideStillCorrect) {
   auto result = ClarksonSolve(
       problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "clarkson");
 }
 
 TEST(ClarksonTest, HigherRNeedsMoreIterationsButLessSpace) {
@@ -213,9 +213,8 @@ TEST_P(ClarksonAgreementSweep, LpAgreesAcrossR) {
   auto result = ClarksonSolve(
       problem, std::span<const Halfspace>(inst.constraints), opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "clarkson");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,10 +11,13 @@
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
 
+using testing_util::ExpectMatchesDirect;
+using testing_util::MakeFeasibleLpCase;
 using coord::CoordinatorOptions;
 using coord::CoordinatorStats;
 using coord::SolveCoordinator;
@@ -36,17 +39,14 @@ TEST(ChannelTest, AccountsBytesAndRounds) {
 
 TEST(CoordinatorTest, MatchesDirectSolveLp) {
   Rng rng(1);
-  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
-  LinearProgram problem(inst.objective);
-  auto parts = workload::Partition(inst.constraints, 4, true, &rng);
+  auto [problem, constraints] = MakeFeasibleLpCase(4000, 2, 1);
+  auto parts = workload::Partition(constraints, 4, true, &rng);
   CoordinatorStats stats;
   auto result = SolveCoordinator(problem, parts, {}, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "coordinator");
   EXPECT_EQ(stats.k, 4u);
-  EXPECT_EQ(stats.n, inst.constraints.size());
+  EXPECT_EQ(stats.n, constraints.size());
 }
 
 TEST(CoordinatorTest, RoundsAreThreePerIteration) {
@@ -81,17 +81,13 @@ TEST(CoordinatorTest, CommunicationSublinearInN) {
 
 TEST(CoordinatorTest, SkewedPartitionStillCorrect) {
   // All constraints on one site, others empty (adversarial partition).
-  Rng rng(4);
-  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
-  LinearProgram problem(inst.objective);
+  auto [problem, constraints] = MakeFeasibleLpCase(3000, 2, 4);
   std::vector<std::vector<Halfspace>> parts(5);
-  parts[2] = inst.constraints;
+  parts[2] = constraints;
   CoordinatorStats stats;
   auto result = SolveCoordinator(problem, parts, {}, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "coordinator");
 }
 
 TEST(CoordinatorTest, ContiguousPartitionStillCorrect) {
@@ -105,9 +101,8 @@ TEST(CoordinatorTest, ContiguousPartitionStillCorrect) {
   auto parts = workload::Partition(inst.constraints, 8, false, &rng);
   auto result = SolveCoordinator(problem, parts, {}, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "coordinator");
 }
 
 TEST(CoordinatorTest, SingleSiteWorks) {
@@ -144,8 +139,7 @@ TEST(CoordinatorTest, WorksForSvmAndMeb) {
     auto parts = workload::Partition(pts, 4, true, &rng);
     auto result = SolveCoordinator(problem, parts, {}, nullptr);
     ASSERT_TRUE(result.ok());
-    auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
-    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+    ExpectMatchesDirect(problem, pts, result->value, "coordinator");
   }
   {
     auto pts = workload::GaussianCloud(4000, 3, &rng);
@@ -153,8 +147,7 @@ TEST(CoordinatorTest, WorksForSvmAndMeb) {
     auto parts = workload::Partition(pts, 4, true, &rng);
     auto result = SolveCoordinator(problem, parts, {}, nullptr);
     ASSERT_TRUE(result.ok());
-    auto direct = problem.SolveValue(std::span<const Vec>(pts));
-    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+    ExpectMatchesDirect(problem, pts, result->value, "coordinator");
   }
 }
 
@@ -164,17 +157,14 @@ class CoordinatorSweep
 TEST_P(CoordinatorSweep, CorrectAcrossKAndR) {
   auto [k, r, seed] = GetParam();
   Rng rng(seed);
-  auto inst = workload::RandomFeasibleLp(3000, 2, &rng);
-  LinearProgram problem(inst.objective);
-  auto parts = workload::Partition(inst.constraints, k, true, &rng);
+  auto [problem, constraints] = MakeFeasibleLpCase(3000, 2, seed);
+  auto parts = workload::Partition(constraints, k, true, &rng);
   CoordinatorOptions opt;
   opt.r = r;
   opt.seed = seed * 7;
   auto result = SolveCoordinator(problem, parts, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "coordinator");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -5,78 +5,26 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/clarkson.h"
 #include "src/models/coordinator/coordinator_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
-#include "src/problems/linear_svm.h"
-#include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
 
-template <LpTypeProblem P>
-void CheckAllModelsAgree(const P& problem,
-                         const std::vector<typename P::Constraint>& input,
-                         uint64_t seed) {
-  using Constraint = typename P::Constraint;
-  Rng rng(seed);
-
-  auto direct = problem.SolveValue(std::span<const Constraint>(input));
-
-  ClarksonOptions copt;
-  copt.r = 2;
-  copt.net.scale = 0.1;  // Leave the direct-solve regime at test-sized n.
-  copt.seed = seed;
-  auto sequential =
-      ClarksonSolve(problem, std::span<const Constraint>(input), copt,
-                    nullptr);
-  ASSERT_TRUE(sequential.ok());
-  EXPECT_EQ(problem.CompareValues(sequential->value, direct), 0)
-      << "sequential != direct";
-
-  stream::VectorStream<Constraint> vs(input);
-  stream::StreamingOptions sopt;
-  sopt.r = 2;
-  sopt.net.scale = 0.1;
-  sopt.seed = seed + 1;
-  auto streaming = stream::SolveStreaming(problem, vs, sopt, nullptr);
-  ASSERT_TRUE(streaming.ok());
-  EXPECT_EQ(problem.CompareValues(streaming->value, direct), 0)
-      << "streaming != direct";
-
-  auto parts = workload::Partition(input, 4, true, &rng);
-  coord::CoordinatorOptions ccopt;
-  ccopt.r = 2;
-  ccopt.net.scale = 0.1;
-  ccopt.seed = seed + 2;
-  auto coordinated = coord::SolveCoordinator(problem, parts, ccopt, nullptr);
-  ASSERT_TRUE(coordinated.ok());
-  EXPECT_EQ(problem.CompareValues(coordinated->value, direct), 0)
-      << "coordinator != direct";
-
-  auto parts2 = workload::Partition(input, 8, true, &rng);
-  mpc::MpcOptions mopt;
-  mopt.delta = 0.5;
-  mopt.net.scale = 0.1;
-  mopt.seed = seed + 3;
-  auto parallel = mpc::SolveMpc(problem, parts2, mopt, nullptr);
-  ASSERT_TRUE(parallel.ok());
-  EXPECT_EQ(problem.CompareValues(parallel->value, direct), 0)
-      << "mpc != direct";
-}
+using testing_util::CheckAllModelsAgree;
 
 class CrossModelLp : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrossModelLp, AllAgree) {
   Rng rng(GetParam());
   size_t d = 2 + rng.UniformIndex(2);
-  auto inst = workload::RandomFeasibleLp(3000, d, &rng);
-  LinearProgram problem(inst.objective);
-  CheckAllModelsAgree(problem, inst.constraints, GetParam());
+  auto c = testing_util::MakeFeasibleLpCase(3000, d, GetParam());
+  CheckAllModelsAgree(c.problem, c.constraints, GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelLp,
@@ -85,10 +33,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelLp,
 class CrossModelSvm : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrossModelSvm, AllAgree) {
-  Rng rng(GetParam());
-  auto pts = workload::SeparableSvmData(1500, 2, 0.5, &rng);
-  LinearSvm problem(2);
-  CheckAllModelsAgree(problem, pts, GetParam());
+  auto c = testing_util::MakeSeparableSvmCase(1500, 2, 0.5, GetParam());
+  CheckAllModelsAgree(c.problem, c.points, GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelSvm, ::testing::Values(11, 12, 13));
@@ -96,10 +42,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelSvm, ::testing::Values(11, 12, 13));
 class CrossModelMeb : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrossModelMeb, AllAgree) {
-  Rng rng(GetParam());
-  auto pts = workload::GaussianCloud(3000, 3, &rng);
-  MinEnclosingBall problem(3);
-  CheckAllModelsAgree(problem, pts, GetParam());
+  auto c = testing_util::MakeGaussianMebCase(3000, 3, GetParam());
+  CheckAllModelsAgree(c.problem, c.points, GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossModelMeb, ::testing::Values(21, 22, 23));

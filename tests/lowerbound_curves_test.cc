@@ -148,8 +148,8 @@ TEST(AugIndexReductionTest, ExhaustiveSmall) {
     for (uint32_t pattern = 0; pattern < (1u << m); ++pattern) {
       for (size_t istar = 1; istar <= m; ++istar) {
         AugIndexInstance aug;
-        aug.bits.resize(m);
-        for (size_t j = 0; j < m; ++j) aug.bits[j] = (pattern >> j) & 1;
+        aug.bits.clear();
+        for (size_t j = 0; j < m; ++j) aug.bits.push_back((pattern >> j) & 1);
         aug.index = istar;
         auto red = BuildTciFromAugIndex(aug, Rational(3));
         ASSERT_TRUE(ValidateTci(red.tci).ok())

@@ -27,6 +27,28 @@ TEST(LpIoTest, ParsesMinimalInstance) {
   EXPECT_EQ(inst->constraints[1].b, 3);
 }
 
+TEST(LpIoTest, GoldenFormat) {
+  // Pins the exact on-disk text for a hand-built instance, so accidental
+  // format changes (which would orphan saved instance files) fail loudly.
+  LpInstance inst;
+  inst.objective = Vec{1, 0.5};
+  inst.constraints.push_back(Halfspace(Vec{-1, 0}, 2));
+  inst.constraints.push_back(Halfspace(Vec{0.25, -1}, 3.5));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteLpInstance(inst, out).ok());
+  EXPECT_EQ(out.str(),
+            "lp 2\n"
+            "objective 1 0.5\n"
+            "c -1 0 2\n"
+            "c 0.25 -1 3.5\n");
+  std::istringstream in(out.str());
+  auto parsed = ReadLpInstance(in);
+  ASSERT_TRUE(parsed.ok());
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteLpInstance(*parsed, out2).ok());
+  EXPECT_EQ(out2.str(), out.str()) << "write -> read -> write must be a fixpoint";
+}
+
 TEST(LpIoTest, RoundTripExact) {
   Rng rng(9);
   auto inst = RandomFeasibleLp(50, 3, &rng);
@@ -64,6 +86,7 @@ TEST(LpIoTest, ErrorsCarryLineNumbers) {
     std::istringstream in("objective 1 2\n");
     auto r = ReadLpInstance(in);
     ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
     EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
   }
   {
@@ -115,7 +138,9 @@ TEST(LpIoTest, FileRoundTrip) {
   auto parsed = ReadLpInstanceFromFile(path);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->constraints.size(), 10u);
-  EXPECT_FALSE(ReadLpInstanceFromFile("/tmp/does_not_exist.lp").ok());
+  auto missing = ReadLpInstanceFromFile("/tmp/does_not_exist.lp");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 TEST(LpIoTest, DimensionMismatchOnWrite) {

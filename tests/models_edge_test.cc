@@ -8,9 +8,12 @@
 #include "src/problems/linear_program.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
+
+using testing_util::ExpectMatchesDirect;
 
 TEST(ModelsEdgeTest, GeneratorStreamEndToEnd) {
   // Constraints produced on demand — nothing materialized up front.
@@ -26,9 +29,8 @@ TEST(ModelsEdgeTest, GeneratorStreamEndToEnd) {
   stream::StreamingStats stats;
   auto result = stream::SolveStreaming(problem, s, opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "model");
   EXPECT_LT(stats.peak_items, n / 4);
 }
 
@@ -63,9 +65,8 @@ TEST(ModelsEdgeTest, CoordinatorMoreSitesThanConstraints) {
   }
   auto result = coord::SolveCoordinator(problem, parts, {}, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "model");
 }
 
 TEST(ModelsEdgeTest, CoordinatorNoFallbackReportsSamplingFailed) {
@@ -93,9 +94,8 @@ TEST(ModelsEdgeTest, MpcMoreMachinesThanConstraints) {
   opt.machines = 100;
   auto result = mpc::SolveMpc(problem, {inst.constraints}, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "model");
 }
 
 TEST(ModelsEdgeTest, MpcDeterministicAcrossRuns) {
@@ -131,9 +131,8 @@ TEST(ModelsEdgeTest, DuplicateHeavyStream) {
   opt.net.scale = 0.1;
   auto result = stream::SolveStreaming(problem, s, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value,
+                      "model");
 }
 
 TEST(ModelsEdgeTest, StreamingSingleConstraint) {

@@ -11,10 +11,13 @@
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
 
+using testing_util::ExpectMatchesDirect;
+using testing_util::MakeFeasibleLpCase;
 using mpc::MpcOptions;
 using mpc::MpcRuntime;
 using mpc::MpcStats;
@@ -53,17 +56,14 @@ TEST(MpcRuntimeTest, LoadAccounting) {
 
 TEST(MpcTest, MatchesDirectSolveLp) {
   Rng rng(1);
-  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
-  LinearProgram problem(inst.objective);
-  auto parts = workload::Partition(inst.constraints, 16, true, &rng);
+  auto [problem, constraints] = MakeFeasibleLpCase(5000, 2, 1);
+  auto parts = workload::Partition(constraints, 16, true, &rng);
   MpcOptions opt;
   opt.delta = 0.5;
   MpcStats stats;
   auto result = SolveMpc(problem, parts, opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "mpc");
   EXPECT_GT(stats.machines, 1u);
 }
 
@@ -121,16 +121,12 @@ TEST(MpcTest, ExplicitMachineCount) {
 }
 
 TEST(MpcTest, SingleMachineDegenerate) {
-  Rng rng(5);
-  auto inst = workload::RandomFeasibleLp(500, 2, &rng);
-  LinearProgram problem(inst.objective);
+  auto [problem, constraints] = MakeFeasibleLpCase(500, 2, 5);
   MpcOptions opt;
   opt.machines = 1;
-  auto result = SolveMpc(problem, {inst.constraints}, opt, nullptr);
+  auto result = SolveMpc(problem, {constraints}, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "mpc");
 }
 
 TEST(MpcTest, EmptyInputFails) {
@@ -142,15 +138,13 @@ TEST(MpcTest, EmptyInputFails) {
 
 TEST(MpcTest, WorksForMeb) {
   Rng rng(6);
-  auto pts = workload::GaussianCloud(6000, 3, &rng);
-  MinEnclosingBall problem(3);
+  auto [problem, pts] = testing_util::MakeGaussianMebCase(6000, 3, 6);
   auto parts = workload::Partition(pts, 16, true, &rng);
   MpcOptions opt;
   opt.delta = 1.0 / 3.0;
   auto result = SolveMpc(problem, parts, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(std::span<const Vec>(pts));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, pts, result->value, "mpc");
 }
 
 class MpcSweep
@@ -159,17 +153,14 @@ class MpcSweep
 TEST_P(MpcSweep, CorrectAcrossDelta) {
   auto [delta, seed] = GetParam();
   Rng rng(seed);
-  auto inst = workload::RandomFeasibleLp(4000, 2, &rng);
-  LinearProgram problem(inst.objective);
-  auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+  auto [problem, constraints] = MakeFeasibleLpCase(4000, 2, seed);
+  auto parts = workload::Partition(constraints, 8, true, &rng);
   MpcOptions opt;
   opt.delta = delta;
   opt.seed = seed * 13;
   auto result = SolveMpc(problem, parts, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "mpc");
 }
 
 INSTANTIATE_TEST_SUITE_P(

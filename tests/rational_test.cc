@@ -45,7 +45,9 @@ TEST(RationalTest, ArithmeticAgainstDoubles) {
     EXPECT_NEAR((a + b).ToDouble(), da + db, 1e-12);
     EXPECT_NEAR((a - b).ToDouble(), da - db, 1e-12);
     EXPECT_NEAR((a * b).ToDouble(), da * db, 1e-12);
-    if (p2 != 0) EXPECT_NEAR((a / b).ToDouble(), da / db, 1e-9);
+    if (p2 != 0) {
+      EXPECT_NEAR((a / b).ToDouble(), da / db, 1e-9);
+    }
   }
 }
 
@@ -56,8 +58,12 @@ TEST(RationalTest, ComparisonTotalOrder) {
     int64_t p2 = rng.UniformInt(-50, 50), q2 = rng.UniformInt(1, 30);
     Rational a = Rational::Make(p1, q1), b = Rational::Make(p2, q2);
     double da = static_cast<double>(p1) / q1, db = static_cast<double>(p2) / q2;
-    if (da < db - 1e-9) EXPECT_LT(a, b);
-    if (da > db + 1e-9) EXPECT_GT(a, b);
+    if (da < db - 1e-9) {
+      EXPECT_LT(a, b);
+    }
+    if (da > db + 1e-9) {
+      EXPECT_GT(a, b);
+    }
   }
   EXPECT_EQ(Rational::Make(2, 4), Rational::Make(1, 2));
 }

@@ -11,10 +11,13 @@
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
 
+using testing_util::ExpectMatchesDirect;
+using testing_util::MakeFeasibleLpCase;
 using stream::SolveStreaming;
 using stream::StreamingOptions;
 using stream::StreamingStats;
@@ -56,18 +59,14 @@ TEST(StreamTest, SpaceMeterTracksPeak) {
 }
 
 TEST(StreamingSolverTest, MatchesDirectSolveLp) {
-  Rng rng(1);
-  auto inst = workload::RandomFeasibleLp(5000, 2, &rng);
-  LinearProgram problem(inst.objective);
-  VectorStream<Halfspace> s(inst.constraints);
+  auto [problem, constraints] = MakeFeasibleLpCase(5000, 2, 1);
+  VectorStream<Halfspace> s(constraints);
   StreamingOptions opt;
   opt.net.scale = 0.1;  // Leave the direct-solve regime at this n.
   StreamingStats stats;
   auto result = SolveStreaming(problem, s, opt, &stats);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "streaming");
   EXPECT_FALSE(stats.direct_solve);
 }
 
@@ -177,9 +176,7 @@ TEST(StreamingSolverTest, AdversarialOrderSameAnswer) {
   VectorStream<Halfspace> s(inst.constraints);
   auto result = SolveStreaming(problem, s, {}, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, inst.constraints, result->value, "streaming");
 }
 
 TEST(StreamingSolverTest, WorksForSvmAndMeb) {
@@ -190,8 +187,7 @@ TEST(StreamingSolverTest, WorksForSvmAndMeb) {
     VectorStream<SvmPoint> s(pts);
     auto result = SolveStreaming(problem, s, {}, nullptr);
     ASSERT_TRUE(result.ok());
-    auto direct = problem.SolveValue(std::span<const SvmPoint>(pts));
-    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+    ExpectMatchesDirect(problem, pts, result->value, "streaming");
   }
   {
     auto pts = workload::GaussianCloud(5000, 2, &rng);
@@ -199,8 +195,7 @@ TEST(StreamingSolverTest, WorksForSvmAndMeb) {
     VectorStream<Vec> s(pts);
     auto result = SolveStreaming(problem, s, {}, nullptr);
     ASSERT_TRUE(result.ok());
-    auto direct = problem.SolveValue(std::span<const Vec>(pts));
-    EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+    ExpectMatchesDirect(problem, pts, result->value, "streaming");
   }
 }
 
@@ -219,18 +214,14 @@ class StreamingSweep
 
 TEST_P(StreamingSweep, CorrectAcrossRAndD) {
   auto [r, d, seed] = GetParam();
-  Rng rng(seed);
-  auto inst = workload::RandomFeasibleLp(3000, d, &rng);
-  LinearProgram problem(inst.objective);
-  VectorStream<Halfspace> s(inst.constraints);
+  auto [problem, constraints] = MakeFeasibleLpCase(3000, d, seed);
+  VectorStream<Halfspace> s(constraints);
   StreamingOptions opt;
   opt.r = r;
   opt.seed = seed;
   auto result = SolveStreaming(problem, s, opt, nullptr);
   ASSERT_TRUE(result.ok());
-  auto direct = problem.SolveValue(
-      std::span<const Halfspace>(inst.constraints));
-  EXPECT_EQ(problem.CompareValues(result->value, direct), 0);
+  ExpectMatchesDirect(problem, constraints, result->value, "streaming");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -97,7 +97,9 @@ TEST_P(SeedSweep, RationalFieldAxioms) {
     EXPECT_EQ((a + b) + c, a + (b + c));
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a - a, Rational(0));
-    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
     EXPECT_EQ(-(-a), a);
   }
 }

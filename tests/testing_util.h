@@ -1,0 +1,152 @@
+// Shared test utilities: random-instance builders keyed by seed, the
+// direct-solve agreement check used by every model-specific suite, and the
+// cross-model agreement harness used by integration_test.cc.
+//
+// Header-only on purpose: every test binary is a single translation unit, so
+// there is nothing to anchor in a .cc file.
+
+#ifndef LPLOW_TESTS_TESTING_UTIL_H_
+#define LPLOW_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/clarkson.h"
+#include "src/core/lp_type.h"
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace testing_util {
+
+// ------------------------------------------------ random-instance builders
+
+/// A ready-to-solve LP test case: the problem plus its constraint set.
+struct LpCase {
+  LinearProgram problem;
+  std::vector<Halfspace> constraints;
+};
+
+inline LpCase MakeFeasibleLpCase(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  auto inst = workload::RandomFeasibleLp(n, d, &rng);
+  return LpCase{LinearProgram(inst.objective), std::move(inst.constraints)};
+}
+
+inline LpCase MakeInfeasibleLpCase(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  auto inst = workload::RandomInfeasibleLp(n, d, &rng);
+  return LpCase{LinearProgram(inst.objective), std::move(inst.constraints)};
+}
+
+struct SvmCase {
+  LinearSvm problem;
+  std::vector<SvmPoint> points;
+};
+
+inline SvmCase MakeSeparableSvmCase(size_t n, size_t d, double margin,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  return SvmCase{LinearSvm(d), workload::SeparableSvmData(n, d, margin, &rng)};
+}
+
+struct MebCase {
+  MinEnclosingBall problem;
+  std::vector<Vec> points;
+};
+
+inline MebCase MakeGaussianMebCase(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  return MebCase{MinEnclosingBall(d), workload::GaussianCloud(n, d, &rng)};
+}
+
+// ------------------------------------------------- direct-solve agreement
+
+/// f(S) computed by the problem's own direct solver — the ground truth every
+/// model must reproduce exactly (CompareValues == 0, not approximate).
+template <LpTypeProblem P>
+typename P::Value DirectValue(const P& problem,
+                              const std::vector<typename P::Constraint>& in) {
+  return problem.SolveValue(std::span<const typename P::Constraint>(in));
+}
+
+/// Expects `got` to equal the direct solve of `input` under the problem's
+/// value order. `what` names the solver under test in the failure message.
+template <LpTypeProblem P>
+void ExpectMatchesDirect(const P& problem,
+                         const std::vector<typename P::Constraint>& input,
+                         const typename P::Value& got, const char* what) {
+  auto direct = DirectValue(problem, input);
+  EXPECT_EQ(problem.CompareValues(got, direct), 0)
+      << what << " disagrees with the direct solve";
+}
+
+// ------------------------------------------------ cross-model agreement
+
+/// For identical inputs, the sequential reference (Algorithm 1), the
+/// streaming solver (Theorem 1), the coordinator solver (Theorem 2), the MPC
+/// solver (Theorem 3), and a direct solve must all report the same f(S).
+template <LpTypeProblem P>
+void CheckAllModelsAgree(const P& problem,
+                         const std::vector<typename P::Constraint>& input,
+                         uint64_t seed) {
+  using Constraint = typename P::Constraint;
+  Rng rng(seed);
+
+  auto direct = DirectValue(problem, input);
+
+  ClarksonOptions copt;
+  copt.r = 2;
+  copt.net.scale = 0.1;  // Leave the direct-solve regime at test-sized n.
+  copt.seed = seed;
+  auto sequential =
+      ClarksonSolve(problem, std::span<const Constraint>(input), copt,
+                    nullptr);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(problem.CompareValues(sequential->value, direct), 0)
+      << "sequential != direct";
+
+  stream::VectorStream<Constraint> vs(input);
+  stream::StreamingOptions sopt;
+  sopt.r = 2;
+  sopt.net.scale = 0.1;
+  sopt.seed = seed + 1;
+  auto streaming = stream::SolveStreaming(problem, vs, sopt, nullptr);
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_EQ(problem.CompareValues(streaming->value, direct), 0)
+      << "streaming != direct";
+
+  auto parts = workload::Partition(input, 4, true, &rng);
+  coord::CoordinatorOptions ccopt;
+  ccopt.r = 2;
+  ccopt.net.scale = 0.1;
+  ccopt.seed = seed + 2;
+  auto coordinated = coord::SolveCoordinator(problem, parts, ccopt, nullptr);
+  ASSERT_TRUE(coordinated.ok());
+  EXPECT_EQ(problem.CompareValues(coordinated->value, direct), 0)
+      << "coordinator != direct";
+
+  auto parts2 = workload::Partition(input, 8, true, &rng);
+  mpc::MpcOptions mopt;
+  mopt.delta = 0.5;
+  mopt.net.scale = 0.1;
+  mopt.seed = seed + 3;
+  auto parallel = mpc::SolveMpc(problem, parts2, mopt, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(problem.CompareValues(parallel->value, direct), 0)
+      << "mpc != direct";
+}
+
+}  // namespace testing_util
+}  // namespace lplow
+
+#endif  // LPLOW_TESTS_TESTING_UTIL_H_

@@ -1,0 +1,55 @@
+// Tests of the shared builders in tests/testing_util.h: the reproducibility
+// of every randomized suite rests on "same seed -> same instance", so the
+// builders themselves are pinned here.
+
+#include "tests/testing_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lplow {
+namespace {
+
+TEST(TestingUtilTest, LpBuilderIsDeterministic) {
+  auto a = testing_util::MakeFeasibleLpCase(200, 3, 7);
+  auto b = testing_util::MakeFeasibleLpCase(200, 3, 7);
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  for (size_t i = 0; i < a.constraints.size(); ++i) {
+    EXPECT_TRUE(a.constraints[i].a.ApproxEquals(b.constraints[i].a, 0.0));
+    EXPECT_EQ(a.constraints[i].b, b.constraints[i].b);
+  }
+}
+
+TEST(TestingUtilTest, LpBuilderVariesWithSeed) {
+  auto a = testing_util::MakeFeasibleLpCase(200, 3, 7);
+  auto b = testing_util::MakeFeasibleLpCase(200, 3, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.constraints.size() && !any_diff; ++i) {
+    any_diff = !a.constraints[i].a.ApproxEquals(b.constraints[i].a, 0.0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TestingUtilTest, BuildersProduceSolvableCases) {
+  auto lp = testing_util::MakeFeasibleLpCase(500, 2, 3);
+  EXPECT_TRUE(testing_util::DirectValue(lp.problem, lp.constraints).feasible);
+
+  auto bad = testing_util::MakeInfeasibleLpCase(500, 2, 3);
+  EXPECT_FALSE(
+      testing_util::DirectValue(bad.problem, bad.constraints).feasible);
+
+  auto svm = testing_util::MakeSeparableSvmCase(300, 2, 0.5, 3);
+  EXPECT_EQ(svm.points.size(), 300u);
+
+  auto meb = testing_util::MakeGaussianMebCase(300, 3, 3);
+  EXPECT_EQ(meb.points.size(), 300u);
+}
+
+TEST(TestingUtilTest, ExpectMatchesDirectAcceptsDirectValue) {
+  auto lp = testing_util::MakeFeasibleLpCase(300, 2, 11);
+  auto direct = testing_util::DirectValue(lp.problem, lp.constraints);
+  testing_util::ExpectMatchesDirect(lp.problem, lp.constraints, direct,
+                                    "direct");
+}
+
+}  // namespace
+}  // namespace lplow
