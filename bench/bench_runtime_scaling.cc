@@ -1,0 +1,134 @@
+// Thread-scaling of the concurrent execution runtime (src/runtime): the
+// same protocols, the same byte-exact communication totals, wall-clock vs
+// RuntimeOptions::num_threads. Coordinator and MPC site emulation should
+// approach linear speedup while k >= num_threads (sites are independent
+// between round barriers); SolverService throughput measures the
+// heavy-traffic many-jobs scenario. The `pool_threads` counter is reported
+// so bench_compare.py can pair runs (named to dodge Google Benchmark's
+// built-in `threads` field, which bench_compare ignores); `KB`/`rounds`
+// must not vary with threads (the determinism guarantee).
+
+#include <benchmark/benchmark.h>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/runtime/solver_service.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_CoordinatorThreadScaling(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t threads = static_cast<size_t>(state.range(2));
+  Rng rng(0x5CA1E + n + 7 * k);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, k, true, &rng);
+
+  coord::CoordinatorStats stats;
+  for (auto _ : state) {
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    opt.seed = 0x5CA1E;
+    opt.runtime.num_threads = threads;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pool_threads"] = static_cast<double>(stats.threads);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_CoordinatorThreadScaling)
+    ->ArgNames({"n", "k", "threads"})
+    ->Args({300000, 64, 1})
+    ->Args({300000, 64, 2})
+    ->Args({300000, 64, 4})
+    ->Args({300000, 64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_MpcThreadScaling(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t machines = static_cast<size_t>(state.range(1));
+  const size_t threads = static_cast<size_t>(state.range(2));
+  Rng rng(0x3CA1E + n);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, machines, true, &rng);
+
+  mpc::MpcStats stats;
+  for (auto _ : state) {
+    mpc::MpcOptions opt;
+    opt.delta = 0.5;
+    opt.net.scale = 0.1;
+    opt.machines = machines;
+    opt.seed = 0x3CA1E;
+    opt.runtime.num_threads = threads;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pool_threads"] = static_cast<double>(stats.threads);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+  state.counters["max_load_KB"] =
+      static_cast<double>(stats.max_load_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_MpcThreadScaling)
+    ->ArgNames({"n", "machines", "threads"})
+    ->Args({300000, 64, 1})
+    ->Args({300000, 64, 2})
+    ->Args({300000, 64, 4})
+    ->Args({300000, 64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// Heavy traffic: `jobs` independent coordinator-LP requests drain through a
+// SolverService pool of `threads` workers; the rate counter is jobs/sec.
+void BM_SolverServiceThroughput(benchmark::State& state) {
+  const size_t jobs = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  Rng rng(0x70B);
+  auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+
+  for (auto _ : state) {
+    runtime::SolverService::Options sopt;
+    sopt.num_threads = threads;
+    runtime::SolverService service(sopt);
+    for (size_t j = 0; j < jobs; ++j) {
+      service.Submit("bench_lp", [&problem, &parts, j] {
+        coord::CoordinatorOptions opt;
+        opt.net.scale = 0.1;
+        opt.seed = 0x70B + j;
+        return coord::SolveCoordinator(problem, parts, opt, nullptr).ok();
+      });
+    }
+    service.Drain();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * state.iterations());
+  state.counters["pool_threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_SolverServiceThroughput)
+    ->ArgNames({"jobs", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,109 @@
+// The heavy-traffic scenario end to end: a SolverService drains a burst of
+// mixed LP / SVM / MEB requests through one shared thread pool, the
+// coordinator jobs fan their own site emulation out with
+// RuntimeOptions{num_threads}, and the process metrics registry is exported
+// as JSON at the end (the schema docs/runtime.md describes).
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/solver_service.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace lplow;
+
+  runtime::SolverService::Options options;
+  options.num_threads = 4;
+  runtime::SolverService service(options);
+  std::printf("solver service up: %zu worker threads\n",
+              service.num_threads());
+
+  const int kRequestsPerKind = 16;
+  Stopwatch watch;
+  std::vector<std::future<bool>> done;
+
+  for (int j = 0; j < kRequestsPerKind; ++j) {
+    // Distributed LP in the coordinator model (8 sites per request).
+    done.push_back(service.Submit("lp", [j] {
+      Rng rng(100 + j);
+      auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+      LinearProgram problem(inst.objective);
+      auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 100 + j;
+      return coord::SolveCoordinator(problem, parts, opt, nullptr).ok();
+    }));
+
+    // Distributed SVM training, coordinator model (cf. distributed_svm).
+    done.push_back(service.Submit("svm", [j] {
+      Rng rng(200 + j);
+      auto points = workload::SeparableSvmData(8000, 2, 0.5, &rng);
+      LinearSvm problem(2);
+      auto parts = workload::Partition(points, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.r = 3;
+      opt.net.scale = 0.1;
+      opt.seed = 200 + j;
+      return coord::SolveCoordinator(problem, parts, opt, nullptr).ok();
+    }));
+
+    // LP in the MPC model (32 machines per request).
+    done.push_back(service.Submit("mpc_lp", [j] {
+      Rng rng(400 + j);
+      auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+      LinearProgram problem(inst.objective);
+      auto parts = workload::Partition(inst.constraints, 32, true, &rng);
+      mpc::MpcOptions opt;
+      opt.delta = 0.5;
+      opt.net.scale = 0.1;
+      opt.seed = 400 + j;
+      return mpc::SolveMpc(problem, parts, opt, nullptr).ok();
+    }));
+
+    // Smallest-enclosing-ball lookup, solved directly.
+    done.push_back(service.Submit("meb", [j] {
+      Rng rng(300 + j);
+      auto points = workload::GaussianCloud(5000, 3, &rng);
+      MinEnclosingBall problem(3);
+      auto value = problem.SolveValue(std::span<const Vec>(points));
+      return !value.ball.empty();
+    }));
+  }
+
+  size_t ok = 0;
+  for (auto& f : done) {
+    try {
+      ok += f.get() ? 1 : 0;
+    } catch (const std::exception& e) {
+      // A throwing job is delivered through its future; count it against
+      // `ok` so the failure branch below reports it instead of terminating.
+      std::fprintf(stderr, "request threw: %s\n", e.what());
+    }
+  }
+  service.Drain();
+
+  auto stats = service.stats();
+  std::printf("served %llu requests (%zu ok, %llu failed) in %.2fs\n",
+              static_cast<unsigned long long>(stats.completed), ok,
+              static_cast<unsigned long long>(stats.failed),
+              watch.ElapsedSeconds());
+  if (ok != done.size() || stats.failed != 0) {
+    std::fprintf(stderr, "some requests failed\n");
+    return 1;
+  }
+
+  std::printf("\nmetrics registry export:\n%s\n",
+              runtime::MetricsRegistry::Global().ToJson().c_str());
+  return 0;
+}

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff Google Benchmark JSON results against a checked-in baseline.
+
+Two kinds of comparison, matching what the lplow benches report:
+
+* deterministic counters (rounds, KB, max_load_KB, iters, threads, ...):
+  fixed seeds make these machine-independent, so any drift is a real
+  behavior change — it is reported exactly;
+* real_time: machine-dependent, so it is compared as a ratio and only
+  flagged beyond --max-regression (default 1.5x slower).
+
+Exit status is 0 unless --strict is given, in which case counter drift or a
+flagged time regression fails the run (CI runs report-only: runner timing is
+noisy, and the artifact is the record).
+
+Usage:
+  bench_compare.py --baseline bench/baselines/baseline.json out/*.json
+  bench_compare.py --update --baseline bench/baselines/baseline.json out/*.json
+
+The baseline file is a distilled {benchmark name -> {real_time, time_unit,
+counters}} map produced by --update from raw --benchmark_out files.
+"""
+
+import argparse
+import json
+import sys
+
+# Google Benchmark JSON keys that are not user counters.
+NON_COUNTER_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "family_index", "per_family_instance_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "items_per_second",
+    "bytes_per_second", "label", "error_occurred", "error_message",
+    "aggregate_name", "aggregate_unit", "big_o", "rms",
+}
+
+
+def load_results(paths):
+    """Distills raw benchmark_out files into {name: record}."""
+    results = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            counters = {
+                key: value
+                for key, value in bench.items()
+                if key not in NON_COUNTER_KEYS and isinstance(value, (int, float))
+            }
+            results[bench["name"]] = {
+                "real_time": bench.get("real_time"),
+                "time_unit": bench.get("time_unit", "ns"),
+                "counters": counters,
+            }
+    return results
+
+
+def compare(baseline, current, max_regression, counter_rel_tol):
+    """Returns (report lines, drift count, regression count)."""
+    lines = []
+    drift = 0
+    regressions = 0
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"MISSING  {name}: in baseline but not in results")
+            drift += 1
+            continue
+        if name not in baseline:
+            lines.append(f"NEW      {name}: not in baseline (run --update)")
+            continue
+        base, cur = baseline[name], current[name]
+
+        for key in sorted(set(base["counters"]) | set(cur["counters"])):
+            b = base["counters"].get(key)
+            c = cur["counters"].get(key)
+            if b is None or c is None:
+                lines.append(f"DRIFT    {name} [{key}]: {b} -> {c}")
+                drift += 1
+                continue
+            tol = counter_rel_tol * max(abs(b), 1e-12)
+            if abs(c - b) > tol:
+                lines.append(f"DRIFT    {name} [{key}]: {b:g} -> {c:g}")
+                drift += 1
+
+        b_time, c_time = base["real_time"], cur["real_time"]
+        if b_time and c_time and base["time_unit"] == cur["time_unit"]:
+            ratio = c_time / b_time
+            marker = "ok"
+            if ratio > max_regression:
+                marker = "REGRESSION"
+                regressions += 1
+            elif ratio < 1.0 / max_regression:
+                marker = "improved"
+            lines.append(
+                f"{marker:<9}{name}: {b_time:.3g} -> {c_time:.3g} "
+                f"{cur['time_unit']} ({ratio:.2f}x)")
+    return lines, drift, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="distilled baseline JSON (see --update)")
+    parser.add_argument("results", nargs="+",
+                        help="raw --benchmark_out JSON files")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results and exit")
+    parser.add_argument("--max-regression", type=float, default=1.5,
+                        help="flag real_time slower than this ratio "
+                             "(default 1.5)")
+    parser.add_argument("--counter-rel-tol", type=float, default=0.0,
+                        help="relative tolerance for counter drift "
+                             "(default 0 = exact)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on counter drift or time regression")
+    args = parser.parse_args()
+
+    current = load_results(args.results)
+    if not current:
+        print("bench_compare: no benchmark records in results", file=sys.stderr)
+        return 1
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: wrote {len(current)} baselines to "
+              f"{args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    lines, drift, regressions = compare(
+        baseline, current, args.max_regression, args.counter_rel_tol)
+    print("\n".join(lines))
+    print(f"\nbench_compare: {len(current)} benchmarks, {drift} counter "
+          f"drift(s), {regressions} time regression(s) "
+          f"(threshold {args.max_regression:.2f}x)")
+    if args.strict and (drift or regressions):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

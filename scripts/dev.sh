@@ -4,6 +4,7 @@
 #   scripts/dev.sh            # quick label only (sub-minute)
 #   scripts/dev.sh all        # full suite, including the slow suites
 #   scripts/dev.sh asan       # quick label under ASan/UBSan
+#   scripts/dev.sh tsan       # concurrency suites under ThreadSanitizer
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,8 +13,15 @@ mode="${1:-quick}"
 case "$mode" in
   asan)
     build=build-asan
-    cmake_flags="-DCMAKE_BUILD_TYPE=Debug -DLPLOW_SANITIZE=ON"
+    cmake_flags="-DCMAKE_BUILD_TYPE=Debug -DLPLOW_SANITIZE=address"
     ctest_flags="-L quick"
+    ;;
+  tsan)
+    build=build-tsan
+    cmake_flags="-DCMAKE_BUILD_TYPE=Debug -DLPLOW_SANITIZE=thread"
+    ctest_flags="-R runtime_test|runtime_stress_test|coordinator_test|mpc_test|models_edge_test"
+    # Full-size stress (180 jobs) overruns the CTest timeout under TSan.
+    export LPLOW_STRESS_JOBS_PER_KIND="${LPLOW_STRESS_JOBS_PER_KIND:-6}"
     ;;
   all)
     build=build
@@ -26,7 +34,7 @@ case "$mode" in
     ctest_flags="-L quick"
     ;;
   *)
-    echo "usage: scripts/dev.sh [quick|all|asan]" >&2
+    echo "usage: scripts/dev.sh [quick|all|asan|tsan]" >&2
     exit 2
     ;;
 esac

@@ -5,10 +5,18 @@
 //
 // A "round" (paper Section 1) is one coordinator->sites broadcast phase
 // followed by one sites->coordinator reply phase.
+//
+// Thread safety: ToSite/ToCoordinator may be called concurrently for
+// different sites (the runtime::SiteExecutor emulates the sites of one round
+// in parallel); the byte/message counters are relaxed atomics, so the totals
+// are order-independent sums — byte-identical to the serial path for every
+// thread count. BeginRound and the accessors belong to the coordinator
+// thread, between round barriers.
 
 #ifndef LPLOW_MODELS_COORDINATOR_CHANNEL_H_
 #define LPLOW_MODELS_COORDINATOR_CHANNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,37 +33,41 @@ class Channel {
  public:
   explicit Channel(size_t num_sites) : num_sites_(num_sites) {}
 
-  /// Marks the start of a communication round.
+  /// Marks the start of a communication round (coordinator thread only).
   void BeginRound() { ++rounds_; }
 
   /// Records a coordinator -> site message and delivers it.
   void ToSite(size_t site, const Message& msg) {
     LPLOW_CHECK_LT(site, num_sites_);
-    bytes_to_sites_ += msg.size();
-    ++messages_;
+    bytes_to_sites_.fetch_add(msg.size(), std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Records a site -> coordinator message and delivers it.
   void ToCoordinator(size_t site, const Message& msg) {
     LPLOW_CHECK_LT(site, num_sites_);
-    bytes_to_coordinator_ += msg.size();
-    ++messages_;
+    bytes_to_coordinator_.fetch_add(msg.size(), std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
   }
 
   size_t rounds() const { return rounds_; }
-  size_t messages() const { return messages_; }
-  size_t total_bytes() const { return bytes_to_sites_ + bytes_to_coordinator_; }
+  size_t messages() const { return messages_.load(std::memory_order_relaxed); }
+  size_t total_bytes() const { return bytes_to_sites() + bytes_to_coordinator(); }
   size_t total_bits() const { return total_bytes() * 8; }
-  size_t bytes_to_sites() const { return bytes_to_sites_; }
-  size_t bytes_to_coordinator() const { return bytes_to_coordinator_; }
+  size_t bytes_to_sites() const {
+    return bytes_to_sites_.load(std::memory_order_relaxed);
+  }
+  size_t bytes_to_coordinator() const {
+    return bytes_to_coordinator_.load(std::memory_order_relaxed);
+  }
   size_t num_sites() const { return num_sites_; }
 
  private:
   size_t num_sites_;
   size_t rounds_ = 0;
-  size_t messages_ = 0;
-  size_t bytes_to_sites_ = 0;
-  size_t bytes_to_coordinator_ = 0;
+  std::atomic<size_t> messages_{0};
+  std::atomic<size_t> bytes_to_sites_{0};
+  std::atomic<size_t> bytes_to_coordinator_{0};
 };
 
 }  // namespace coord

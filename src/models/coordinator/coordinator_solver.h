@@ -16,11 +16,19 @@
 //
 // All traffic is serialized through coord::Channel, so reported
 // communication is byte-exact.
+//
+// Concurrency: with CoordinatorOptions::runtime.num_threads > 1 the k sites
+// of each round run in parallel on a runtime::ThreadPool (the protocol's
+// sites are independent between barriers). Each site owns its RNG stream and
+// per-site reply slot, replies are merged in site order at the round
+// barrier, and Channel accounting is order-independent — so bases, byte
+// counts, and round counts are bit-identical for every thread count.
 
 #ifndef LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
 #define LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
 
 #include <cmath>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,6 +37,9 @@
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
 #include "src/models/coordinator/channel.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/site_executor.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -44,6 +55,9 @@ struct CoordinatorOptions {
   /// measuring pure protocol cost under a fixed iteration budget).
   bool fallback_to_direct = true;
   uint64_t seed = 0xC004D1ACULL;
+  /// Concurrent site emulation; the default is the serial reference path.
+  /// Results are bit-identical for every thread count.
+  runtime::RuntimeOptions runtime;
 };
 
 struct CoordinatorStats {
@@ -56,6 +70,7 @@ struct CoordinatorStats {
   size_t iterations = 0;
   size_t successful_iterations = 0;
   bool direct_solve = false;
+  size_t threads = 1;
 };
 
 /// One site: holds its constraint partition and local weights, and answers
@@ -205,6 +220,16 @@ SolveCoordinator(const P& problem,
   Channel local_channel(k);
   Channel& ch = channel_out ? *channel_out : local_channel;
 
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  runtime::ThreadPool* pool = runtime::ResolvePool(options.runtime, &owned_pool);
+  runtime::SiteExecutor exec(pool, k);
+  st.threads = exec.threads();
+
+  auto& metrics = runtime::MetricsRegistry::Global();
+  metrics.GetCounter("coordinator.solves")->Increment();
+  runtime::ScopedTimer solve_timer(
+      metrics.GetTimer("coordinator.solve_seconds"));
+
   std::vector<Site<P>> sites;
   sites.reserve(k);
   for (size_t i = 0; i < k; ++i) {
@@ -223,6 +248,9 @@ SolveCoordinator(const P& problem,
     st.rounds = ch.rounds();
     st.total_bytes = ch.total_bytes();
     st.messages = ch.messages();
+    metrics.GetCounter("coordinator.rounds")->Increment(st.rounds);
+    metrics.GetCounter("coordinator.bytes")->Increment(st.total_bytes);
+    metrics.GetCounter("coordinator.iterations")->Increment(st.iterations);
     return result;
   };
 
@@ -233,7 +261,9 @@ SolveCoordinator(const P& problem,
   for (size_t iter = 0; iter < max_iters; ++iter) {
     ++st.iterations;
 
-    // ---- R1: weights (plus deferred reweighting instruction).
+    // ---- R1: weights (plus deferred reweighting instruction). Sites run
+    // concurrently; replies land in per-site slots and are parsed in site
+    // order after the barrier.
     ch.BeginRound();
     std::vector<double> site_weights(k);
     {
@@ -245,31 +275,41 @@ SolveCoordinator(const P& problem,
         req.PutBytes(basis_msg.data(), basis_msg.size());
       }
       Message request = req.Release();
-      for (size_t i = 0; i < k; ++i) {
+      std::vector<Message> replies(k);
+      exec.RunRound([&](size_t i) {
         ch.ToSite(i, request);
-        Message reply = sites[i].HandleWeightRequest(request);
-        ch.ToCoordinator(i, reply);
-        BitReader r(reply);
+        replies[i] = sites[i].HandleWeightRequest(request);
+        ch.ToCoordinator(i, replies[i]);
+      });
+      for (size_t i = 0; i < k; ++i) {
+        BitReader r(replies[i]);
         site_weights[i] = *r.GetDouble();
       }
       pending_update = false;
     }
 
-    // ---- R2: the Lemma 3.7 multinomial split and local sampling.
+    // ---- R2: the Lemma 3.7 multinomial split and local sampling. The
+    // split is drawn on the coordinator (fixed RNG order); sites sample
+    // concurrently from their own RNG streams, and the coordinator merges
+    // replies in site order so the pooled sample is thread-count-invariant.
     ch.BeginRound();
     std::vector<Constraint> sample;
     sample.reserve(m);
     {
       std::vector<size_t> counts = MultinomialSplit(site_weights, m, &rng);
-      for (size_t i = 0; i < k; ++i) {
-        if (counts[i] == 0) continue;
+      std::vector<Message> replies(k);
+      exec.RunRound([&](size_t i) {
+        if (counts[i] == 0) return;
         BitWriter req;
         req.PutVarU64(counts[i]);
         Message request = req.Release();
         ch.ToSite(i, request);
-        Message reply = sites[i].HandleSampleRequest(request);
-        ch.ToCoordinator(i, reply);
-        BitReader r(reply);
+        replies[i] = sites[i].HandleSampleRequest(request);
+        ch.ToCoordinator(i, replies[i]);
+      });
+      for (size_t i = 0; i < k; ++i) {
+        if (counts[i] == 0) continue;
+        BitReader r(replies[i]);
         uint64_t cnt = *r.GetVarU64();
         for (uint64_t s = 0; s < cnt; ++s) {
           auto c = problem.DeserializeConstraint(&r);
@@ -292,11 +332,16 @@ SolveCoordinator(const P& problem,
     for (double w : site_weights) total_weight += w;
     {
       Message request = serialize_basis(basis.basis);
-      for (size_t i = 0; i < k; ++i) {
+      std::vector<Message> replies(k);
+      exec.RunRound([&](size_t i) {
         ch.ToSite(i, request);
-        Message reply = sites[i].HandleViolatorRequest(request);
-        ch.ToCoordinator(i, reply);
-        BitReader r(reply);
+        replies[i] = sites[i].HandleViolatorRequest(request);
+        ch.ToCoordinator(i, replies[i]);
+      });
+      // Accumulate in site order: floating-point summation order is part of
+      // the determinism guarantee.
+      for (size_t i = 0; i < k; ++i) {
+        BitReader r(replies[i]);
         violator_weight += *r.GetDouble();
         violator_count += *r.GetVarU64();
       }

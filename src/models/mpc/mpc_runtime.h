@@ -6,10 +6,18 @@
 // Tree topology helpers implement the standard O(1/delta)-round broadcast and
 // converge-cast of Goodrich-Sitchinava-Zhang [23] with fan-out ~ n^delta:
 // machine 0 is the root, machine i's parent is (i-1)/fanout.
+//
+// Thread safety: Send may be called concurrently within a round (the
+// runtime::SiteExecutor emulates the machines of one round in parallel);
+// the load/byte/message counters are relaxed atomics, so totals and the
+// per-round load vector are order-independent sums — identical to the serial
+// path for every thread count. BeginRound/EndRound and the accessors belong
+// to the driver thread, between round barriers.
 
 #ifndef LPLOW_MODELS_MPC_MPC_RUNTIME_H_
 #define LPLOW_MODELS_MPC_MPC_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,7 +33,7 @@ using Message = std::vector<uint8_t>;
 class MpcRuntime {
  public:
   explicit MpcRuntime(size_t machines, size_t fanout)
-      : machines_(machines), fanout_(fanout) {
+      : machines_(machines), fanout_(fanout), round_load_(machines) {
     LPLOW_CHECK_GE(machines, 1u);
     LPLOW_CHECK_GE(fanout, 2u);
   }
@@ -33,7 +41,7 @@ class MpcRuntime {
   /// Starts a new round; per-machine round loads reset.
   void BeginRound() {
     ++rounds_;
-    round_load_.assign(machines_, 0);
+    for (auto& load : round_load_) load.store(0, std::memory_order_relaxed);
   }
 
   /// Records msg_bytes flowing from machine `from` to machine `to` in the
@@ -42,16 +50,16 @@ class MpcRuntime {
   void Send(size_t from, size_t to, size_t msg_bytes) {
     LPLOW_CHECK_LT(from, machines_);
     LPLOW_CHECK_LT(to, machines_);
-    round_load_[from] += msg_bytes;
-    round_load_[to] += msg_bytes;
-    total_bytes_ += msg_bytes;
-    ++messages_;
+    round_load_[from].fetch_add(msg_bytes, std::memory_order_relaxed);
+    round_load_[to].fetch_add(msg_bytes, std::memory_order_relaxed);
+    total_bytes_.fetch_add(msg_bytes, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Call at the end of each round to fold the round loads into the maximum.
   void EndRound() {
-    for (size_t load : round_load_) {
-      max_load_ = std::max(max_load_, load);
+    for (const auto& load : round_load_) {
+      max_load_ = std::max(max_load_, load.load(std::memory_order_relaxed));
     }
   }
 
@@ -87,17 +95,19 @@ class MpcRuntime {
   size_t fanout() const { return fanout_; }
   size_t rounds() const { return rounds_; }
   size_t max_load_bytes() const { return max_load_; }
-  size_t total_bytes() const { return total_bytes_; }
-  size_t messages() const { return messages_; }
+  size_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t messages() const { return messages_.load(std::memory_order_relaxed); }
 
  private:
   size_t machines_;
   size_t fanout_;
   size_t rounds_ = 0;
-  size_t messages_ = 0;
-  size_t total_bytes_ = 0;
+  std::atomic<size_t> messages_{0};
+  std::atomic<size_t> total_bytes_{0};
   size_t max_load_ = 0;
-  std::vector<size_t> round_load_;
+  std::vector<std::atomic<size_t>> round_load_;
 };
 
 }  // namespace mpc

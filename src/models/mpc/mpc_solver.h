@@ -15,11 +15,20 @@
 //
 // With fanout n^delta the depth is O(1/delta) and the iteration count is
 // O(nu r) with r = 1/delta, giving the O(nu/delta^2) rounds of Theorem 3.
+//
+// Concurrency: with MpcOptions::runtime.num_threads > 1 the per-machine
+// phases of each round (reweighting, local totals, local draws, violator
+// counts) run in parallel on a runtime::ThreadPool. Each machine owns a
+// forked RNG stream (seeded in machine order from the root seed) and writes
+// to per-machine slots merged after the round barrier; the tree-structured
+// communication itself stays on the driver thread in fixed order. Results
+// and load accounting are bit-identical for every thread count.
 
 #ifndef LPLOW_MODELS_MPC_MPC_SOLVER_H_
 #define LPLOW_MODELS_MPC_MPC_SOLVER_H_
 
 #include <cmath>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +37,9 @@
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
 #include "src/models/mpc/mpc_runtime.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/site_executor.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -43,6 +55,9 @@ struct MpcOptions {
   size_t machines = 0;
   size_t max_iterations = 0;
   uint64_t seed = 0x3BCC0DEULL;
+  /// Concurrent machine emulation; the default is the serial reference
+  /// path. Results are bit-identical for every thread count.
+  runtime::RuntimeOptions runtime;
 };
 
 struct MpcStats {
@@ -57,6 +72,7 @@ struct MpcStats {
   size_t iterations = 0;
   size_t successful_iterations = 0;
   bool direct_solve = false;
+  size_t threads = 1;
 };
 
 namespace internal {
@@ -67,6 +83,7 @@ struct Machine {
   std::vector<typename P::Constraint> constraints;
   std::vector<double> weights;
   double subtree_weight = 0;  // Filled by the converge-cast.
+  Rng rng;  // Per-machine stream: local draws are thread-count-invariant.
 };
 
 }  // namespace internal
@@ -120,6 +137,19 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
   for (auto& mc : mach) mc.weights.assign(mc.constraints.size(), 1.0);
 
   Rng rng(options.seed);
+  // Machine-order forks: machine i's local draws come from its own stream,
+  // so the draw sequence does not depend on execution interleaving.
+  for (auto& mc : mach) mc.rng = rng.Fork();
+
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  runtime::ThreadPool* pool = runtime::ResolvePool(options.runtime, &owned_pool);
+  runtime::SiteExecutor exec(pool, machines);
+  st.threads = exec.threads();
+
+  auto& metrics = runtime::MetricsRegistry::Global();
+  metrics.GetCounter("mpc.solves")->Increment();
+  runtime::ScopedTimer solve_timer(metrics.GetTimer("mpc.solve_seconds"));
+
   const size_t max_iters =
       options.max_iterations
           ? options.max_iterations
@@ -130,6 +160,9 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
     st.rounds = rt.rounds();
     st.max_load_bytes = rt.max_load_bytes();
     st.total_bytes = rt.total_bytes();
+    metrics.GetCounter("mpc.rounds")->Increment(st.rounds);
+    metrics.GetCounter("mpc.bytes")->Increment(st.total_bytes);
+    metrics.GetCounter("mpc.iterations")->Increment(st.iterations);
     return result;
   };
 
@@ -140,11 +173,14 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
   };
 
   // Converge-cast of one double per machine: leaf-to-root, depth rounds.
+  // Local totals are computed concurrently; the tree accumulation runs on
+  // the driver thread in fixed order.
   auto aggregate_weights = [&]() {
-    for (auto& mc : mach) {
+    exec.RunRound([&](size_t i) {
+      auto& mc = mach[i];
       mc.subtree_weight = 0;
       for (double w : mc.weights) mc.subtree_weight += w;
-    }
+    });
     for (size_t d = st.tree_depth; d-- > 0;) {
       rt.BeginRound();
       for (size_t i : rt.MachinesAtDepth(d + 1)) {
@@ -175,13 +211,14 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
         rt.EndRound();
         if (st.tree_depth == 0) break;
       }
-      for (auto& mc : mach) {
+      exec.RunRound([&](size_t i) {
+        auto& mc = mach[i];
         for (size_t j = 0; j < mc.constraints.size(); ++j) {
           if (problem.Violates(pending_value, mc.constraints[j])) {
             mc.weights[j] *= rate;
           }
         }
-      }
+      });
       pending_update = false;
     }
 
@@ -221,12 +258,16 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
       }
     }
 
-    // ---- (3) machines ship their draws straight to the root.
+    // ---- (3) machines ship their draws straight to the root. Machines
+    // draw concurrently from their own RNG streams (Send accounting is
+    // thread-safe); the root merges the draws in machine order at the
+    // barrier, so the pooled sample is thread-count-invariant.
     rt.BeginRound();
     std::vector<Constraint> sample;
     sample.reserve(m);
-    for (size_t i = 0; i < machines; ++i) {
-      if (draw[i] == 0 || mach[i].constraints.empty()) continue;
+    std::vector<std::vector<Constraint>> local_draws(machines);
+    exec.RunRound([&](size_t i) {
+      if (draw[i] == 0 || mach[i].constraints.empty()) return;
       size_t bytes = 0;
       // Local exact weighted draws with replacement (prefix + binary search).
       std::vector<double> prefix(mach[i].weights.size());
@@ -235,19 +276,23 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
         acc += mach[i].weights[j];
         prefix[j] = acc;
       }
-      if (acc <= 0) continue;
+      if (acc <= 0) return;
+      local_draws[i].reserve(draw[i]);
       for (size_t s = 0; s < draw[i]; ++s) {
-        double target = rng.UniformDouble() * acc;
+        double target = mach[i].rng.UniformDouble() * acc;
         size_t pick =
             std::lower_bound(prefix.begin(), prefix.end(), target) -
             prefix.begin();
         if (pick >= prefix.size()) pick = prefix.size() - 1;
-        sample.push_back(mach[i].constraints[pick]);
+        local_draws[i].push_back(mach[i].constraints[pick]);
         bytes += problem.ConstraintBytes(mach[i].constraints[pick]);
       }
       if (i != 0 && bytes > 0) rt.Send(i, 0, bytes);
-    }
+    });
     rt.EndRound();
+    for (auto& draws : local_draws) {
+      for (auto& c : draws) sample.push_back(std::move(c));
+    }
     if (sample.empty()) return Status::Internal("empty MPC sample");
 
     // ---- (4) root solves the sample.
@@ -271,14 +316,14 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
     {
       std::vector<double> vw(machines, 0);
       std::vector<size_t> vc(machines, 0);
-      for (size_t i = 0; i < machines; ++i) {
+      exec.RunRound([&](size_t i) {
         for (size_t j = 0; j < mach[i].constraints.size(); ++j) {
           if (problem.Violates(basis.value, mach[i].constraints[j])) {
             vw[i] += mach[i].weights[j];
             ++vc[i];
           }
         }
-      }
+      });
       for (size_t d = st.tree_depth; d-- > 0;) {
         rt.BeginRound();
         for (size_t i : rt.MachinesAtDepth(d + 1)) {

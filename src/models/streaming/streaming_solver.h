@@ -27,6 +27,7 @@
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
 #include "src/models/streaming/stream.h"
+#include "src/runtime/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -110,11 +111,18 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveStreaming(
   SpaceMeter space;
   Rng rng(options.seed);
 
+  auto& metrics = runtime::MetricsRegistry::Global();
+  metrics.GetCounter("streaming.solves")->Increment();
+  runtime::ScopedTimer solve_timer(
+      metrics.GetTimer("streaming.solve_seconds"));
+
   auto finish = [&](BasisResult<Value, Constraint> result)
       -> Result<BasisResult<Value, Constraint>> {
     st.passes = input.passes_started() - base_passes;
     st.peak_items = space.peak_items();
     st.peak_bytes = space.peak_bytes();
+    metrics.GetCounter("streaming.passes")->Increment(st.passes);
+    metrics.GetCounter("streaming.iterations")->Increment(st.iterations);
     return result;
   };
 

@@ -1,0 +1,145 @@
+#include "src/runtime/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lplow {
+namespace runtime {
+
+void Timer::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  total_seconds_ += seconds;
+  max_seconds_ = std::max(max_seconds_, seconds);
+}
+
+uint64_t Timer::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Timer::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_seconds_;
+}
+
+double Timer::max_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_seconds_;
+}
+
+void Timer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  total_seconds_ = 0;
+  max_seconds_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Timer* MetricsRegistry::GetTimer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+// Metric names are identifier-like by convention, but escape the JSON
+// specials anyway so the export is always well-formed.
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    os << ':' << counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    os << ':' << gauge->value();
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, timer] : timers_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    os << ":{\"count\":" << timer->count()
+       << ",\"total_seconds\":" << timer->total_seconds()
+       << ",\"max_seconds\":" << timer->max_seconds() << '}';
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,9 @@
+// SiteExecutor is header-only; this file anchors the module in the build.
+
+#include "src/runtime/site_executor.h"
+
+namespace lplow {
+namespace runtime {
+// (Intentionally empty.)
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,52 @@
+// SiteExecutor: the round-structured bridge between the model solvers and
+// the ThreadPool. One RunRound() call emulates one synchronous protocol
+// phase — every site/machine runs its handler, possibly concurrently, and
+// the call returns only when all of them finished (the round barrier the
+// paper's synchronous models assume).
+//
+// Determinism contract (docs/runtime.md): the body receives its fixed
+// site index, must touch only per-site state plus thread-safe accounting
+// (coord::Channel, mpc::MpcRuntime, runtime::Counter), and the solver merges
+// per-site outputs after the barrier in site order. Under that contract the
+// protocol transcript is bit-identical for every thread count.
+
+#ifndef LPLOW_RUNTIME_SITE_EXECUTOR_H_
+#define LPLOW_RUNTIME_SITE_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/runtime/thread_pool.h"
+
+namespace lplow {
+namespace runtime {
+
+class SiteExecutor {
+ public:
+  /// `pool` may be null: every round then runs inline in site order, which
+  /// is the serial reference path (RuntimeOptions{num_threads = 1}).
+  SiteExecutor(ThreadPool* pool, size_t num_sites)
+      : pool_(pool), num_sites_(num_sites) {}
+
+  /// Runs body(site) for every site in [0, num_sites) and blocks until all
+  /// complete. Exceptions from site bodies propagate (first one wins).
+  void RunRound(const std::function<void(size_t)>& body) {
+    ++rounds_run_;
+    ParallelFor(pool_, 0, num_sites_, body);
+  }
+
+  size_t num_sites() const { return num_sites_; }
+  size_t rounds_run() const { return rounds_run_; }
+  bool parallel() const { return pool_ != nullptr && pool_->num_threads() > 1; }
+  size_t threads() const { return parallel() ? pool_->num_threads() : 1; }
+
+ private:
+  ThreadPool* pool_;
+  size_t num_sites_;
+  size_t rounds_run_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_SITE_EXECUTOR_H_

@@ -1,0 +1,84 @@
+#include "src/runtime/solver_service.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace lplow {
+namespace runtime {
+
+namespace {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(hw, 1);
+}
+
+}  // namespace
+
+SolverService::SolverService(const Options& options)
+    : pool_(std::make_unique<ThreadPool>(
+          ResolveThreadCount(options.num_threads))),
+      metrics_(options.metrics ? options.metrics
+                               : &MetricsRegistry::Global()) {
+  job_timer_ = metrics_->GetTimer("solver_service.job_seconds");
+  submitted_counter_ = metrics_->GetCounter("solver_service.jobs_submitted");
+  completed_counter_ = metrics_->GetCounter("solver_service.jobs_completed");
+  failed_counter_ = metrics_->GetCounter("solver_service.jobs_failed");
+  inflight_gauge_ = metrics_->GetGauge("solver_service.inflight");
+}
+
+SolverService::~SolverService() {
+  Drain();
+  pool_.reset();  // Joins the workers.
+}
+
+void SolverService::OnSubmit(const std::string& name) {
+  submitted_counter_->Increment();
+  Counter* kind_counter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = job_counters_.find(name);
+    if (it == job_counters_.end()) {
+      // First job of this kind: one registry registration, cached after.
+      it = job_counters_
+               .emplace(name,
+                        metrics_->GetCounter("solver_service.jobs." + name))
+               .first;
+    }
+    kind_counter = it->second;
+    ++stats_.submitted;
+    ++inflight_;
+    inflight_gauge_->Set(static_cast<double>(inflight_));
+  }
+  kind_counter->Increment();
+}
+
+void SolverService::OnDone(bool failed) {
+  completed_counter_->Increment();
+  if (failed) failed_counter_->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.completed;
+  if (failed) ++stats_.failed;
+  --inflight_;
+  inflight_gauge_->Set(static_cast<double>(inflight_));
+  if (inflight_ == 0) idle_cv_.notify_all();
+}
+
+void SolverService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+SolverService::Stats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SolverService::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,123 @@
+// SolverService: a shared job queue for the "heavy traffic" scenario — many
+// concurrent LP/SVM/MEB solve requests draining through one ThreadPool.
+// Each job is an arbitrary callable (typically a closure around
+// SolveCoordinator / SolveMpc / SolveStreaming); Submit returns a
+// std::future for its result, and the service reports throughput into a
+// MetricsRegistry (solver_service.* metrics, schema in docs/runtime.md).
+//
+// Jobs run one per worker; a job may itself use RuntimeOptions with the
+// service's pool() for intra-solve parallelism — TaskGroup waits help-drain
+// the queue, so the nesting cannot deadlock — but under heavy traffic
+// one-job-per-thread is usually the right granularity.
+
+#ifndef LPLOW_RUNTIME_SOLVER_SERVICE_H_
+#define LPLOW_RUNTIME_SOLVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/runtime/metrics.h"
+#include "src/runtime/thread_pool.h"
+
+namespace lplow {
+namespace runtime {
+
+class SolverService {
+ public:
+  struct Options {
+    /// Worker count for the shared pool; 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Registry for solver_service.* metrics; null = MetricsRegistry::Global().
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  // Includes failed.
+    uint64_t failed = 0;     // Jobs that threw; the future re-throws on get().
+  };
+
+  SolverService() : SolverService(Options()) {}
+  explicit SolverService(const Options& options);
+
+  /// Drains all in-flight jobs, then stops the pool.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Schedules `job` and returns a future for its return value. `name` tags
+  /// the per-kind request counter (`solver_service.jobs.<name>`); jobs of a
+  /// kind that should not be broken out can share one name. A job that
+  /// throws marks the future with the exception and counts as failed.
+  template <typename Fn, typename T = std::invoke_result_t<Fn&>>
+  std::future<T> Submit(const std::string& name, Fn job) {
+    auto promise = std::make_shared<std::promise<T>>();
+    std::future<T> future = promise->get_future();
+    OnSubmit(name);
+    pool_->Submit(
+        [this, promise = std::move(promise), job = std::move(job)]() mutable {
+          bool failed = false;
+          {
+            // Scope the timer so the duration is recorded before OnDone —
+            // Drain() returning must imply all metrics are final.
+            ScopedTimer timer(job_timer_);
+            try {
+              if constexpr (std::is_void_v<T>) {
+                job();
+                promise->set_value();
+              } else {
+                promise->set_value(job());
+              }
+            } catch (...) {
+              failed = true;
+              promise->set_exception(std::current_exception());
+            }
+          }
+          OnDone(failed);
+        });
+    return future;
+  }
+
+  /// Blocks until every job submitted so far has completed.
+  void Drain();
+
+  /// The shared pool (for jobs that opt into intra-solve parallelism).
+  ThreadPool* pool() { return pool_.get(); }
+
+  size_t num_threads() const { return pool_->num_threads(); }
+  Stats stats() const;
+  size_t inflight() const;
+
+ private:
+  void OnSubmit(const std::string& name);
+  void OnDone(bool failed);
+
+  std::unique_ptr<ThreadPool> pool_;
+  MetricsRegistry* metrics_;
+  Timer* job_timer_;
+  Counter* submitted_counter_;
+  Counter* completed_counter_;
+  Counter* failed_counter_;
+  Gauge* inflight_gauge_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  Stats stats_;
+  size_t inflight_ = 0;
+  // Per-kind counter cache: Submit must not pay a string concat plus the
+  // registry-wide mutex per job (metrics.h: look up once, keep the pointer).
+  std::map<std::string, Counter*, std::less<>> job_counters_;
+};
+
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_SOLVER_SERVICE_H_

@@ -1,0 +1,169 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace runtime {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  LPLOW_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LPLOW_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  runtime::ParallelFor(this, begin, end, fn);
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // The destructor only guarantees the barrier; errors were the Wait()
+    // caller's to observe.
+  }
+}
+
+void TaskGroup::CaptureError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    try {
+      fn();
+    } catch (...) {
+      CaptureError();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      CaptureError();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) break;
+    }
+    // Help: run queued pool tasks instead of blocking, so a task waiting on
+    // a nested group makes progress even when every worker is busy.
+    if (pool_ == nullptr || !pool_->RunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    // Same error semantics as the pooled path: every iteration runs, the
+    // first exception is rethrown at the barrier — post-error state must
+    // not depend on the thread count.
+    std::exception_ptr first_error;
+    for (size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  // More shards than threads smooths out uneven per-index work (sites hold
+  // different constraint counts) without a work-stealing scheduler.
+  const size_t shards = std::min(n, 4 * pool->num_threads());
+  TaskGroup group(pool);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t lo = begin + n * s / shards;
+    const size_t hi = begin + n * (s + 1) / shards;
+    if (lo == hi) continue;
+    group.Run([&fn, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  group.Wait();
+}
+
+ThreadPool* ResolvePool(const RuntimeOptions& options,
+                        std::unique_ptr<ThreadPool>* owned) {
+  if (options.pool != nullptr) return options.pool;
+  if (options.num_threads <= 1) return nullptr;
+  *owned = std::make_unique<ThreadPool>(options.num_threads);
+  return owned->get();
+}
+
+}  // namespace runtime
+}  // namespace lplow

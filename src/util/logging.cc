@@ -1,12 +1,18 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 namespace lplow {
 namespace internal {
 
 namespace {
-LogLevel g_log_level = LogLevel::kWarning;
+// The runtime emulates sites/machines on worker threads, so the level is
+// atomic and emission is serialized: concurrent LPLOW_LOG lines never
+// interleave mid-line.
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,11 +29,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_log_level; }
-void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
 
 void CheckFailed(const char* file, int line, const std::string& msg) {
-  std::cerr << "[FATAL " << file << ":" << line << "] " << msg << std::endl;
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[FATAL " << file << ":" << line << "] " << msg << std::endl;
+  }
   std::abort();
 }
 
@@ -37,7 +50,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_log_level) {
+  if (level_ >= GetLogLevel()) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
 }

@@ -1,6 +1,7 @@
 #include "src/util/rng.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_set>
 
 #include "src/util/logging.h"
@@ -39,6 +40,12 @@ int64_t Rng::Binomial(int64_t n, double p) {
   p = std::clamp(p, 0.0, 1.0);
   if (p <= 0.0) return 0;
   if (p >= 1.0) return n;
+  // libstdc++'s sampler calls lgamma(), which writes the process-wide
+  // `signgam` in glibc — a data race when independent Rng objects sample
+  // concurrently (e.g. parallel SolverService jobs). Serializing here keeps
+  // each engine's draw sequence exactly what it is single-threaded.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   return std::binomial_distribution<int64_t>(n, p)(engine_);
 }
 

@@ -1,0 +1,155 @@
+// High-traffic SolverService stress (label `slow`): hundreds of mixed
+// LP/SVM/MEB solve jobs — serial, coordinator, and MPC models — drain
+// through one shared pool; every result is checked against the direct
+// solve and the service must account for every job.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/runtime/solver_service.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+#include "tests/testing_util.h"
+
+namespace lplow {
+namespace {
+
+using runtime::MetricsRegistry;
+using runtime::SolverService;
+
+// Jobs per kind (4 kinds). Overridable so slow environments — TSan CI
+// lanes, single-core containers — can run a reduced but complete pass:
+//   LPLOW_STRESS_JOBS_PER_KIND=8 ./runtime_stress_test
+int JobsPerKind() {
+  if (const char* env = std::getenv("LPLOW_STRESS_JOBS_PER_KIND")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 45;  // 180 jobs total.
+}
+
+TEST(RuntimeStressTest, HeavyTrafficMixedJobs) {
+  MetricsRegistry reg;
+  SolverService::Options sopt;
+  sopt.num_threads = 8;
+  sopt.metrics = &reg;
+  SolverService service(sopt);
+
+  const int jobs_per_kind = JobsPerKind();
+  std::vector<std::future<bool>> results;
+  results.reserve(4 * jobs_per_kind);
+
+  for (int j = 0; j < jobs_per_kind; ++j) {
+    // LP through the coordinator model: must match the direct solve exactly.
+    results.push_back(service.Submit("coordinator_lp", [j] {
+      auto [problem, constraints] =
+          testing_util::MakeFeasibleLpCase(3000, 2, 1000 + j);
+      Rng rng(1000 + j);
+      auto parts = workload::Partition(constraints, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 9000 + j;
+      auto result = coord::SolveCoordinator(problem, parts, opt, nullptr);
+      if (!result.ok()) return false;
+      auto direct = testing_util::DirectValue(problem, constraints);
+      return problem.CompareValues(result->value, direct) == 0;
+    }));
+
+    // LP through the MPC model: must match the direct solve exactly.
+    results.push_back(service.Submit("mpc_lp", [j] {
+      auto [problem, constraints] =
+          testing_util::MakeFeasibleLpCase(3000, 2, 2000 + j);
+      Rng rng(2000 + j);
+      auto parts = workload::Partition(constraints, 8, true, &rng);
+      mpc::MpcOptions opt;
+      opt.delta = 0.5;
+      opt.net.scale = 0.1;
+      opt.seed = 9500 + j;
+      auto result = mpc::SolveMpc(problem, parts, opt, nullptr);
+      if (!result.ok()) return false;
+      auto direct = testing_util::DirectValue(problem, constraints);
+      return problem.CompareValues(result->value, direct) == 0;
+    }));
+
+    // SVM through the coordinator model: the protocol must succeed and
+    // certify separability (exact value agreement across solvers is
+    // tolerance-fragile for SVM and not what this stress asserts).
+    results.push_back(service.Submit("coordinator_svm", [j] {
+      auto [problem, points] =
+          testing_util::MakeSeparableSvmCase(1500, 2, 0.5, 2500 + j);
+      Rng rng(2500 + j);
+      auto parts = workload::Partition(points, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 9700 + j;
+      auto result = coord::SolveCoordinator(problem, parts, opt, nullptr);
+      return result.ok() && result->value.separable;
+    }));
+
+    // MEB solved directly (the cheap-request mix).
+    results.push_back(service.Submit("direct_meb", [j] {
+      auto [problem, points] =
+          testing_util::MakeGaussianMebCase(1200, 3, 3000 + j);
+      auto direct = testing_util::DirectValue(problem, points);
+      return !direct.ball.empty();
+    }));
+  }
+
+  size_t ok = 0;
+  for (auto& f : results) ok += f.get() ? 1 : 0;
+  EXPECT_EQ(ok, results.size()) << "some jobs returned wrong answers";
+
+  service.Drain();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, results.size());
+  EXPECT_EQ(stats.completed, results.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(reg.GetCounter("solver_service.jobs_submitted")->value(),
+            results.size());
+  EXPECT_EQ(reg.GetTimer("solver_service.job_seconds")->count(),
+            results.size());
+}
+
+TEST(RuntimeStressTest, ParallelSolversInsideServiceJobs) {
+  // Jobs that themselves fan out across the service's pool: the helping
+  // TaskGroup waits must keep this nesting deadlock-free.
+  MetricsRegistry reg;
+  SolverService::Options sopt;
+  sopt.num_threads = 4;
+  sopt.metrics = &reg;
+  SolverService service(sopt);
+
+  std::vector<std::future<bool>> results;
+  for (int j = 0; j < 12; ++j) {
+    results.push_back(service.Submit("nested_coordinator", [&service, j] {
+      auto [problem, constraints] =
+          testing_util::MakeFeasibleLpCase(4000, 2, 4000 + j);
+      Rng rng(4000 + j);
+      auto parts = workload::Partition(constraints, 16, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 9900 + j;
+      opt.runtime.pool = service.pool();
+      auto result = coord::SolveCoordinator(problem, parts, opt, nullptr);
+      if (!result.ok()) return false;
+      auto direct = testing_util::DirectValue(problem, constraints);
+      return problem.CompareValues(result->value, direct) == 0;
+    }));
+  }
+  size_t ok = 0;
+  for (auto& f : results) ok += f.get() ? 1 : 0;
+  EXPECT_EQ(ok, results.size());
+  service.Drain();
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+}  // namespace
+}  // namespace lplow
