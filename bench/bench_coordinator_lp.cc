@@ -41,6 +41,12 @@ void BM_CoordinatorLp(benchmark::State& state) {
   state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
   state.counters["ship_all_KB"] = static_cast<double>(ship_all) / 1024.0;
   state.counters["vs_ship_pct"] = 100.0 * stats.total_bytes / ship_all;
+  // Engine counters (deterministic under fixed seeds; gated by the
+  // bench-perf CI job via bench_compare.py --strict-counters).
+  state.counters["ok_iters"] =
+      static_cast<double>(stats.successful_iterations);
+  state.counters["resample_KB"] =
+      static_cast<double>(stats.sample_bytes) / 1024.0;
 }
 
 BENCHMARK(BM_CoordinatorLp)

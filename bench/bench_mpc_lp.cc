@@ -43,6 +43,12 @@ void BM_MpcLp(benchmark::State& state) {
   state.counters["load_frac_pct"] =
       100.0 * stats.max_load_bytes / input_bytes;
   state.counters["iters"] = static_cast<double>(stats.iterations);
+  // Engine counters (deterministic under fixed seeds; gated by the
+  // bench-perf CI job via bench_compare.py --strict-counters).
+  state.counters["ok_iters"] =
+      static_cast<double>(stats.successful_iterations);
+  state.counters["resample_KB"] =
+      static_cast<double>(stats.sample_bytes) / 1024.0;
 }
 
 BENCHMARK(BM_MpcLp)

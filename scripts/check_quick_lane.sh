@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Guard for the quick/slow test-label split: runs `ctest -L quick` and fails
+# if the lane's wall time exceeds the budget (default 60 s). ROADMAP promises
+# a sub-minute quick inner loop; this keeps the promise honest as suites
+# grow — a test that belongs under the `slow` label shows up here as a
+# budget failure instead of silently bloating everyone's inner loop.
+#
+# Usage: scripts/check_quick_lane.sh [build-dir]
+#   LPLOW_QUICK_LANE_BUDGET_SECONDS overrides the budget.
+set -euo pipefail
+
+build_dir="${1:-build}"
+budget="${LPLOW_QUICK_LANE_BUDGET_SECONDS:-60}"
+
+start=$(date +%s)
+ctest --test-dir "$build_dir" -L quick --output-on-failure -j "$(nproc)"
+elapsed=$(( $(date +%s) - start ))
+
+echo "check_quick_lane: quick lane took ${elapsed}s (budget ${budget}s)"
+if [ "$elapsed" -gt "$budget" ]; then
+  echo "check_quick_lane: FAIL — quick lane exceeded its ${budget}s budget." >&2
+  echo "Move the offending suite under the 'slow' label" \
+       "(tests/CMakeLists.txt, LPLOW_SLOW_TESTS) or shrink it." >&2
+  exit 1
+fi

@@ -1,5 +1,9 @@
 // The naive 1-round coordinator baseline: ship every constraint to the
 // coordinator, solve locally. Exact; communication O(n * bit(S)).
+//
+// Storage rides on the engine's span-based ConstraintView, the same layer
+// beneath the model solvers, so byte accounting and scans share one
+// implementation.
 
 #ifndef LPLOW_BASELINES_SHIP_ALL_H_
 #define LPLOW_BASELINES_SHIP_ALL_H_
@@ -8,6 +12,7 @@
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/engine/constraint_store.h"
 
 namespace lplow {
 namespace baselines {
@@ -32,10 +37,9 @@ BasisResult<typename P::Value, typename P::Constraint> ShipAll(
   st.rounds = 1;
   std::vector<Constraint> all;
   for (const auto& part : partitions) {
-    for (const auto& c : part) {
-      st.total_bytes += problem.ConstraintBytes(c);
-      all.push_back(c);
-    }
+    engine::ConstraintView<Constraint> site{std::span<const Constraint>(part)};
+    st.total_bytes += engine::SerializedBytes(problem, site);
+    all.insert(all.end(), site.items().begin(), site.items().end());
   }
   return problem.SolveBasis(std::span<const Constraint>(all));
 }

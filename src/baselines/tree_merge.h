@@ -14,6 +14,10 @@
 //                    termination certifies global feasibility), but the
 //                    round count is data-dependent — the trade-off the
 //                    paper's Theorem 2 improves on.
+//
+// Per-site storage rides on the engine's span-based ConstraintView — the
+// same layer beneath the model solvers — so violator collection and byte
+// accounting share one implementation with Theorems 1-3.
 
 #ifndef LPLOW_BASELINES_TREE_MERGE_H_
 #define LPLOW_BASELINES_TREE_MERGE_H_
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/engine/constraint_store.h"
 #include "src/models/coordinator/channel.h"
 #include "src/util/status.h"
 
@@ -50,11 +55,12 @@ BasisResult<typename P::Value, typename P::Constraint> TreeMergeOnce(
 
   std::vector<Constraint> merged;
   for (const auto& part : partitions) {
-    auto basis = problem.SolveBasis(std::span<const Constraint>(part));
-    for (const auto& c : basis.basis) {
-      st.total_bytes += problem.ConstraintBytes(c);
-      merged.push_back(c);
-    }
+    engine::ConstraintView<Constraint> site{std::span<const Constraint>(part)};
+    auto basis = problem.SolveBasis(site.items());
+    engine::ConstraintView<Constraint> basis_view(
+        std::span<const Constraint>(basis.basis));
+    st.total_bytes += engine::SerializedBytes(problem, basis_view);
+    merged.insert(merged.end(), basis.basis.begin(), basis.basis.end());
   }
   return problem.SolveBasis(std::span<const Constraint>(merged));
 }
@@ -72,24 +78,27 @@ IteratedTreeMerge(const P& problem,
   st = TreeMergeStats{};
   st.k = partitions.size();
 
+  std::vector<engine::ConstraintView<Constraint>> sites;
+  sites.reserve(partitions.size());
+  for (const auto& part : partitions) {
+    sites.emplace_back(std::span<const Constraint>(part));
+  }
+
   std::vector<Constraint> working;
   auto current = problem.SolveBasis(std::span<const Constraint>(working));
   while (st.rounds < max_rounds) {
     ++st.rounds;
     // Broadcast the current basis (value certificate) to every site.
-    size_t basis_bytes = 0;
-    for (const auto& c : current.basis) {
-      basis_bytes += problem.ConstraintBytes(c);
-    }
-    st.total_bytes += basis_bytes * partitions.size();
+    engine::ConstraintView<Constraint> basis_view(
+        std::span<const Constraint>(current.basis));
+    st.total_bytes +=
+        engine::SerializedBytes(problem, basis_view) * sites.size();
 
     // Sites reply with a local basis over their violated constraints.
     std::vector<Constraint> additions;
-    for (const auto& part : partitions) {
-      std::vector<Constraint> violated;
-      for (const auto& c : part) {
-        if (problem.Violates(current.value, c)) violated.push_back(c);
-      }
+    for (const auto& site : sites) {
+      std::vector<Constraint> violated = site.CollectViolators(
+          [&](const Constraint& c) { return problem.Violates(current.value, c); });
       if (violated.empty()) continue;
       auto local_basis =
           problem.SolveBasis(std::span<const Constraint>(violated));

@@ -1,0 +1,219 @@
+// The weighted constraint storage layer shared by the refinement engine,
+// the three model runtimes (coordinator sites, MPC machines, the streaming
+// gather paths), and the distributed baselines.
+//
+// ConstraintView is a non-owning, span-based window over a constraint
+// sequence with optional per-item weights: weighted sampling, violator
+// scans, and reweighting all run over the spans with zero copies.
+// ConstraintStore owns the vectors and hands out views.
+//
+// Determinism contract: every floating-point accumulation (total weight,
+// prefix sums, violator weight) runs in ascending index order — the order
+// the pre-engine per-model loops used — and the parallel scan variants keep
+// that order by splitting the *predicate evaluation* (pure, order-free)
+// across the pool into a bitmap and accumulating serially from the bitmap.
+// Results are therefore bit-identical for every thread count, including
+// the serial reference path (null pool).
+
+#ifndef LPLOW_ENGINE_CONSTRAINT_STORE_H_
+#define LPLOW_ENGINE_CONSTRAINT_STORE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace lplow {
+namespace engine {
+
+/// Result of a violator scan: total violating weight and count.
+struct ViolatorStats {
+  double weight = 0.0;
+  uint64_t count = 0;
+};
+
+/// Below this many items a parallel scan is all overhead; the pool-aware
+/// entry points fall back to the serial path.
+inline constexpr size_t kParallelScanMinItems = 4096;
+
+/// Non-owning window over constraints plus (optionally) their weights.
+/// An empty weight span means unit weights (the baselines' case).
+template <typename C>
+class ConstraintView {
+ public:
+  /// Unweighted view (every item has weight 1).
+  explicit ConstraintView(std::span<const C> items) : items_(items) {}
+
+  /// Weighted view; `weights` must have one entry per item and stays
+  /// writable (reweighting mutates it in place).
+  ConstraintView(std::span<const C> items, std::span<double> weights)
+      : items_(items), weights_(weights) {
+    LPLOW_CHECK_EQ(items.size(), weights.size());
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::span<const C> items() const { return items_; }
+  const C& operator[](size_t i) const { return items_[i]; }
+  bool unit_weights() const { return weights_.empty(); }
+  double weight(size_t i) const {
+    return weights_.empty() ? 1.0 : weights_[i];
+  }
+
+  /// Sum of weights in ascending index order (the order is part of the
+  /// determinism guarantee: floating-point sums are order-sensitive).
+  double TotalWeight() const {
+    if (weights_.empty()) return static_cast<double>(items_.size());
+    double total = 0;
+    for (double w : weights_) total += w;
+    return total;
+  }
+
+  /// `count` weighted draws with replacement: prefix sums + binary search,
+  /// O(n + count log n), consuming exactly `count` uniform draws from `rng`
+  /// (zero when the view is empty or its weight is zero — the same draw
+  /// discipline as the pre-engine site/machine samplers).
+  std::vector<size_t> SampleIndices(size_t count, Rng* rng) const {
+    std::vector<size_t> out;
+    if (items_.empty()) return out;
+    std::vector<double> prefix(items_.size());
+    double acc = 0;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      acc += weight(i);
+      prefix[i] = acc;
+    }
+    if (acc <= 0) return out;
+    out.reserve(count);
+    for (size_t s = 0; s < count; ++s) {
+      double target = rng->UniformDouble() * acc;
+      size_t pick = static_cast<size_t>(
+          std::lower_bound(prefix.begin(), prefix.end(), target) -
+          prefix.begin());
+      if (pick >= prefix.size()) pick = prefix.size() - 1;
+      out.push_back(pick);
+    }
+    return out;
+  }
+
+  /// Serial violator scan: ascending index order, weight and count of the
+  /// items for which `violates(item)` holds.
+  template <typename Pred>
+  ViolatorStats CountViolators(Pred&& violates) const {
+    ViolatorStats st;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (violates(items_[i])) {
+        st.weight += weight(i);
+        ++st.count;
+      }
+    }
+    return st;
+  }
+
+  /// Pool-routed violator scan, bit-identical to the serial one for every
+  /// thread count: the (pure) predicate is evaluated across the pool into a
+  /// bitmap, then weight/count accumulate serially in ascending order.
+  template <typename Pred>
+  ViolatorStats CountViolators(runtime::ThreadPool* pool,
+                               Pred&& violates) const {
+    if (pool == nullptr || items_.size() < kParallelScanMinItems) {
+      return CountViolators(violates);
+    }
+    std::vector<uint8_t> hit(items_.size());
+    runtime::ParallelFor(pool, 0, items_.size(),
+                         [&](size_t i) { hit[i] = violates(items_[i]) ? 1 : 0; });
+    ViolatorStats st;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (hit[i]) {
+        st.weight += weight(i);
+        ++st.count;
+      }
+    }
+    return st;
+  }
+
+  /// Multiplies the weight of every item with `violates(item)` by `rate`.
+  /// Requires a weighted view (vacuously fine on an empty one).
+  template <typename Pred>
+  void ScaleViolators(Pred&& violates, double rate) {
+    LPLOW_CHECK_EQ(weights_.size(), items_.size());
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (violates(items_[i])) weights_[i] *= rate;
+    }
+  }
+
+  /// Pool-routed reweighting: each update touches only its own slot, so the
+  /// result is exactly the serial one for every thread count.
+  template <typename Pred>
+  void ScaleViolators(runtime::ThreadPool* pool, Pred&& violates,
+                      double rate) {
+    if (pool == nullptr || items_.size() < kParallelScanMinItems) {
+      ScaleViolators(violates, rate);
+      return;
+    }
+    LPLOW_CHECK_EQ(weights_.size(), items_.size());
+    runtime::ParallelFor(pool, 0, items_.size(), [&](size_t i) {
+      if (violates(items_[i])) weights_[i] *= rate;
+    });
+  }
+
+  /// Copies of all items for which `violates(item)` holds, in index order.
+  template <typename Pred>
+  std::vector<C> CollectViolators(Pred&& violates) const {
+    std::vector<C> out;
+    for (const C& c : items_) {
+      if (violates(c)) out.push_back(c);
+    }
+    return out;
+  }
+
+ private:
+  std::span<const C> items_;
+  std::span<double> weights_;
+};
+
+/// Exact serialized size of every item in the view — the bit(S) accounting
+/// of Theorems 1-3, shared by the models and the baselines.
+template <typename P, typename C>
+size_t SerializedBytes(const P& problem, ConstraintView<C> view) {
+  size_t total = 0;
+  for (const C& c : view.items()) total += problem.ConstraintBytes(c);
+  return total;
+}
+
+/// Owning weighted constraint set: the per-site / per-machine storage of
+/// the model runtimes. Weights start at 1 (the Algorithm 1 initial state).
+template <typename C>
+class ConstraintStore {
+ public:
+  ConstraintStore() = default;
+  explicit ConstraintStore(std::vector<C> items)
+      : items_(std::move(items)), weights_(items_.size(), 1.0) {}
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<C>& items() const { return items_; }
+
+  void Append(C item) {
+    items_.push_back(std::move(item));
+    weights_.push_back(1.0);
+  }
+
+  ConstraintView<C> View() {
+    return ConstraintView<C>(std::span<const C>(items_),
+                             std::span<double>(weights_));
+  }
+
+ private:
+  std::vector<C> items_;
+  std::vector<double> weights_;
+};
+
+}  // namespace engine
+}  // namespace lplow
+
+#endif  // LPLOW_ENGINE_CONSTRAINT_STORE_H_

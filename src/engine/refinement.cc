@@ -1,0 +1,22 @@
+#include "src/engine/refinement.h"
+
+namespace lplow {
+namespace engine {
+
+EngineMetrics& GlobalEngineMetrics() {
+  static EngineMetrics metrics = [] {
+    auto& registry = runtime::MetricsRegistry::Global();
+    return EngineMetrics{
+        registry.GetCounter("engine.iterations"),
+        registry.GetCounter("engine.basis_solves"),
+        registry.GetCounter("engine.oversized_basis_solves"),
+        registry.GetCounter("engine.resample_bytes"),
+        registry.GetTimer("engine.violator_scan_seconds"),
+        registry.GetTimer("engine.basis_solve_seconds"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace engine
+}  // namespace lplow

@@ -1,0 +1,251 @@
+// The unified Clarkson-style iterative-refinement engine (Algorithm 1's
+// outer loop) shared by the three protocol models of Theorems 1-3.
+//
+// Every model runs the same scheme — sample by weight, solve a basis on the
+// sample, scan for violators, reweight on success — and differs only in how
+// the steps are *transported*: coordinator channel rounds, MPC tree
+// broadcasts/converge-casts, or streaming passes. RunRefinement owns the
+// loop (iteration counting, the eps-net success test, the terminal
+// zero-violator exit, and the Las Vegas iteration-cap fallback); a
+// RefinementTransport supplies the model-specific steps; RefinementPolicy
+// carries the paper parameters (eps, the n^{1/r} weight rate, the sample
+// size m, the iteration cap, and the fallback discipline).
+//
+// Determinism: the engine adds no randomness and no reordering — every RNG
+// draw happens inside the transport in the same order the pre-engine
+// per-model loops used, so bases, stats, and byte/round counters are
+// bit-identical to the hand-rolled implementations
+// (tests/engine_equivalence_test.cc pins this against captured goldens).
+//
+// Concurrency: oversized sample bases (and the fallback direct solve) are
+// routed through the runtime::ThreadPool in RefinementPolicy::pool, and the
+// transports route their violator scans through SiteExecutor /
+// ConstraintView's pool-aware scans — identical results at every thread
+// count. docs/engine.md documents the contract and how to add a model.
+
+#ifndef LPLOW_ENGINE_REFINEMENT_H_
+#define LPLOW_ENGINE_REFINEMENT_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/eps_net.h"
+#include "src/core/lp_type.h"
+#include "src/engine/constraint_store.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/thread_pool.h"
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace engine {
+
+/// The paper parameters of one refinement run plus the engine knobs.
+struct RefinementPolicy {
+  /// Success threshold: an iteration succeeds iff w(V) <= eps * w(S).
+  double eps = 0;
+  /// Weight-increase rate n^{1/r} applied to violators on success.
+  double rate = 1;
+  /// Per-iteration eps-net sample size m.
+  size_t sample_size = 0;
+  /// Iteration cap (already resolved; the engine never computes it).
+  size_t max_iterations = 0;
+  /// On hitting the cap: gather everything and solve directly (Las Vegas,
+  /// default) or return the transport's cap status.
+  bool fallback_to_direct = true;
+  /// Solver name for the fallback warning log ("SolveCoordinator", ...).
+  const char* name = "RunRefinement";
+  /// Basis solves on samples of at least `oversized_basis_threshold`
+  /// constraints run as a pool task (null pool: inline, the serial path).
+  runtime::ThreadPool* pool = nullptr;
+  size_t oversized_basis_threshold = 4096;
+};
+
+/// Computes the Algorithm 1 parameters for problem size n and rate
+/// exponent r, honoring the streaming ablation overrides (0 = paper value).
+/// The iteration cap is model-specific and stays with the caller.
+template <LpTypeProblem P>
+RefinementPolicy MakePolicy(const P& problem, size_t n, int r,
+                            const EpsNetConfig& net, double eps_override = 0,
+                            double weight_rate_override = 0,
+                            size_t sample_size_override = 0) {
+  const size_t nu = problem.CombinatorialDimension();
+  const size_t lambda = problem.VcDimension();
+  RefinementPolicy policy;
+  policy.eps = eps_override > 0
+                   ? eps_override
+                   : AlgorithmEpsilon(nu, std::max<size_t>(n, 1), r);
+  policy.rate = weight_rate_override > 0
+                    ? weight_rate_override
+                    : WeightIncreaseRate(std::max<size_t>(n, 1), r);
+  policy.sample_size =
+      sample_size_override > 0
+          ? std::min(sample_size_override, n)
+          : EpsNetSampleSize(policy.eps, lambda, net, nu + 1, n);
+  return policy;
+}
+
+/// What one violator scan reports back to the engine. `total_weight` is
+/// w(S) under the transport's weight function at scan time.
+struct ViolatorScan {
+  double total_weight = 0;
+  double violator_weight = 0;
+  uint64_t violator_count = 0;
+};
+
+/// Engine-maintained counters, pointing into the model's stats struct.
+struct IterationCounters {
+  size_t* iterations = nullptr;
+  size_t* successful_iterations = nullptr;
+  bool* direct_solve = nullptr;
+  /// Optional: total serialized bytes of all eps-net samples drawn.
+  size_t* sample_bytes = nullptr;
+};
+
+/// Cached pointers to the engine's MetricsRegistry entries (registered on
+/// first use; see docs/runtime.md for the schema).
+struct EngineMetrics {
+  runtime::Counter* iterations;
+  runtime::Counter* basis_solves;
+  runtime::Counter* oversized_basis_solves;
+  runtime::Counter* resample_bytes;
+  runtime::Timer* violator_scan_seconds;
+  runtime::Timer* basis_solve_seconds;
+};
+EngineMetrics& GlobalEngineMetrics();
+
+// clang-format off
+/// What a protocol model must provide to run under the engine. One
+/// NextSample / ScanViolators / EndIteration cycle is one Algorithm 1
+/// iteration; GatherAll and Finish serve the fallback and epilogue.
+template <typename T, typename P>
+concept RefinementTransport =
+    LpTypeProblem<P> &&
+    requires(T t,
+             const BasisResult<typename P::Value, typename P::Constraint>& b,
+             BasisResult<typename P::Value, typename P::Constraint> owned,
+             bool success) {
+  /// Produces the iteration's weighted eps-net sample (applying any
+  /// reweighting deferred from the previous success first). Errors abort
+  /// the run with the transport's status.
+  { t.NextSample() }
+      -> std::same_as<Result<std::vector<typename P::Constraint>>>;
+
+  /// Scans the full constraint set against the basis; reports w(S), w(V),
+  /// and |V| under the transport's weight function.
+  { t.ScanViolators(b) } -> std::same_as<ViolatorScan>;
+
+  /// Closes a non-terminal iteration; `success` is the eps-net test result
+  /// (reweight / schedule reweighting on success).
+  { t.EndIteration(success, b) };
+
+  /// Cleanup before the terminal (zero-violator) return.
+  { t.OnTerminal() };
+
+  /// Ships every constraint for the Las Vegas fallback, with the model's
+  /// cost accounting.
+  { t.GatherAll() } -> std::same_as<std::vector<typename P::Constraint>>;
+
+  /// Status returned when the cap is hit and fallback is disabled.
+  { t.IterationCapStatus() } -> std::same_as<Status>;
+
+  /// Epilogue: flushes stats/metrics and returns the result.
+  { t.Finish(std::move(owned)) }
+      -> std::same_as<
+          Result<BasisResult<typename P::Value, typename P::Constraint>>>;
+};
+// clang-format on
+
+/// Basis of `sample`, routed through the policy pool when the sample is
+/// oversized. The solve itself is unchanged (bit-identical result) and the
+/// caller still blocks on it — the routing is the dispatch seam (plus the
+/// oversized-solve accounting) where a sharded SolverService takes these
+/// over next, not intra-solve parallelism.
+template <LpTypeProblem P>
+BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
+    const P& problem, const std::vector<typename P::Constraint>& sample,
+    const RefinementPolicy& policy) {
+  auto& metrics = GlobalEngineMetrics();
+  metrics.basis_solves->Increment();
+  runtime::ScopedTimer timer(metrics.basis_solve_seconds);
+  BasisResult<typename P::Value, typename P::Constraint> out;
+  auto solve = [&] {
+    out = problem.SolveBasis(
+        std::span<const typename P::Constraint>(sample.data(), sample.size()));
+  };
+  if (policy.pool != nullptr &&
+      sample.size() >= policy.oversized_basis_threshold) {
+    metrics.oversized_basis_solves->Increment();
+    runtime::TaskGroup group(policy.pool);
+    group.Run(solve);
+    group.Wait();
+  } else {
+    solve();
+  }
+  return out;
+}
+
+/// The shared Algorithm 1 outer loop. Returns the terminal basis, the
+/// fallback direct solve, or the transport's error/cap status.
+template <LpTypeProblem P, typename T>
+  requires RefinementTransport<T, P>
+Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
+    const P& problem, T& transport, const RefinementPolicy& policy,
+    const IterationCounters& counters) {
+  auto& metrics = GlobalEngineMetrics();
+
+  for (size_t iter = 0; iter < policy.max_iterations; ++iter) {
+    ++*counters.iterations;
+    metrics.iterations->Increment();
+
+    // --- weighted eps-net sample (model-transported).
+    auto sample = transport.NextSample();
+    if (!sample.ok()) return sample.status();
+    {
+      size_t bytes = 0;
+      for (const auto& c : *sample) bytes += problem.ConstraintBytes(c);
+      if (counters.sample_bytes != nullptr) *counters.sample_bytes += bytes;
+      metrics.resample_bytes->Increment(bytes);
+    }
+
+    // --- basis of the sample (pool-routed when oversized).
+    auto basis = SolveSampleBasis(problem, *sample, policy);
+
+    // --- violator scan (model-transported).
+    ViolatorScan scan;
+    {
+      runtime::ScopedTimer timer(metrics.violator_scan_seconds);
+      scan = transport.ScanViolators(basis);
+    }
+
+    if (scan.violator_count == 0) {
+      // Terminal: w(V) = 0, so f(B) = f(S) (Lemma 3.1) — a vacuous eps-net
+      // success.
+      ++*counters.successful_iterations;
+      transport.OnTerminal();
+      return transport.Finish(std::move(basis));
+    }
+
+    bool success = scan.violator_weight <= policy.eps * scan.total_weight;
+    if (success) ++*counters.successful_iterations;
+    transport.EndIteration(success, basis);
+  }
+
+  if (!policy.fallback_to_direct) return transport.IterationCapStatus();
+
+  // Las Vegas promise: never return a wrong answer. Gather everything
+  // (counted by the transport) and solve directly.
+  LPLOW_LOG(kWarning) << policy.name << " hit iteration cap; direct fallback";
+  auto all = transport.GatherAll();
+  *counters.direct_solve = true;
+  return transport.Finish(SolveSampleBasis(problem, all, policy));
+}
+
+}  // namespace engine
+}  // namespace lplow
+
+#endif  // LPLOW_ENGINE_REFINEMENT_H_

@@ -1,9 +1,13 @@
 // Theorem 2: the coordinator-model implementation of Algorithm 1, with the
 // Lemma 3.7 two-round weighted-sampling protocol.
 //
-// Each site keeps its local constraints and their weights; the coordinator
-// never materializes the input. One iteration of Algorithm 1 costs three
-// rounds:
+// The iteration scheme itself (sample -> basis -> violator scan ->
+// reweight, the eps-net success test, the iteration-cap fallback) lives in
+// the shared engine (src/engine/refinement.h); this file is the
+// coordinator *transport*: how each step crosses the wire. Each site keeps
+// its local constraints and weights in an engine::ConstraintStore; the
+// coordinator never materializes the input. One iteration of Algorithm 1
+// costs three rounds:
 //
 //   R1 (weights):  coordinator asks for local totals; site i replies w(S_i)
 //                  — and first applies the previous iteration's reweighting
@@ -19,10 +23,14 @@
 //
 // Concurrency: with CoordinatorOptions::runtime.num_threads > 1 the k sites
 // of each round run in parallel on a runtime::ThreadPool (the protocol's
-// sites are independent between barriers). Each site owns its RNG stream and
-// per-site reply slot, replies are merged in site order at the round
-// barrier, and Channel accounting is order-independent — so bases, byte
-// counts, and round counts are bit-identical for every thread count.
+// sites are independent between barriers), per-site reply *parsing* runs
+// inside the same round, site-local violator scans route through the
+// store's pool-aware bitmap scan, and the engine runs oversized sample
+// bases as pool tasks. Each site owns its RNG stream
+// (Rng::ForkStream(site_id)) and per-site reply slot, replies are merged in
+// site order at the round barrier, and Channel accounting is
+// order-independent — so bases, byte counts, and round counts are
+// bit-identical for every thread count.
 
 #ifndef LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
 #define LPLOW_MODELS_COORDINATOR_COORDINATOR_SOLVER_H_
@@ -30,12 +38,15 @@
 #include <cmath>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/core/clarkson.h"
 #include "src/core/eps_net.h"
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
+#include "src/engine/constraint_store.h"
+#include "src/engine/refinement.h"
 #include "src/models/coordinator/channel.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/site_executor.h"
@@ -69,21 +80,23 @@ struct CoordinatorStats {
   size_t messages = 0;
   size_t iterations = 0;
   size_t successful_iterations = 0;
+  size_t sample_bytes = 0;  // Serialized bytes of all eps-net samples drawn.
   bool direct_solve = false;
   size_t threads = 1;
 };
 
-/// One site: holds its constraint partition and local weights, and answers
-/// the three request kinds. Site logic only sees serialized messages.
+/// One site: holds its constraint partition and local weights in an
+/// engine::ConstraintStore, and answers the three request kinds. Site logic
+/// only sees serialized messages.
 template <LpTypeProblem P>
 class Site {
  public:
   Site(const P* problem, std::vector<typename P::Constraint> constraints,
-       uint64_t seed)
+       Rng rng, runtime::ThreadPool* scan_pool)
       : problem_(problem),
-        constraints_(std::move(constraints)),
-        weights_(constraints_.size(), 1.0),
-        rng_(seed) {}
+        store_(std::move(constraints)),
+        rng_(std::move(rng)),
+        scan_pool_(scan_pool) {}
 
   /// R1: apply the previous reweighting decision (if any), reply total weight.
   Message HandleWeightRequest(const Message& request) {
@@ -92,16 +105,13 @@ class Site {
     if (apply) {
       double rate = *r.GetDouble();
       auto basis_value = DeserializeValueMarker(&r);
-      for (size_t i = 0; i < constraints_.size(); ++i) {
-        if (problem_->Violates(basis_value, constraints_[i])) {
-          weights_[i] *= rate;
-        }
-      }
+      store_.View().ScaleViolators(
+          scan_pool_,
+          [&](const auto& c) { return problem_->Violates(basis_value, c); },
+          rate);
     }
-    double total = 0;
-    for (double w : weights_) total += w;
     BitWriter w;
-    w.PutDouble(total);
+    w.PutDouble(store_.View().TotalWeight());
     return w.Release();
   }
 
@@ -111,9 +121,9 @@ class Site {
     uint64_t count = *r.GetVarU64();
     BitWriter w;
     w.PutVarU64(count);
-    std::vector<size_t> picks = SampleLocal(static_cast<size_t>(count));
-    for (size_t idx : picks) {
-      problem_->SerializeConstraint(constraints_[idx], &w);
+    for (size_t idx :
+         store_.View().SampleIndices(static_cast<size_t>(count), &rng_)) {
+      problem_->SerializeConstraint(store_.items()[idx], &w);
     }
     return w.Release();
   }
@@ -123,23 +133,18 @@ class Site {
   Message HandleViolatorRequest(const Message& request) {
     BitReader r(request);
     last_basis_value_ = DeserializeValueMarker(&r);
-    double vw = 0;
-    uint64_t vc = 0;
-    for (size_t i = 0; i < constraints_.size(); ++i) {
-      if (problem_->Violates(last_basis_value_, constraints_[i])) {
-        vw += weights_[i];
-        ++vc;
-      }
-    }
+    engine::ViolatorStats stats = store_.View().CountViolators(
+        scan_pool_,
+        [&](const auto& c) { return problem_->Violates(last_basis_value_, c); });
     BitWriter w;
-    w.PutDouble(vw);
-    w.PutVarU64(vc);
+    w.PutDouble(stats.weight);
+    w.PutVarU64(stats.count);
     return w.Release();
   }
 
-  size_t local_size() const { return constraints_.size(); }
+  size_t local_size() const { return store_.size(); }
   const std::vector<typename P::Constraint>& constraints() const {
-    return constraints_;
+    return store_.items();
   }
 
   /// The basis value travels as the basis constraints; the site re-solves the
@@ -159,33 +164,198 @@ class Site {
   }
 
  private:
-  std::vector<size_t> SampleLocal(size_t count) {
-    std::vector<size_t> out;
-    if (constraints_.empty()) return out;
-    out.reserve(count);
-    // Prefix sums + binary search: O(n_i + count log n_i) per request.
-    std::vector<double> prefix(weights_.size());
-    double acc = 0;
-    for (size_t i = 0; i < weights_.size(); ++i) {
-      acc += weights_[i];
-      prefix[i] = acc;
-    }
-    for (size_t s = 0; s < count; ++s) {
-      double target = rng_.UniformDouble() * acc;
-      size_t pick = std::lower_bound(prefix.begin(), prefix.end(), target) -
-                    prefix.begin();
-      if (pick >= prefix.size()) pick = prefix.size() - 1;
-      out.push_back(pick);
-    }
-    return out;
-  }
-
   const P* problem_;
-  std::vector<typename P::Constraint> constraints_;
-  std::vector<double> weights_;
+  engine::ConstraintStore<typename P::Constraint> store_;
   Rng rng_;
+  runtime::ThreadPool* scan_pool_;
   typename P::Value last_basis_value_{};
 };
+
+namespace internal {
+
+/// The coordinator-model RefinementTransport: R1+R2 produce the sample,
+/// R3 is the violator scan, reweighting is deferred into the next R1.
+template <LpTypeProblem P>
+class CoordinatorTransport {
+ public:
+  using Constraint = typename P::Constraint;
+  using Value = typename P::Value;
+
+  CoordinatorTransport(const P& problem, std::vector<Site<P>>& sites,
+                       Channel& channel, runtime::SiteExecutor& exec,
+                       Rng& rng, const engine::RefinementPolicy& policy,
+                       CoordinatorStats& stats)
+      : problem_(problem),
+        sites_(sites),
+        ch_(channel),
+        exec_(exec),
+        rng_(rng),
+        policy_(policy),
+        st_(stats),
+        site_weights_(sites.size()) {}
+
+  Result<std::vector<Constraint>> NextSample() {
+    const size_t k = sites_.size();
+
+    // ---- R1: weights (plus deferred reweighting instruction). Sites run
+    // concurrently; replies land in per-site slots and are parsed in site
+    // order after the barrier.
+    ch_.BeginRound();
+    {
+      BitWriter req;
+      req.PutU8(pending_update_ ? 1 : 0);
+      if (pending_update_) {
+        req.PutDouble(policy_.rate);
+        Message basis_msg = SerializeBasis(pending_basis_);
+        req.PutBytes(basis_msg.data(), basis_msg.size());
+      }
+      Message request = req.Release();
+      std::vector<Message> replies(k);
+      exec_.RunRound([&](size_t i) {
+        ch_.ToSite(i, request);
+        replies[i] = sites_[i].HandleWeightRequest(request);
+        ch_.ToCoordinator(i, replies[i]);
+      });
+      for (size_t i = 0; i < k; ++i) {
+        BitReader r(replies[i]);
+        site_weights_[i] = *r.GetDouble();
+      }
+      pending_update_ = false;
+    }
+
+    // ---- R2: the Lemma 3.7 multinomial split and local sampling. The
+    // split is drawn on the coordinator (fixed RNG order); sites sample
+    // from their own RNG streams and their replies are *parsed* inside the
+    // round too (per-site slots, pure decoding), then merged in site order
+    // so the pooled sample is thread-count-invariant.
+    ch_.BeginRound();
+    std::vector<Constraint> sample;
+    sample.reserve(policy_.sample_size);
+    {
+      std::vector<size_t> counts =
+          MultinomialSplit(site_weights_, policy_.sample_size, &rng_);
+      std::vector<std::vector<Constraint>> parsed(k);
+      exec_.RunRound([&](size_t i) {
+        if (counts[i] == 0) return;
+        BitWriter req;
+        req.PutVarU64(counts[i]);
+        Message request = req.Release();
+        ch_.ToSite(i, request);
+        Message reply = sites_[i].HandleSampleRequest(request);
+        ch_.ToCoordinator(i, reply);
+        BitReader r(reply);
+        uint64_t cnt = *r.GetVarU64();
+        parsed[i].reserve(cnt);
+        for (uint64_t s = 0; s < cnt; ++s) {
+          auto c = problem_.DeserializeConstraint(&r);
+          LPLOW_CHECK(c.ok());
+          parsed[i].push_back(std::move(*c));
+        }
+      });
+      for (auto& site_sample : parsed) {
+        for (auto& c : site_sample) sample.push_back(std::move(c));
+      }
+    }
+    if (sample.empty()) return Status::Internal("empty coordinator sample");
+    return sample;
+  }
+
+  engine::ViolatorScan ScanViolators(
+      const BasisResult<Value, Constraint>& basis) {
+    const size_t k = sites_.size();
+    ch_.BeginRound();
+    engine::ViolatorScan scan;
+    for (double w : site_weights_) scan.total_weight += w;
+    Message request = SerializeBasis(basis.basis);
+    std::vector<Message> replies(k);
+    exec_.RunRound([&](size_t i) {
+      ch_.ToSite(i, request);
+      replies[i] = sites_[i].HandleViolatorRequest(request);
+      ch_.ToCoordinator(i, replies[i]);
+    });
+    // Accumulate in site order: floating-point summation order is part of
+    // the determinism guarantee.
+    for (size_t i = 0; i < k; ++i) {
+      BitReader r(replies[i]);
+      scan.violator_weight += *r.GetDouble();
+      scan.violator_count += *r.GetVarU64();
+    }
+    return scan;
+  }
+
+  void EndIteration(bool success, const BasisResult<Value, Constraint>& basis) {
+    if (success) {
+      pending_update_ = true;
+      pending_basis_ = basis.basis;
+    }
+  }
+
+  void OnTerminal() {}
+
+  /// Las Vegas fallback: ship everything (counted!). Serialization runs
+  /// per-site on the pool; the gathered set merges in site order.
+  std::vector<Constraint> GatherAll() {
+    const size_t k = sites_.size();
+    ch_.BeginRound();
+    std::vector<Constraint> all;
+    std::vector<std::vector<Constraint>> shipped(k);
+    exec_.RunRound([&](size_t i) {
+      BitWriter w;
+      for (const auto& c : sites_[i].constraints()) {
+        problem_.SerializeConstraint(c, &w);
+        shipped[i].push_back(c);
+      }
+      ch_.ToCoordinator(i, w.buffer());
+    });
+    for (auto& site_constraints : shipped) {
+      for (auto& c : site_constraints) all.push_back(std::move(c));
+    }
+    return all;
+  }
+
+  Status IterationCapStatus() {
+    FlushChannelStats();
+    return Status::SamplingFailed("coordinator iteration cap reached");
+  }
+
+  Result<BasisResult<Value, Constraint>> Finish(
+      BasisResult<Value, Constraint> result) {
+    FlushChannelStats();
+    auto& metrics = runtime::MetricsRegistry::Global();
+    metrics.GetCounter("coordinator.rounds")->Increment(st_.rounds);
+    metrics.GetCounter("coordinator.bytes")->Increment(st_.total_bytes);
+    metrics.GetCounter("coordinator.iterations")->Increment(st_.iterations);
+    return result;
+  }
+
+ private:
+  Message SerializeBasis(const std::vector<Constraint>& basis) {
+    BitWriter w;
+    w.PutVarU64(basis.size());
+    for (const auto& c : basis) problem_.SerializeConstraint(c, &w);
+    return w.Release();
+  }
+
+  void FlushChannelStats() {
+    st_.rounds = ch_.rounds();
+    st_.total_bytes = ch_.total_bytes();
+    st_.messages = ch_.messages();
+  }
+
+  const P& problem_;
+  std::vector<Site<P>>& sites_;
+  Channel& ch_;
+  runtime::SiteExecutor& exec_;
+  Rng& rng_;
+  const engine::RefinementPolicy& policy_;
+  CoordinatorStats& st_;
+  std::vector<double> site_weights_;
+  // Previous iteration's reweighting decision, delivered with the next R1.
+  bool pending_update_ = false;
+  std::vector<Constraint> pending_basis_;
+};
+
+}  // namespace internal
 
 template <LpTypeProblem P>
 Result<BasisResult<typename P::Value, typename P::Constraint>>
@@ -193,8 +363,6 @@ SolveCoordinator(const P& problem,
                  std::vector<std::vector<typename P::Constraint>> partitions,
                  const CoordinatorOptions& options, CoordinatorStats* stats,
                  Channel* channel_out = nullptr) {
-  using Constraint = typename P::Constraint;
-  using Value = typename P::Value;
   CoordinatorStats local;
   CoordinatorStats& st = stats ? *stats : local;
   st = CoordinatorStats{};
@@ -205,16 +373,6 @@ SolveCoordinator(const P& problem,
   for (const auto& part : partitions) n += part.size();
   st.n = n;
   st.k = k;
-
-  const size_t nu = problem.CombinatorialDimension();
-  const size_t lambda = problem.VcDimension();
-  const double eps = AlgorithmEpsilon(nu, std::max<size_t>(n, 1), options.r);
-  const double rate = WeightIncreaseRate(std::max<size_t>(n, 1), options.r);
-  const size_t m = EpsNetSampleSize(eps, lambda, options.net, nu + 1, n);
-  st.sample_size = m;
-  const size_t max_iters = options.max_iterations
-                               ? options.max_iterations
-                               : ClarksonIterationCap(nu, options.r);
 
   Rng rng(options.seed);
   Channel local_channel(k);
@@ -230,155 +388,30 @@ SolveCoordinator(const P& problem,
   runtime::ScopedTimer solve_timer(
       metrics.GetTimer("coordinator.solve_seconds"));
 
+  const size_t nu = problem.CombinatorialDimension();
+  engine::RefinementPolicy policy =
+      engine::MakePolicy(problem, n, options.r, options.net);
+  policy.max_iterations = options.max_iterations
+                              ? options.max_iterations
+                              : ClarksonIterationCap(nu, options.r);
+  policy.fallback_to_direct = options.fallback_to_direct;
+  policy.name = "SolveCoordinator";
+  policy.pool = pool;
+  st.sample_size = policy.sample_size;
+
   std::vector<Site<P>> sites;
   sites.reserve(k);
   for (size_t i = 0; i < k; ++i) {
-    sites.emplace_back(&problem, std::move(partitions[i]), rng.Fork().engine()());
+    sites.emplace_back(&problem, std::move(partitions[i]), rng.ForkStream(i),
+                       pool);
   }
 
-  auto serialize_basis = [&](const std::vector<Constraint>& basis) {
-    BitWriter w;
-    w.PutVarU64(basis.size());
-    for (const auto& c : basis) problem.SerializeConstraint(c, &w);
-    return w.Release();
-  };
-
-  auto finish = [&](BasisResult<Value, Constraint> result)
-      -> Result<BasisResult<Value, Constraint>> {
-    st.rounds = ch.rounds();
-    st.total_bytes = ch.total_bytes();
-    st.messages = ch.messages();
-    metrics.GetCounter("coordinator.rounds")->Increment(st.rounds);
-    metrics.GetCounter("coordinator.bytes")->Increment(st.total_bytes);
-    metrics.GetCounter("coordinator.iterations")->Increment(st.iterations);
-    return result;
-  };
-
-  // Previous iteration's reweighting decision, delivered with the next R1.
-  bool pending_update = false;
-  std::vector<Constraint> pending_basis;
-
-  for (size_t iter = 0; iter < max_iters; ++iter) {
-    ++st.iterations;
-
-    // ---- R1: weights (plus deferred reweighting instruction). Sites run
-    // concurrently; replies land in per-site slots and are parsed in site
-    // order after the barrier.
-    ch.BeginRound();
-    std::vector<double> site_weights(k);
-    {
-      BitWriter req;
-      req.PutU8(pending_update ? 1 : 0);
-      if (pending_update) {
-        req.PutDouble(rate);
-        Message basis_msg = serialize_basis(pending_basis);
-        req.PutBytes(basis_msg.data(), basis_msg.size());
-      }
-      Message request = req.Release();
-      std::vector<Message> replies(k);
-      exec.RunRound([&](size_t i) {
-        ch.ToSite(i, request);
-        replies[i] = sites[i].HandleWeightRequest(request);
-        ch.ToCoordinator(i, replies[i]);
-      });
-      for (size_t i = 0; i < k; ++i) {
-        BitReader r(replies[i]);
-        site_weights[i] = *r.GetDouble();
-      }
-      pending_update = false;
-    }
-
-    // ---- R2: the Lemma 3.7 multinomial split and local sampling. The
-    // split is drawn on the coordinator (fixed RNG order); sites sample
-    // concurrently from their own RNG streams, and the coordinator merges
-    // replies in site order so the pooled sample is thread-count-invariant.
-    ch.BeginRound();
-    std::vector<Constraint> sample;
-    sample.reserve(m);
-    {
-      std::vector<size_t> counts = MultinomialSplit(site_weights, m, &rng);
-      std::vector<Message> replies(k);
-      exec.RunRound([&](size_t i) {
-        if (counts[i] == 0) return;
-        BitWriter req;
-        req.PutVarU64(counts[i]);
-        Message request = req.Release();
-        ch.ToSite(i, request);
-        replies[i] = sites[i].HandleSampleRequest(request);
-        ch.ToCoordinator(i, replies[i]);
-      });
-      for (size_t i = 0; i < k; ++i) {
-        if (counts[i] == 0) continue;
-        BitReader r(replies[i]);
-        uint64_t cnt = *r.GetVarU64();
-        for (uint64_t s = 0; s < cnt; ++s) {
-          auto c = problem.DeserializeConstraint(&r);
-          LPLOW_CHECK(c.ok());
-          sample.push_back(std::move(*c));
-        }
-      }
-    }
-    if (sample.empty()) return Status::Internal("empty coordinator sample");
-
-    // ---- local basis computation at the coordinator.
-    auto basis = problem.SolveBasis(
-        std::span<const Constraint>(sample.data(), sample.size()));
-
-    // ---- R3: broadcast the basis; collect violator weights.
-    ch.BeginRound();
-    double violator_weight = 0;
-    uint64_t violator_count = 0;
-    double total_weight = 0;
-    for (double w : site_weights) total_weight += w;
-    {
-      Message request = serialize_basis(basis.basis);
-      std::vector<Message> replies(k);
-      exec.RunRound([&](size_t i) {
-        ch.ToSite(i, request);
-        replies[i] = sites[i].HandleViolatorRequest(request);
-        ch.ToCoordinator(i, replies[i]);
-      });
-      // Accumulate in site order: floating-point summation order is part of
-      // the determinism guarantee.
-      for (size_t i = 0; i < k; ++i) {
-        BitReader r(replies[i]);
-        violator_weight += *r.GetDouble();
-        violator_count += *r.GetVarU64();
-      }
-    }
-
-    if (violator_count == 0) {
-      ++st.successful_iterations;  // Vacuous eps-net success.
-      return finish(std::move(basis));
-    }
-
-    if (violator_weight <= eps * total_weight) {
-      ++st.successful_iterations;
-      pending_update = true;
-      pending_basis = basis.basis;
-    }
-  }
-
-  if (!options.fallback_to_direct) {
-    st.rounds = ch.rounds();
-    st.total_bytes = ch.total_bytes();
-    st.messages = ch.messages();
-    return Status::SamplingFailed("coordinator iteration cap reached");
-  }
-  // Las Vegas fallback: ship everything (counted!) and solve directly.
-  LPLOW_LOG(kWarning) << "SolveCoordinator hit iteration cap; direct fallback";
-  ch.BeginRound();
-  std::vector<Constraint> all;
-  for (size_t i = 0; i < k; ++i) {
-    BitWriter w;
-    for (const auto& c : sites[i].constraints()) {
-      problem.SerializeConstraint(c, &w);
-      all.push_back(c);
-    }
-    ch.ToCoordinator(i, w.buffer());
-  }
-  st.direct_solve = true;
-  return finish(problem.SolveBasis(std::span<const Constraint>(all)));
+  internal::CoordinatorTransport<P> transport(problem, sites, ch, exec, rng,
+                                              policy, st);
+  engine::IterationCounters counters{&st.iterations,
+                                     &st.successful_iterations,
+                                     &st.direct_solve, &st.sample_bytes};
+  return engine::RunRefinement(problem, transport, policy, counters);
 }
 
 }  // namespace coord

@@ -1,8 +1,12 @@
 // Theorem 3: the MPC implementation of Algorithm 1.
 //
-// Machines hold the partitioned input plus local weights. Each iteration of
-// Algorithm 1 is simulated with tree-structured communication so no machine
-// ever handles more than O~(lambda n^delta nu^2) bytes in a round:
+// The iteration scheme (sample -> basis -> violator scan -> reweight, the
+// eps-net success test, the Las Vegas fallback) lives in the shared engine
+// (src/engine/refinement.h); this file is the MPC *transport*: machines
+// hold the partitioned input plus local weights in engine::ConstraintStore
+// and each Algorithm 1 step is simulated with tree-structured communication
+// so no machine ever handles more than O~(lambda n^delta nu^2) bytes in a
+// round:
 //
 //   1. converge-cast: subtree weight totals flow leaf->root   (depth rounds)
 //   2. root draws the m-way multinomial split; per-subtree counts flow
@@ -18,11 +22,14 @@
 //
 // Concurrency: with MpcOptions::runtime.num_threads > 1 the per-machine
 // phases of each round (reweighting, local totals, local draws, violator
-// counts) run in parallel on a runtime::ThreadPool. Each machine owns a
-// forked RNG stream (seeded in machine order from the root seed) and writes
-// to per-machine slots merged after the round barrier; the tree-structured
-// communication itself stays on the driver thread in fixed order. Results
-// and load accounting are bit-identical for every thread count.
+// counts) run in parallel on a runtime::ThreadPool, per-machine violator
+// scans route through the store's pool-aware bitmap scan, and the engine
+// runs oversized sample bases as pool tasks. Each machine owns a forked RNG
+// stream (Rng::ForkStream, seeded in machine order from the root seed) and
+// writes to per-machine slots merged after the round barrier; the
+// tree-structured communication itself stays on the driver thread in fixed
+// order. Results and load accounting are bit-identical for every thread
+// count.
 
 #ifndef LPLOW_MODELS_MPC_MPC_SOLVER_H_
 #define LPLOW_MODELS_MPC_MPC_SOLVER_H_
@@ -30,12 +37,15 @@
 #include <cmath>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/core/clarkson.h"
 #include "src/core/eps_net.h"
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
+#include "src/engine/constraint_store.h"
+#include "src/engine/refinement.h"
 #include "src/models/mpc/mpc_runtime.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/site_executor.h"
@@ -71,6 +81,7 @@ struct MpcStats {
   size_t total_bytes = 0;
   size_t iterations = 0;
   size_t successful_iterations = 0;
+  size_t sample_bytes = 0;  // Serialized bytes of all eps-net samples drawn.
   bool direct_solve = false;
   size_t threads = 1;
 };
@@ -80,10 +91,243 @@ namespace internal {
 /// Per-machine state.
 template <LpTypeProblem P>
 struct Machine {
-  std::vector<typename P::Constraint> constraints;
-  std::vector<double> weights;
+  engine::ConstraintStore<typename P::Constraint> store;
   double subtree_weight = 0;  // Filled by the converge-cast.
   Rng rng;  // Per-machine stream: local draws are thread-count-invariant.
+};
+
+/// The MPC RefinementTransport: converge-cast weights, split the sample
+/// down the tree, draw at the machines, scan violators with a broadcast +
+/// converge-cast; reweighting is applied on the next success broadcast.
+template <LpTypeProblem P>
+class MpcTransport {
+ public:
+  using Constraint = typename P::Constraint;
+  using Value = typename P::Value;
+
+  MpcTransport(const P& problem, std::vector<Machine<P>>& mach,
+               MpcRuntime& rt, runtime::SiteExecutor& exec, Rng& rng,
+               const engine::RefinementPolicy& policy, MpcStats& stats)
+      : problem_(problem),
+        mach_(mach),
+        rt_(rt),
+        exec_(exec),
+        rng_(rng),
+        policy_(policy),
+        st_(stats) {}
+
+  Result<std::vector<Constraint>> NextSample() {
+    const size_t machines = mach_.size();
+    const size_t m = policy_.sample_size;
+
+    // ---- (0/4 of previous iteration) broadcast basis + success decision
+    // down the tree; machines apply the reweighting locally.
+    if (pending_update_) {
+      size_t bytes = BasisMsgBytes(pending_basis_);
+      for (size_t d = 0; d < std::max<size_t>(st_.tree_depth, 1); ++d) {
+        rt_.BeginRound();
+        for (size_t i : rt_.MachinesAtDepth(d)) {
+          for (size_t c : rt_.Children(i)) rt_.Send(i, c, bytes);
+        }
+        rt_.EndRound();
+        if (st_.tree_depth == 0) break;
+      }
+      exec_.RunRound([&](size_t i) {
+        mach_[i].store.View().ScaleViolators(
+            policy_.pool,
+            [&](const Constraint& c) {
+              return problem_.Violates(pending_value_, c);
+            },
+            policy_.rate);
+      });
+      pending_update_ = false;
+    }
+
+    // ---- (1) weight converge-cast.
+    total_weight_ = AggregateWeights();
+    if (total_weight_ <= 0) return Status::Internal("zero total weight");
+
+    // ---- (2) multinomial split down the tree. Each machine receives its
+    // subtree's count from its parent and splits it among itself and its
+    // children's subtrees.
+    std::vector<size_t> draw(machines, 0);
+    {
+      std::vector<size_t> subtree_count(machines, 0);
+      subtree_count[0] = m;
+      for (size_t d = 0; d < std::max<size_t>(st_.tree_depth + 1, 1); ++d) {
+        bool is_split_round = d < st_.tree_depth;
+        if (is_split_round) rt_.BeginRound();
+        for (size_t i : rt_.MachinesAtDepth(d)) {
+          auto children = rt_.Children(i);
+          // Weights: own items, then each child's subtree.
+          std::vector<double> parts;
+          parts.push_back(mach_[i].store.View().TotalWeight());
+          for (size_t c : children) parts.push_back(mach_[c].subtree_weight);
+          std::vector<size_t> split =
+              MultinomialSplit(parts, subtree_count[i], &rng_);
+          draw[i] = split[0];
+          for (size_t ci = 0; ci < children.size(); ++ci) {
+            subtree_count[children[ci]] = split[ci + 1];
+            if (is_split_round) {
+              rt_.Send(i, children[ci], 8);  // The count message.
+            }
+          }
+        }
+        if (is_split_round) rt_.EndRound();
+      }
+    }
+
+    // ---- (3) machines ship their draws straight to the root. Machines
+    // draw concurrently from their own RNG streams (Send accounting is
+    // thread-safe); the root merges the draws in machine order at the
+    // barrier, so the pooled sample is thread-count-invariant.
+    rt_.BeginRound();
+    std::vector<Constraint> sample;
+    sample.reserve(m);
+    std::vector<std::vector<Constraint>> local_draws(machines);
+    exec_.RunRound([&](size_t i) {
+      auto& mc = mach_[i];
+      if (draw[i] == 0 || mc.store.empty()) return;
+      // Local exact weighted draws with replacement (prefix + binary
+      // search, zero draws when the local weight is zero).
+      std::vector<size_t> picks = mc.store.View().SampleIndices(draw[i], &mc.rng);
+      size_t bytes = 0;
+      local_draws[i].reserve(picks.size());
+      for (size_t pick : picks) {
+        local_draws[i].push_back(mc.store.items()[pick]);
+        bytes += problem_.ConstraintBytes(mc.store.items()[pick]);
+      }
+      if (i != 0 && bytes > 0) rt_.Send(i, 0, bytes);
+    });
+    rt_.EndRound();
+    for (auto& draws : local_draws) {
+      for (auto& c : draws) sample.push_back(std::move(c));
+    }
+    if (sample.empty()) return Status::Internal("empty MPC sample");
+    return sample;
+  }
+
+  engine::ViolatorScan ScanViolators(
+      const BasisResult<Value, Constraint>& basis) {
+    const size_t machines = mach_.size();
+    // Broadcast the basis for the violator count (depth rounds), then
+    // converge-cast violator totals (depth rounds).
+    {
+      size_t bytes = BasisMsgBytes(basis.basis);
+      for (size_t d = 0; d < st_.tree_depth; ++d) {
+        rt_.BeginRound();
+        for (size_t i : rt_.MachinesAtDepth(d)) {
+          for (size_t c : rt_.Children(i)) rt_.Send(i, c, bytes);
+        }
+        rt_.EndRound();
+      }
+    }
+    std::vector<double> vw(machines, 0);
+    std::vector<size_t> vc(machines, 0);
+    exec_.RunRound([&](size_t i) {
+      engine::ViolatorStats local = mach_[i].store.View().CountViolators(
+          policy_.pool,
+          [&](const Constraint& c) { return problem_.Violates(basis.value, c); });
+      vw[i] = local.weight;
+      vc[i] = static_cast<size_t>(local.count);
+    });
+    for (size_t d = st_.tree_depth; d-- > 0;) {
+      rt_.BeginRound();
+      for (size_t i : rt_.MachinesAtDepth(d + 1)) {
+        rt_.Send(i, rt_.Parent(i), 16);
+        vw[rt_.Parent(i)] += vw[i];
+        vc[rt_.Parent(i)] += vc[i];
+      }
+      rt_.EndRound();
+    }
+    return engine::ViolatorScan{total_weight_, vw[0],
+                                static_cast<uint64_t>(vc[0])};
+  }
+
+  void EndIteration(bool success, const BasisResult<Value, Constraint>& basis) {
+    if (success) {
+      pending_update_ = true;
+      pending_basis_ = basis.basis;
+      pending_value_ = basis.value;
+    }
+  }
+
+  void OnTerminal() {}
+
+  /// Las Vegas fallback: gather everything at the root (counted).
+  std::vector<Constraint> GatherAll() {
+    rt_.BeginRound();
+    std::vector<Constraint> all;
+    all.reserve(st_.n);
+    for (size_t i = 0; i < mach_.size(); ++i) {
+      size_t bytes = 0;
+      for (const auto& c : mach_[i].store.items()) {
+        all.push_back(c);
+        bytes += problem_.ConstraintBytes(c);
+      }
+      if (i != 0 && bytes > 0) rt_.Send(i, 0, bytes);
+    }
+    rt_.EndRound();
+    return all;
+  }
+
+  Status IterationCapStatus() {
+    // Unreachable today (MpcOptions has no fallback_to_direct switch), but
+    // keep the cost accounting intact like the coordinator's cap path does.
+    st_.rounds = rt_.rounds();
+    st_.max_load_bytes = rt_.max_load_bytes();
+    st_.total_bytes = rt_.total_bytes();
+    return Status::Internal("MPC iteration cap reached");
+  }
+
+  Result<BasisResult<Value, Constraint>> Finish(
+      BasisResult<Value, Constraint> result) {
+    st_.rounds = rt_.rounds();
+    st_.max_load_bytes = rt_.max_load_bytes();
+    st_.total_bytes = rt_.total_bytes();
+    auto& metrics = runtime::MetricsRegistry::Global();
+    metrics.GetCounter("mpc.rounds")->Increment(st_.rounds);
+    metrics.GetCounter("mpc.bytes")->Increment(st_.total_bytes);
+    metrics.GetCounter("mpc.iterations")->Increment(st_.iterations);
+    return result;
+  }
+
+ private:
+  // Converge-cast of one double per machine: leaf-to-root, depth rounds.
+  // Local totals are computed concurrently; the tree accumulation runs on
+  // the driver thread in fixed order.
+  double AggregateWeights() {
+    exec_.RunRound([&](size_t i) {
+      mach_[i].subtree_weight = mach_[i].store.View().TotalWeight();
+    });
+    for (size_t d = st_.tree_depth; d-- > 0;) {
+      rt_.BeginRound();
+      for (size_t i : rt_.MachinesAtDepth(d + 1)) {
+        rt_.Send(i, rt_.Parent(i), 8);
+        mach_[rt_.Parent(i)].subtree_weight += mach_[i].subtree_weight;
+      }
+      rt_.EndRound();
+    }
+    return mach_[0].subtree_weight;
+  }
+
+  size_t BasisMsgBytes(const std::vector<Constraint>& basis) {
+    size_t total = 2;  // success flag + size byte (approx; exact enough).
+    for (const auto& c : basis) total += problem_.ConstraintBytes(c);
+    return total;
+  }
+
+  const P& problem_;
+  std::vector<Machine<P>>& mach_;
+  MpcRuntime& rt_;
+  runtime::SiteExecutor& exec_;
+  Rng& rng_;
+  const engine::RefinementPolicy& policy_;
+  MpcStats& st_;
+  double total_weight_ = 0;
+  std::vector<Constraint> pending_basis_;  // Reweighting applied on broadcast.
+  bool pending_update_ = false;
+  Value pending_value_{};
 };
 
 }  // namespace internal
@@ -94,7 +338,6 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
     std::vector<std::vector<typename P::Constraint>> partitions,
     const MpcOptions& options, MpcStats* stats) {
   using Constraint = typename P::Constraint;
-  using Value = typename P::Value;
   MpcStats local;
   MpcStats& st = stats ? *stats : local;
   st = MpcStats{};
@@ -108,11 +351,6 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
   LPLOW_CHECK_LE(options.delta, 1.0);
   const int r = std::max(1, static_cast<int>(std::lround(1.0 / options.delta)));
   const size_t nu = problem.CombinatorialDimension();
-  const size_t lambda = problem.VcDimension();
-  const double eps = AlgorithmEpsilon(nu, n, r);
-  const double rate = WeightIncreaseRate(n, r);
-  const size_t m = EpsNetSampleSize(eps, lambda, options.net, nu + 1, n);
-  st.sample_size = m;
 
   const double dn = static_cast<double>(n);
   size_t machines = options.machines
@@ -129,17 +367,21 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
   st.tree_depth = rt.TreeDepth();
 
   // Distribute partitions onto machines (pad or fold as needed).
-  std::vector<internal::Machine<P>> mach(machines);
+  std::vector<std::vector<Constraint>> mach_constraints(machines);
   for (size_t i = 0; i < partitions.size(); ++i) {
-    auto& dst = mach[i % machines];
-    for (auto& c : partitions[i]) dst.constraints.push_back(std::move(c));
+    auto& dst = mach_constraints[i % machines];
+    for (auto& c : partitions[i]) dst.push_back(std::move(c));
   }
-  for (auto& mc : mach) mc.weights.assign(mc.constraints.size(), 1.0);
+  std::vector<internal::Machine<P>> mach(machines);
+  for (size_t i = 0; i < machines; ++i) {
+    mach[i].store = engine::ConstraintStore<Constraint>(
+        std::move(mach_constraints[i]));
+  }
 
   Rng rng(options.seed);
   // Machine-order forks: machine i's local draws come from its own stream,
   // so the draw sequence does not depend on execution interleaving.
-  for (auto& mc : mach) mc.rng = rng.Fork();
+  for (size_t i = 0; i < machines; ++i) mach[i].rng = rng.ForkStream(i);
 
   std::unique_ptr<runtime::ThreadPool> owned_pool;
   runtime::ThreadPool* pool = runtime::ResolvePool(options.runtime, &owned_pool);
@@ -150,222 +392,22 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
   metrics.GetCounter("mpc.solves")->Increment();
   runtime::ScopedTimer solve_timer(metrics.GetTimer("mpc.solve_seconds"));
 
-  const size_t max_iters =
+  engine::RefinementPolicy policy =
+      engine::MakePolicy(problem, n, r, options.net);
+  policy.max_iterations =
       options.max_iterations
           ? options.max_iterations
           : ClarksonIterationCap(nu, static_cast<int>(1.0 / options.delta) + 1);
+  policy.name = "SolveMpc";
+  policy.pool = pool;
+  st.sample_size = policy.sample_size;
 
-  auto finish = [&](BasisResult<Value, Constraint> result)
-      -> Result<BasisResult<Value, Constraint>> {
-    st.rounds = rt.rounds();
-    st.max_load_bytes = rt.max_load_bytes();
-    st.total_bytes = rt.total_bytes();
-    metrics.GetCounter("mpc.rounds")->Increment(st.rounds);
-    metrics.GetCounter("mpc.bytes")->Increment(st.total_bytes);
-    metrics.GetCounter("mpc.iterations")->Increment(st.iterations);
-    return result;
-  };
-
-  auto basis_msg_bytes = [&](const std::vector<Constraint>& basis) {
-    size_t total = 2;  // success flag + size byte (approx; exact enough).
-    for (const auto& c : basis) total += problem.ConstraintBytes(c);
-    return total;
-  };
-
-  // Converge-cast of one double per machine: leaf-to-root, depth rounds.
-  // Local totals are computed concurrently; the tree accumulation runs on
-  // the driver thread in fixed order.
-  auto aggregate_weights = [&]() {
-    exec.RunRound([&](size_t i) {
-      auto& mc = mach[i];
-      mc.subtree_weight = 0;
-      for (double w : mc.weights) mc.subtree_weight += w;
-    });
-    for (size_t d = st.tree_depth; d-- > 0;) {
-      rt.BeginRound();
-      for (size_t i : rt.MachinesAtDepth(d + 1)) {
-        rt.Send(i, rt.Parent(i), 8);
-        mach[rt.Parent(i)].subtree_weight += mach[i].subtree_weight;
-      }
-      rt.EndRound();
-    }
-    return mach[0].subtree_weight;
-  };
-
-  std::vector<Constraint> pending_basis;  // Reweighting applied on broadcast.
-  bool pending_update = false;
-  Value pending_value{};
-
-  for (size_t iter = 0; iter < max_iters; ++iter) {
-    ++st.iterations;
-
-    // ---- (0/4 of previous iteration) broadcast basis + success decision
-    // down the tree; machines apply the reweighting locally.
-    if (pending_update) {
-      size_t bytes = basis_msg_bytes(pending_basis);
-      for (size_t d = 0; d < std::max<size_t>(st.tree_depth, 1); ++d) {
-        rt.BeginRound();
-        for (size_t i : rt.MachinesAtDepth(d)) {
-          for (size_t c : rt.Children(i)) rt.Send(i, c, bytes);
-        }
-        rt.EndRound();
-        if (st.tree_depth == 0) break;
-      }
-      exec.RunRound([&](size_t i) {
-        auto& mc = mach[i];
-        for (size_t j = 0; j < mc.constraints.size(); ++j) {
-          if (problem.Violates(pending_value, mc.constraints[j])) {
-            mc.weights[j] *= rate;
-          }
-        }
-      });
-      pending_update = false;
-    }
-
-    // ---- (1) weight converge-cast.
-    double total_weight = aggregate_weights();
-    if (total_weight <= 0) return Status::Internal("zero total weight");
-
-    // ---- (2) multinomial split down the tree. Each machine receives its
-    // subtree's count from its parent and splits it among itself and its
-    // children's subtrees.
-    std::vector<size_t> draw(machines, 0);
-    {
-      std::vector<size_t> subtree_count(machines, 0);
-      subtree_count[0] = m;
-      for (size_t d = 0; d < std::max<size_t>(st.tree_depth + 1, 1); ++d) {
-        bool is_split_round = d < st.tree_depth;
-        if (is_split_round) rt.BeginRound();
-        for (size_t i : rt.MachinesAtDepth(d)) {
-          auto children = rt.Children(i);
-          // Weights: own items, then each child's subtree.
-          std::vector<double> parts;
-          double own = 0;
-          for (double w : mach[i].weights) own += w;
-          parts.push_back(own);
-          for (size_t c : children) parts.push_back(mach[c].subtree_weight);
-          std::vector<size_t> split =
-              MultinomialSplit(parts, subtree_count[i], &rng);
-          draw[i] = split[0];
-          for (size_t ci = 0; ci < children.size(); ++ci) {
-            subtree_count[children[ci]] = split[ci + 1];
-            if (is_split_round) {
-              rt.Send(i, children[ci], 8);  // The count message.
-            }
-          }
-        }
-        if (is_split_round) rt.EndRound();
-      }
-    }
-
-    // ---- (3) machines ship their draws straight to the root. Machines
-    // draw concurrently from their own RNG streams (Send accounting is
-    // thread-safe); the root merges the draws in machine order at the
-    // barrier, so the pooled sample is thread-count-invariant.
-    rt.BeginRound();
-    std::vector<Constraint> sample;
-    sample.reserve(m);
-    std::vector<std::vector<Constraint>> local_draws(machines);
-    exec.RunRound([&](size_t i) {
-      if (draw[i] == 0 || mach[i].constraints.empty()) return;
-      size_t bytes = 0;
-      // Local exact weighted draws with replacement (prefix + binary search).
-      std::vector<double> prefix(mach[i].weights.size());
-      double acc = 0;
-      for (size_t j = 0; j < mach[i].weights.size(); ++j) {
-        acc += mach[i].weights[j];
-        prefix[j] = acc;
-      }
-      if (acc <= 0) return;
-      local_draws[i].reserve(draw[i]);
-      for (size_t s = 0; s < draw[i]; ++s) {
-        double target = mach[i].rng.UniformDouble() * acc;
-        size_t pick =
-            std::lower_bound(prefix.begin(), prefix.end(), target) -
-            prefix.begin();
-        if (pick >= prefix.size()) pick = prefix.size() - 1;
-        local_draws[i].push_back(mach[i].constraints[pick]);
-        bytes += problem.ConstraintBytes(mach[i].constraints[pick]);
-      }
-      if (i != 0 && bytes > 0) rt.Send(i, 0, bytes);
-    });
-    rt.EndRound();
-    for (auto& draws : local_draws) {
-      for (auto& c : draws) sample.push_back(std::move(c));
-    }
-    if (sample.empty()) return Status::Internal("empty MPC sample");
-
-    // ---- (4) root solves the sample.
-    auto basis = problem.SolveBasis(
-        std::span<const Constraint>(sample.data(), sample.size()));
-
-    // Broadcast the basis for the violator count (depth rounds), then
-    // converge-cast violator totals (depth rounds).
-    {
-      size_t bytes = basis_msg_bytes(basis.basis);
-      for (size_t d = 0; d < st.tree_depth; ++d) {
-        rt.BeginRound();
-        for (size_t i : rt.MachinesAtDepth(d)) {
-          for (size_t c : rt.Children(i)) rt.Send(i, c, bytes);
-        }
-        rt.EndRound();
-      }
-    }
-    double violator_weight = 0;
-    size_t violator_count = 0;
-    {
-      std::vector<double> vw(machines, 0);
-      std::vector<size_t> vc(machines, 0);
-      exec.RunRound([&](size_t i) {
-        for (size_t j = 0; j < mach[i].constraints.size(); ++j) {
-          if (problem.Violates(basis.value, mach[i].constraints[j])) {
-            vw[i] += mach[i].weights[j];
-            ++vc[i];
-          }
-        }
-      });
-      for (size_t d = st.tree_depth; d-- > 0;) {
-        rt.BeginRound();
-        for (size_t i : rt.MachinesAtDepth(d + 1)) {
-          rt.Send(i, rt.Parent(i), 16);
-          vw[rt.Parent(i)] += vw[i];
-          vc[rt.Parent(i)] += vc[i];
-        }
-        rt.EndRound();
-      }
-      violator_weight = vw[0];
-      violator_count = vc[0];
-    }
-
-    if (violator_count == 0) {
-      ++st.successful_iterations;  // Vacuous eps-net success.
-      return finish(std::move(basis));
-    }
-
-    if (violator_weight <= eps * total_weight) {
-      ++st.successful_iterations;
-      pending_update = true;
-      pending_basis = basis.basis;
-      pending_value = basis.value;
-    }
-  }
-
-  // Las Vegas fallback: gather everything at the root (counted) and solve.
-  LPLOW_LOG(kWarning) << "SolveMpc hit iteration cap; direct fallback";
-  rt.BeginRound();
-  std::vector<Constraint> all;
-  all.reserve(n);
-  for (size_t i = 0; i < machines; ++i) {
-    size_t bytes = 0;
-    for (const auto& c : mach[i].constraints) {
-      all.push_back(c);
-      bytes += problem.ConstraintBytes(c);
-    }
-    if (i != 0 && bytes > 0) rt.Send(i, 0, bytes);
-  }
-  rt.EndRound();
-  st.direct_solve = true;
-  return finish(problem.SolveBasis(std::span<const Constraint>(all)));
+  internal::MpcTransport<P> transport(problem, mach, rt, exec, rng, policy,
+                                      st);
+  engine::IterationCounters counters{&st.iterations,
+                                     &st.successful_iterations,
+                                     &st.direct_solve, &st.sample_bytes};
+  return engine::RunRefinement(problem, transport, policy, counters);
 }
 
 }  // namespace mpc

@@ -1,6 +1,9 @@
 // Theorem 1: the multi-pass streaming implementation of Algorithm 1.
 //
-// The stream is scanned one pass per iteration (pipelined — see below), the
+// The iteration scheme (sample -> basis -> violator scan -> reweight, the
+// eps-net success test, the iteration-cap fallback) lives in the shared
+// engine (src/engine/refinement.h); this file is the streaming *transport*:
+// the stream is scanned one pass per iteration (pipelined — see below), the
 // weight of a constraint is never stored: it is recomputed on the fly as
 // rate^{a}, where a counts the stored successful-iteration bases the
 // constraint violates (exactly the proof of Theorem 1), and the eps-net is
@@ -14,20 +17,32 @@
 // and keeps the right one afterwards. This gives 1 pass per iteration plus
 // the initial sampling pass, matching the paper's O(nu * r) pass bound; a
 // simpler 2-passes-per-iteration mode is available for comparison.
+//
+// Concurrency: the pass itself is inherently sequential (the reservoir
+// consumes RNG draws in stream order), but with
+// StreamingOptions::runtime.num_threads > 1 the engine runs oversized
+// sample bases as runtime::ThreadPool tasks. Results are bit-identical for
+// every thread count.
 
 #ifndef LPLOW_MODELS_STREAMING_STREAMING_SOLVER_H_
 #define LPLOW_MODELS_STREAMING_STREAMING_SOLVER_H_
 
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/core/clarkson.h"
 #include "src/core/eps_net.h"
 #include "src/core/lp_type.h"
 #include "src/core/sampling.h"
+#include "src/engine/refinement.h"
 #include "src/models/streaming/stream.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/site_executor.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -46,6 +61,9 @@ struct StreamingOptions {
   /// Iteration cap; 0 = automatic (ClarksonIterationCap).
   size_t max_iterations = 0;
   uint64_t seed = 0x57AE4131ULL;
+  /// Pool for the engine's oversized basis solves; the default is the
+  /// serial reference path. Results are bit-identical for every setting.
+  runtime::RuntimeOptions runtime;
 };
 
 struct StreamingStats {
@@ -58,7 +76,9 @@ struct StreamingStats {
   size_t peak_items = 0;   // Peak constraints held simultaneously.
   size_t peak_bytes = 0;   // Their serialized size.
   size_t violation_tests = 0;
+  size_t sample_bytes = 0;  // Serialized bytes of all eps-net samples drawn.
   bool direct_solve = false;
+  size_t threads = 1;
 };
 
 namespace internal {
@@ -78,6 +98,180 @@ double OnTheFlyWeight(const P& problem,
   return w;
 }
 
+/// The streaming RefinementTransport: the sample for iteration t+1 is drawn
+/// by the (optionally pipelined) pass that also scans iteration t's
+/// violators; per-item weights are recomputed on the fly from the stored
+/// successful bases.
+template <LpTypeProblem P>
+class StreamingTransport {
+ public:
+  using Constraint = typename P::Constraint;
+  using Value = typename P::Value;
+
+  StreamingTransport(const P& problem, ConstraintStream<Constraint>& input,
+                     bool pipeline, Rng& rng, SpaceMeter& space,
+                     const engine::RefinementPolicy& policy,
+                     StreamingStats& stats)
+      : problem_(problem),
+        input_(input),
+        pipeline_(pipeline),
+        rng_(rng),
+        space_(space),
+        policy_(policy),
+        st_(stats),
+        base_passes_(input.passes_started()) {}
+
+  Result<std::vector<Constraint>> NextSample() {
+    const size_t m = policy_.sample_size;
+    if (!initial_pass_done_) {
+      // --- initial sampling pass (uniform weights; no bases yet).
+      initial_pass_done_ = true;
+      MultiChaoReservoir<Constraint> res(m, &rng_);
+      input_.Reset();
+      while (auto c = input_.Next()) res.Offer(*c, 1.0);
+      if (res.empty()) return Status::InvalidArgument("empty stream");
+      next_sample_ = res.Samples();
+      sample_mem_ = 0;
+      for (const auto& c : next_sample_) {
+        sample_mem_ += problem_.ConstraintBytes(c);
+      }
+      space_.Acquire(next_sample_.size(), sample_mem_);
+    }
+    return std::move(next_sample_);
+  }
+
+  engine::ViolatorScan ScanViolators(
+      const BasisResult<Value, Constraint>& basis) {
+    const size_t m = policy_.sample_size;
+    space_.Acquire(basis.basis.size(), BasisBytes(basis.basis));
+
+    // --- violator scan against basis.value fused (optionally) with the
+    // next iteration's sampling: two candidate reservoirs, one per outcome
+    // of the not-yet-known success test.
+    engine::ViolatorScan scan;
+    res_no_.emplace(m, &rng_);   // B_t unsuccessful.
+    res_yes_.emplace(m, &rng_);  // B_t successful.
+    if (pipeline_) {
+      space_.Acquire(2 * m, 2 * sample_mem_);  // Two candidate reservoirs.
+    } else {
+      space_.Acquire(m, sample_mem_);
+    }
+    input_.Reset();
+    while (auto c = input_.Next()) {
+      double w = OnTheFlyWeight(problem_, basis_values_, *c, policy_.rate,
+                                &st_.violation_tests);
+      scan.total_weight += w;
+      ++st_.violation_tests;
+      bool violates = problem_.Violates(basis.value, *c);
+      if (violates) {
+        scan.violator_weight += w;
+        ++scan.violator_count;
+      }
+      if (pipeline_) {
+        res_no_->Offer(*c, w);
+        res_yes_->Offer(*c, violates ? w * policy_.rate : w);
+      }
+    }
+    return scan;
+  }
+
+  void OnTerminal() {
+    const size_t m = policy_.sample_size;
+    space_.Release(pipeline_ ? 2 * m : m, 0);
+    res_no_.reset();
+    res_yes_.reset();
+  }
+
+  void EndIteration(bool success, const BasisResult<Value, Constraint>& basis) {
+    const size_t m = policy_.sample_size;
+    if (success) {
+      basis_values_.push_back(basis.value);
+      ++st_.bases_stored;
+      // Basis stays resident (accounted at Acquire above).
+    } else {
+      space_.Release(basis.basis.size(), BasisBytes(basis.basis));
+    }
+
+    if (pipeline_) {
+      next_sample_ = success ? res_yes_->Samples() : res_no_->Samples();
+      space_.Release(2 * m, 2 * sample_mem_);  // Candidates collapse into one.
+    } else {
+      // Separate sampling pass under the updated weight function.
+      MultiChaoReservoir<Constraint> res(m, &rng_);
+      input_.Reset();
+      while (auto c = input_.Next()) {
+        double w = OnTheFlyWeight(problem_, basis_values_, *c, policy_.rate,
+                                  &st_.violation_tests);
+        res.Offer(*c, w);
+      }
+      next_sample_ = res.Samples();
+      space_.Release(m, sample_mem_);
+    }
+    res_no_.reset();
+    res_yes_.reset();
+    sample_mem_ = 0;
+    for (const auto& c : next_sample_) {
+      sample_mem_ += problem_.ConstraintBytes(c);
+    }
+  }
+
+  /// Las Vegas fallback (effectively unreachable with sane sample sizes):
+  /// read the stream whole.
+  std::vector<Constraint> GatherAll() {
+    input_.Reset();
+    std::vector<Constraint> all;
+    all.reserve(st_.n);
+    while (auto c = input_.Next()) all.push_back(std::move(*c));
+    space_.Acquire(all.size(), 0);
+    return all;
+  }
+
+  Status IterationCapStatus() {
+    // Unreachable today (StreamingOptions has no fallback_to_direct
+    // switch), but keep the pass/space accounting intact for when one
+    // arrives.
+    st_.passes = input_.passes_started() - base_passes_;
+    st_.peak_items = space_.peak_items();
+    st_.peak_bytes = space_.peak_bytes();
+    return Status::Internal("streaming iteration cap reached");
+  }
+
+  Result<BasisResult<Value, Constraint>> Finish(
+      BasisResult<Value, Constraint> result) {
+    st_.passes = input_.passes_started() - base_passes_;
+    st_.peak_items = space_.peak_items();
+    st_.peak_bytes = space_.peak_bytes();
+    auto& metrics = runtime::MetricsRegistry::Global();
+    metrics.GetCounter("streaming.passes")->Increment(st_.passes);
+    metrics.GetCounter("streaming.iterations")->Increment(st_.iterations);
+    return result;
+  }
+
+ private:
+  size_t BasisBytes(const std::vector<Constraint>& b) {
+    size_t total = 0;
+    for (const auto& c : b) total += problem_.ConstraintBytes(c);
+    return total;
+  }
+
+  const P& problem_;
+  ConstraintStream<Constraint>& input_;
+  bool pipeline_;
+  Rng& rng_;
+  SpaceMeter& space_;
+  const engine::RefinementPolicy& policy_;
+  StreamingStats& st_;
+  size_t base_passes_;
+  bool initial_pass_done_ = false;
+  std::vector<Constraint> next_sample_;
+  size_t sample_mem_ = 0;
+  // Stored successful-basis values (the weight function of the proof of
+  // Theorem 1).
+  std::vector<Value> basis_values_;
+  std::optional<MultiChaoReservoir<Constraint>> res_no_;
+  std::optional<MultiChaoReservoir<Constraint>> res_yes_;
+};
+
 }  // namespace internal
 
 template <LpTypeProblem P>
@@ -85,7 +279,6 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveStreaming(
     const P& problem, ConstraintStream<typename P::Constraint>& input,
     const StreamingOptions& options, StreamingStats* stats) {
   using Constraint = typename P::Constraint;
-  using Value = typename P::Value;
   StreamingStats local;
   StreamingStats& st = stats ? *stats : local;
   st = StreamingStats{};
@@ -93,40 +286,35 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveStreaming(
   const size_t n = input.size();
   st.n = n;
   const size_t nu = problem.CombinatorialDimension();
-  const size_t lambda = problem.VcDimension();
-  const double eps = options.eps_override > 0
-                         ? options.eps_override
-                         : AlgorithmEpsilon(nu, std::max<size_t>(n, 1),
-                                            options.r);
-  const double rate = options.weight_rate_override > 0
-                          ? options.weight_rate_override
-                          : WeightIncreaseRate(std::max<size_t>(n, 1),
-                                               options.r);
-  const size_t m = options.sample_size_override > 0
-                       ? std::min(options.sample_size_override, n)
-                       : EpsNetSampleSize(eps, lambda, options.net, nu + 1, n);
-  st.sample_size = m;
-  const size_t base_passes = input.passes_started();
 
   SpaceMeter space;
   Rng rng(options.seed);
+
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  runtime::ThreadPool* pool = runtime::ResolvePool(options.runtime, &owned_pool);
+  st.threads = pool != nullptr && pool->num_threads() > 1
+                   ? pool->num_threads()
+                   : 1;
 
   auto& metrics = runtime::MetricsRegistry::Global();
   metrics.GetCounter("streaming.solves")->Increment();
   runtime::ScopedTimer solve_timer(
       metrics.GetTimer("streaming.solve_seconds"));
 
-  auto finish = [&](BasisResult<Value, Constraint> result)
-      -> Result<BasisResult<Value, Constraint>> {
-    st.passes = input.passes_started() - base_passes;
-    st.peak_items = space.peak_items();
-    st.peak_bytes = space.peak_bytes();
-    metrics.GetCounter("streaming.passes")->Increment(st.passes);
-    metrics.GetCounter("streaming.iterations")->Increment(st.iterations);
-    return result;
-  };
+  engine::RefinementPolicy policy = engine::MakePolicy(
+      problem, n, options.r, options.net, options.eps_override,
+      options.weight_rate_override, options.sample_size_override);
+  policy.max_iterations = options.max_iterations
+                              ? options.max_iterations
+                              : ClarksonIterationCap(nu, options.r);
+  policy.name = "SolveStreaming";
+  policy.pool = pool;
+  st.sample_size = policy.sample_size;
 
-  if (n <= m || n <= nu + 1) {
+  internal::StreamingTransport<P> transport(problem, input, options.pipeline,
+                                            rng, space, policy, st);
+
+  if (n <= policy.sample_size || n <= nu + 1) {
     // Sample budget covers the stream: read it whole in one pass.
     st.direct_solve = true;
     input.Reset();
@@ -138,118 +326,14 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveStreaming(
       all.push_back(std::move(*c));
     }
     space.Acquire(all.size(), bytes);
-    auto result = problem.SolveBasis(std::span<const Constraint>(all));
-    return finish(std::move(result));
+    return transport.Finish(problem.SolveBasis(
+        std::span<const Constraint>(all)));
   }
 
-  const size_t max_iters = options.max_iterations
-                               ? options.max_iterations
-                               : ClarksonIterationCap(nu, options.r);
-
-  // Stored successful bases: constraints + their f values (the weight
-  // function of the proof of Theorem 1).
-  std::vector<std::vector<Constraint>> bases;
-  std::vector<Value> basis_values;
-  auto basis_bytes = [&](const std::vector<Constraint>& b) {
-    size_t total = 0;
-    for (const auto& c : b) total += problem.ConstraintBytes(c);
-    return total;
-  };
-
-  // --- initial sampling pass (uniform weights; no bases yet).
-  std::vector<Constraint> sample;
-  {
-    MultiChaoReservoir<Constraint> res(m, &rng);
-    input.Reset();
-    while (auto c = input.Next()) res.Offer(*c, 1.0);
-    if (res.empty()) return Status::InvalidArgument("empty stream");
-    sample = res.Samples();
-  }
-  size_t sample_mem = 0;
-  for (const auto& c : sample) sample_mem += problem.ConstraintBytes(c);
-  space.Acquire(sample.size(), sample_mem);
-
-  for (size_t iter = 0; iter < max_iters; ++iter) {
-    ++st.iterations;
-    auto basis = problem.SolveBasis(
-        std::span<const Constraint>(sample.data(), sample.size()));
-    space.Acquire(basis.basis.size(), basis_bytes(basis.basis));
-
-    // --- violator scan against basis.value fused (optionally) with the next
-    // iteration's sampling.
-    double total_weight = 0;
-    double violator_weight = 0;
-    size_t violator_count = 0;
-    MultiChaoReservoir<Constraint> res_no(m, &rng);   // B_t unsuccessful.
-    MultiChaoReservoir<Constraint> res_yes(m, &rng);  // B_t successful.
-    if (options.pipeline) {
-      space.Acquire(2 * m, 2 * sample_mem);  // Two candidate reservoirs.
-    } else {
-      space.Acquire(m, sample_mem);
-    }
-    input.Reset();
-    while (auto c = input.Next()) {
-      double w = internal::OnTheFlyWeight(problem, basis_values, *c, rate,
-                                          &st.violation_tests);
-      total_weight += w;
-      ++st.violation_tests;
-      bool violates = problem.Violates(basis.value, *c);
-      if (violates) {
-        violator_weight += w;
-        ++violator_count;
-      }
-      if (options.pipeline) {
-        res_no.Offer(*c, w);
-        res_yes.Offer(*c, violates ? w * rate : w);
-      }
-    }
-
-    if (violator_count == 0) {
-      ++st.successful_iterations;  // Vacuous eps-net success.
-      space.Release(options.pipeline ? 2 * m : m, 0);
-      return finish(std::move(basis));
-    }
-
-    bool success = violator_weight <= eps * total_weight;
-    if (success) {
-      ++st.successful_iterations;
-      bases.push_back(basis.basis);
-      basis_values.push_back(basis.value);
-      ++st.bases_stored;
-      // Basis stays resident (accounted at Acquire above).
-    } else {
-      space.Release(basis.basis.size(), basis_bytes(basis.basis));
-    }
-
-    if (options.pipeline) {
-      sample = success ? res_yes.Samples() : res_no.Samples();
-      space.Release(2 * m, 2 * sample_mem);  // Candidates collapse into one.
-    } else {
-      // Separate sampling pass under the updated weight function.
-      MultiChaoReservoir<Constraint> res(m, &rng);
-      input.Reset();
-      while (auto c = input.Next()) {
-        double w = internal::OnTheFlyWeight(problem, basis_values, *c, rate,
-                                            &st.violation_tests);
-        res.Offer(*c, w);
-      }
-      sample = res.Samples();
-      space.Release(m, sample_mem);
-    }
-    sample_mem = 0;
-    for (const auto& c : sample) sample_mem += problem.ConstraintBytes(c);
-  }
-
-  // Las Vegas fallback (effectively unreachable with sane sample sizes):
-  // solve directly rather than return a possibly-wrong answer.
-  LPLOW_LOG(kWarning) << "SolveStreaming hit iteration cap; direct fallback";
-  input.Reset();
-  std::vector<Constraint> all;
-  all.reserve(n);
-  while (auto c = input.Next()) all.push_back(std::move(*c));
-  space.Acquire(all.size(), 0);
-  st.direct_solve = true;
-  return finish(problem.SolveBasis(std::span<const Constraint>(all)));
+  engine::IterationCounters counters{&st.iterations,
+                                     &st.successful_iterations,
+                                     &st.direct_solve, &st.sample_bytes};
+  return engine::RunRefinement(problem, transport, policy, counters);
 }
 
 }  // namespace stream

@@ -76,4 +76,11 @@ Rng Rng::Fork() {
   return Rng(child_seed);
 }
 
+Rng Rng::ForkStream(size_t stream_id) {
+  LPLOW_CHECK_EQ(stream_id, streams_forked_);
+  ++streams_forked_;
+  Rng child = Fork();
+  return Rng(child.engine()());
+}
+
 }  // namespace lplow

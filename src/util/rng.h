@@ -57,10 +57,20 @@ class Rng {
   /// randomness in the distributed simulations).
   Rng Fork();
 
+  /// The canonical per-site / per-machine stream derivation used by the
+  /// engine and the model runtimes: consumes exactly one parent draw and
+  /// re-tempers it through a scratch engine, so sibling streams seeded from
+  /// consecutive parent outputs are decorrelated. `stream_id` must equal
+  /// the number of streams already forked from this generator (streams are
+  /// created in index order at setup) — that is what makes every site's
+  /// draw sequence position-determined and thread-count-invariant.
+  Rng ForkStream(size_t stream_id);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  uint64_t streams_forked_ = 0;
 };
 
 }  // namespace lplow
