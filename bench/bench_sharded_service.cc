@@ -1,0 +1,163 @@
+// Shard-scaling of the ShardedSolverService (src/runtime): the same job
+// mix, wall-clock vs shard count, for both submission styles (per-job
+// Submit vs coalesced BatchSubmit), plus the engine's SolveBackend seam
+// under a shard sweep. The `jobs` / `batches` / `routed_solves` counters
+// are deterministic under the fixed seeds; `rounds`/`KB` of the backend
+// sweep must not vary with the shard count (the determinism contract of
+// docs/runtime.md §"Sharded solver backend").
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/runtime/sharded_solver_service.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+// One fixed coordinator-LP request mix shared by the throughput benches.
+struct JobMix {
+  LinearProgram problem;
+  std::vector<std::vector<Halfspace>> parts;
+
+  static const JobMix& Get() {
+    static const JobMix* mix = [] {
+      Rng rng(0x5AADED);
+      auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+      auto* m = new JobMix{LinearProgram(inst.objective), {}};
+      m->parts = workload::Partition(inst.constraints, 8, true, &rng);
+      return m;
+    }();
+    return *mix;
+  }
+};
+
+bool RunOneJob(size_t j) {
+  const JobMix& mix = JobMix::Get();
+  coord::CoordinatorOptions opt;
+  opt.net.scale = 0.1;
+  opt.seed = 0x5AADED + j;
+  return coord::SolveCoordinator(mix.problem, mix.parts, opt, nullptr).ok();
+}
+
+void BM_ShardedSubmitThroughput(benchmark::State& state) {
+  const size_t jobs = static_cast<size_t>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  JobMix::Get();  // Build the instance outside the timed region.
+
+  uint64_t completed = 0;
+  for (auto _ : state) {
+    runtime::ShardedSolverService::Options sopt;
+    sopt.num_shards = shards;
+    sopt.threads_per_shard = 2;
+    runtime::ShardedSolverService service(sopt);
+    for (size_t j = 0; j < jobs; ++j) {
+      service.Submit(static_cast<uint64_t>(j), "bench_lp",
+                     [j] { return RunOneJob(j); });
+    }
+    service.Drain();
+    completed = service.total_stats().completed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["jobs"] = static_cast<double>(completed);
+}
+
+BENCHMARK(BM_ShardedSubmitThroughput)
+    ->ArgNames({"jobs", "shards"})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_ShardedBatchSubmitThroughput(benchmark::State& state) {
+  const size_t jobs = static_cast<size_t>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  JobMix::Get();
+
+  uint64_t batches = 0;
+  for (auto _ : state) {
+    runtime::ShardedSolverService::Options sopt;
+    sopt.num_shards = shards;
+    sopt.threads_per_shard = 2;
+    runtime::ShardedSolverService service(sopt);
+    std::vector<std::pair<uint64_t, std::function<bool()>>> batch;
+    batch.reserve(jobs);
+    for (size_t j = 0; j < jobs; ++j) {
+      batch.emplace_back(static_cast<uint64_t>(j),
+                         [j] { return RunOneJob(j); });
+    }
+    auto futures = service.BatchSubmit("bench_lp_batch", std::move(batch));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    service.Drain();
+    batches = service.total_stats().batches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batches"] = static_cast<double>(batches);
+}
+
+BENCHMARK(BM_ShardedBatchSubmitThroughput)
+    ->ArgNames({"jobs", "shards"})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The engine seam under a shard sweep: one big coordinator solve routing
+// every basis solve through the sharded backend. rounds/KB must be
+// identical at every shard count; routed_solves counts the dispatches.
+void BM_SolveBackendShardSweep(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  Rng rng(0xBACE);
+  auto inst = workload::RandomFeasibleLp(300000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 64, true, &rng);
+
+  coord::CoordinatorStats stats;
+  uint64_t routed = 0;
+  for (auto _ : state) {
+    runtime::ShardedSolverService::Options sopt;
+    sopt.num_shards = shards;
+    sopt.threads_per_shard = 2;
+    runtime::ShardedSolverService service(sopt);
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    opt.seed = 0xBACE;
+    opt.runtime.num_threads = 2;
+    opt.runtime.solver_backend = &service;
+    opt.runtime.oversized_basis_threshold = 1;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+    routed = service.total_stats().solves;
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+  state.counters["routed_solves"] = static_cast<double>(routed);
+}
+
+BENCHMARK(BM_SolveBackendShardSweep)
+    ->ArgNames({"shards"})
+    ->Args({1})
+    ->Args({2})
+    ->Args({4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,11 +1,18 @@
-// The heavy-traffic scenario end to end: a SolverService drains a burst of
-// mixed LP / SVM / MEB requests through one shared thread pool, the
-// coordinator jobs fan their own site emulation out with
-// RuntimeOptions{num_threads}, and the process metrics registry is exported
-// as JSON at the end (the schema docs/runtime.md describes).
+// The heavy-traffic scenario end to end, in two acts:
+//   1. a SolverService drains a burst of mixed LP / SVM / MEB requests
+//      through one shared thread pool, the coordinator jobs fan their own
+//      site emulation out with RuntimeOptions{num_threads};
+//   2. a ShardedSolverService takes the next burst through BatchSubmit
+//      (one coalesced dispatch per shard), with the coordinator jobs
+//      routing their engine basis solves back into the sharded service via
+//      RuntimeOptions{solver_backend}.
+// The process metrics registry is exported as JSON at the end (the schema
+// docs/runtime.md describes).
 
 #include <cstdio>
+#include <functional>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "src/models/coordinator/coordinator_solver.h"
@@ -14,6 +21,7 @@
 #include "src/problems/linear_svm.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/sharded_solver_service.h"
 #include "src/runtime/solver_service.h"
 #include "src/util/rng.h"
 #include "src/util/stopwatch.h"
@@ -100,6 +108,71 @@ int main() {
               watch.ElapsedSeconds());
   if (ok != done.size() || stats.failed != 0) {
     std::fprintf(stderr, "some requests failed\n");
+    return 1;
+  }
+
+  // ---- Act 2: the same traffic shape through the sharded front-end.
+  runtime::ShardedSolverService::Options shard_options;
+  shard_options.num_shards = 2;
+  shard_options.threads_per_shard = 2;
+  runtime::ShardedSolverService sharded(shard_options);
+  std::printf("\nsharded service up: %zu shards x %zu threads\n",
+              sharded.num_shards(), shard_options.threads_per_shard);
+
+  Stopwatch sharded_watch;
+  std::vector<std::pair<uint64_t, std::function<bool()>>> batch;
+  for (int j = 0; j < kRequestsPerKind; ++j) {
+    // Coordinator LP whose engine basis solves route back into the sharded
+    // service (the SolveBackend seam; threshold 1 = route every solve).
+    batch.emplace_back(uint64_t(1000 + j), [&sharded, j] {
+      Rng rng(500 + j);
+      auto inst = workload::RandomFeasibleLp(20000, 2, &rng);
+      LinearProgram problem(inst.objective);
+      auto parts = workload::Partition(inst.constraints, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 500 + j;
+      opt.runtime.solver_backend = &sharded;
+      opt.runtime.oversized_basis_threshold = 1;
+      return coord::SolveCoordinator(problem, parts, opt, nullptr).ok();
+    });
+    // MEB lookups fill out the batch.
+    batch.emplace_back(uint64_t(2000 + j), [j] {
+      Rng rng(600 + j);
+      auto points = workload::GaussianCloud(5000, 3, &rng);
+      MinEnclosingBall problem(3);
+      auto value = problem.SolveValue(std::span<const Vec>(points));
+      return !value.ball.empty();
+    });
+  }
+  const size_t batch_size = batch.size();
+  auto batch_done = sharded.BatchSubmit("demo_batch", std::move(batch));
+  sharded.Drain();  // Before consuming: any stored exception is then ours.
+  size_t batch_ok = 0;
+  for (auto& f : batch_done) {
+    try {
+      batch_ok += f.get() ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "batched request threw: %s\n", e.what());
+    }
+  }
+
+  auto totals = sharded.total_stats();
+  std::printf("sharded: served %llu batched requests (%zu ok, %llu failed, "
+              "%llu routed solves) in %.2fs\n",
+              static_cast<unsigned long long>(totals.completed), batch_ok,
+              static_cast<unsigned long long>(totals.failed),
+              static_cast<unsigned long long>(totals.solves),
+              sharded_watch.ElapsedSeconds());
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    auto ss = sharded.shard_stats(s);
+    std::printf("  shard %zu: %llu jobs in %llu batches, %llu solves\n", s,
+                static_cast<unsigned long long>(ss.completed),
+                static_cast<unsigned long long>(ss.batches),
+                static_cast<unsigned long long>(ss.solves));
+  }
+  if (batch_ok != batch_size || totals.failed != 0) {
+    std::fprintf(stderr, "some sharded requests failed\n");
     return 1;
   }
 

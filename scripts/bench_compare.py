@@ -61,6 +61,37 @@ def load_results(paths):
     return results
 
 
+# Keys every distilled record (baseline entry or load_results output) must
+# carry for compare() to work.
+REQUIRED_RECORD_KEYS = ("real_time", "time_unit", "counters")
+
+
+def check_records(label, records):
+    """Returns a diagnostic naming the offending entry and key, or None.
+
+    A baseline written by an older tool version (or hand-edited) can lack a
+    record key; without this check that surfaces as a KeyError stack trace
+    deep inside compare().
+    """
+    if not isinstance(records, dict):
+        return f"{label} is not a JSON object of benchmark records"
+    for name, record in records.items():
+        if not isinstance(record, dict):
+            return f"{label} entry '{name}' is not an object"
+        for key in REQUIRED_RECORD_KEYS:
+            if key not in record:
+                return (f"{label} entry '{name}' is missing key '{key}' "
+                        f"(regenerate with --update?)")
+        if not isinstance(record["counters"], dict):
+            return f"{label} entry '{name}' key 'counters' is not an object"
+        if record["real_time"] is not None and not isinstance(
+                record["real_time"], (int, float)):
+            return f"{label} entry '{name}' key 'real_time' is not a number"
+        if not isinstance(record["time_unit"], str):
+            return f"{label} entry '{name}' key 'time_unit' is not a string"
+    return None
+
+
 def compare(baseline, current, max_regression, counter_rel_tol):
     """Returns (report lines, drift count, regression count)."""
     lines = []
@@ -137,8 +168,19 @@ def main():
               f"{args.baseline}")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot load baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+
+    for label, records in (("baseline", baseline), ("results", current)):
+        error = check_records(label, records)
+        if error:
+            print(f"bench_compare: {error}", file=sys.stderr)
+            return 2
 
     lines, drift, regressions = compare(
         baseline, current, args.max_regression, args.counter_rel_tol)

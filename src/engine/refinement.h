@@ -18,10 +18,12 @@
 // (tests/engine_equivalence_test.cc pins this against captured goldens).
 //
 // Concurrency: oversized sample bases (and the fallback direct solve) are
-// routed through the runtime::ThreadPool in RefinementPolicy::pool, and the
-// transports route their violator scans through SiteExecutor /
-// ConstraintView's pool-aware scans — identical results at every thread
-// count. docs/engine.md documents the contract and how to add a model.
+// dispatched through the injectable runtime::SolveBackend seam
+// (RefinementPolicy::solver_backend — e.g. a ShardedSolverService) or, by
+// default, as a task on RefinementPolicy::pool; the transports route their
+// violator scans through SiteExecutor / ConstraintView's pool-aware scans —
+// identical results at every thread count and every shard count.
+// docs/engine.md documents the contract and how to add a model.
 
 #ifndef LPLOW_ENGINE_REFINEMENT_H_
 #define LPLOW_ENGINE_REFINEMENT_H_
@@ -37,6 +39,7 @@
 #include "src/core/lp_type.h"
 #include "src/engine/constraint_store.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/solve_backend.h"
 #include "src/runtime/thread_pool.h"
 #include "src/util/logging.h"
 #include "src/util/status.h"
@@ -63,6 +66,16 @@ struct RefinementPolicy {
   /// constraints run as a pool task (null pool: inline, the serial path).
   runtime::ThreadPool* pool = nullptr;
   size_t oversized_basis_threshold = 4096;
+  /// Injectable dispatch seam for the oversized and Las Vegas fallback
+  /// solves: when set, they run through `solver_backend->Execute` (e.g. on
+  /// a ShardedSolverService) instead of a task on `pool`. Pure dispatch —
+  /// the solve, its result, and every deterministic counter are identical
+  /// whichever backend runs it.
+  runtime::SolveBackend* solver_backend = nullptr;
+  /// Routing-key base for backend dispatches (stable per run; the model
+  /// solvers use their seed). Each dispatch derives its own key from this
+  /// plus its sequence number (runtime::DeriveJobId).
+  uint64_t job_id = 0;
 };
 
 /// Computes the Algorithm 1 parameters for problem size n and rate
@@ -87,6 +100,20 @@ RefinementPolicy MakePolicy(const P& problem, size_t n, int r,
           ? std::min(sample_size_override, n)
           : EpsNetSampleSize(policy.eps, lambda, net, nu + 1, n);
   return policy;
+}
+
+/// Applies the RuntimeOptions dispatch knobs to a policy: the solve
+/// backend, the routing-key base (the solver seed), and the optional
+/// oversized-threshold override. All model solvers route through this so a
+/// new knob lands in every model at once.
+inline void ApplyRuntimeOptions(RefinementPolicy& policy,
+                                const runtime::RuntimeOptions& runtime,
+                                uint64_t seed) {
+  policy.solver_backend = runtime.solver_backend;
+  policy.job_id = seed;
+  if (runtime.oversized_basis_threshold > 0) {
+    policy.oversized_basis_threshold = runtime.oversized_basis_threshold;
+  }
 }
 
 /// What one violator scan reports back to the engine. `total_weight` is
@@ -160,15 +187,17 @@ concept RefinementTransport =
 };
 // clang-format on
 
-/// Basis of `sample`, routed through the policy pool when the sample is
-/// oversized. The solve itself is unchanged (bit-identical result) and the
-/// caller still blocks on it — the routing is the dispatch seam (plus the
-/// oversized-solve accounting) where a sharded SolverService takes these
-/// over next, not intra-solve parallelism.
+/// Basis of `sample`, routed through the policy's SolveBackend (or its
+/// pool) when the sample is oversized. The solve itself is unchanged
+/// (bit-identical result) and the caller still blocks on it — the routing
+/// is a dispatch seam (plus the oversized-solve accounting), not
+/// intra-solve parallelism. `solve_seq` numbers the dispatch within the run
+/// (iteration index; the fallback uses the iteration cap) so a sharded
+/// backend spreads a run's solves deterministically.
 template <LpTypeProblem P>
 BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
     const P& problem, const std::vector<typename P::Constraint>& sample,
-    const RefinementPolicy& policy) {
+    const RefinementPolicy& policy, uint64_t solve_seq = 0) {
   auto& metrics = GlobalEngineMetrics();
   metrics.basis_solves->Increment();
   runtime::ScopedTimer timer(metrics.basis_solve_seconds);
@@ -177,12 +206,17 @@ BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
     out = problem.SolveBasis(
         std::span<const typename P::Constraint>(sample.data(), sample.size()));
   };
-  if (policy.pool != nullptr &&
-      sample.size() >= policy.oversized_basis_threshold) {
+  const bool oversized =
+      sample.size() >= policy.oversized_basis_threshold &&
+      (policy.solver_backend != nullptr || policy.pool != nullptr);
+  if (oversized) {
     metrics.oversized_basis_solves->Increment();
-    runtime::TaskGroup group(policy.pool);
-    group.Run(solve);
-    group.Wait();
+    runtime::InlinePoolBackend inline_backend(policy.pool);
+    runtime::SolveBackend* backend = policy.solver_backend != nullptr
+                                         ? policy.solver_backend
+                                         : &inline_backend;
+    backend->Execute(runtime::DeriveJobId(policy.job_id, solve_seq),
+                     policy.name, solve);
   } else {
     solve();
   }
@@ -212,8 +246,8 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
       metrics.resample_bytes->Increment(bytes);
     }
 
-    // --- basis of the sample (pool-routed when oversized).
-    auto basis = SolveSampleBasis(problem, *sample, policy);
+    // --- basis of the sample (backend/pool-routed when oversized).
+    auto basis = SolveSampleBasis(problem, *sample, policy, iter);
 
     // --- violator scan (model-transported).
     ViolatorScan scan;
@@ -242,7 +276,8 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
   LPLOW_LOG(kWarning) << policy.name << " hit iteration cap; direct fallback";
   auto all = transport.GatherAll();
   *counters.direct_solve = true;
-  return transport.Finish(SolveSampleBasis(problem, all, policy));
+  return transport.Finish(
+      SolveSampleBasis(problem, all, policy, policy.max_iterations));
 }
 
 }  // namespace engine

@@ -397,6 +397,7 @@ SolveCoordinator(const P& problem,
   policy.fallback_to_direct = options.fallback_to_direct;
   policy.name = "SolveCoordinator";
   policy.pool = pool;
+  engine::ApplyRuntimeOptions(policy, options.runtime, options.seed);
   st.sample_size = policy.sample_size;
 
   std::vector<Site<P>> sites;

@@ -400,6 +400,7 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveMpc(
           : ClarksonIterationCap(nu, static_cast<int>(1.0 / options.delta) + 1);
   policy.name = "SolveMpc";
   policy.pool = pool;
+  engine::ApplyRuntimeOptions(policy, options.runtime, options.seed);
   st.sample_size = policy.sample_size;
 
   internal::MpcTransport<P> transport(problem, mach, rt, exec, rng, policy,

@@ -309,6 +309,7 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> SolveStreaming(
                               : ClarksonIterationCap(nu, options.r);
   policy.name = "SolveStreaming";
   policy.pool = pool;
+  engine::ApplyRuntimeOptions(policy, options.runtime, options.seed);
   st.sample_size = policy.sample_size;
 
   internal::StreamingTransport<P> transport(problem, input, options.pipeline,

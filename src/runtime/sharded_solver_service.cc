@@ -1,0 +1,132 @@
+#include "src/runtime/sharded_solver_service.h"
+
+#include <algorithm>
+
+namespace lplow {
+namespace runtime {
+
+ShardedSolverService::ShardedSolverService(const Options& options)
+    : metrics_(options.metrics ? options.metrics
+                               : &MetricsRegistry::Global()) {
+  const size_t num_shards = std::max<size_t>(options.num_shards, 1);
+  const size_t threads = std::max<size_t>(options.threads_per_shard, 1);
+  batch_jobs_counter_ = metrics_->GetCounter("service.shard.batch_jobs");
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    SolverService::Options sopt;
+    sopt.num_threads = threads;
+    sopt.metrics = metrics_;
+    shard->service = std::make_unique<SolverService>(sopt);
+    const std::string prefix = "service.shard." + std::to_string(i);
+    shard->submitted_counter = metrics_->GetCounter(prefix + ".submitted");
+    shard->completed_counter = metrics_->GetCounter(prefix + ".completed");
+    shard->failed_counter = metrics_->GetCounter(prefix + ".failed");
+    shard->batches_counter = metrics_->GetCounter(prefix + ".batches");
+    shard->solves_counter = metrics_->GetCounter(prefix + ".solves");
+    shard->solve_failures_counter =
+        metrics_->GetCounter(prefix + ".solve_failures");
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSolverService::~ShardedSolverService() {
+  Drain();
+  shards_.clear();  // Each ~SolverService drains and joins its pool.
+}
+
+void ShardedSolverService::Execute(uint64_t job_id, const char* kind,
+                                   const std::function<void()>& task) {
+  Shard& shard = *shards_[ShardFor(job_id)];
+  shard.solves.fetch_add(1, std::memory_order_relaxed);
+  shard.solves_counter->Increment();
+  SolveKindCounter(kind)->Increment();
+  TaskGroup group(shard.service->pool());
+  group.Run(task);
+  try {
+    group.Wait();  // Helping wait; rethrows what the task threw.
+  } catch (...) {
+    // Counted as a solve failure, NOT a job failure: Execute has no future
+    // and the exception propagates to the caller — if that caller is a
+    // service job, the job wrapper counts it once under completed/failed.
+    shard.solve_failures.fetch_add(1, std::memory_order_relaxed);
+    shard.solve_failures_counter->Increment();
+    throw;
+  }
+}
+
+void ShardedSolverService::Drain() {
+  // One pass is not enough: a job draining on shard Y may itself have
+  // submitted follow-on work to an earlier-drained shard X. Sweep until a
+  // full pass saw no new submissions — a job's submissions are visible to
+  // the sweep once its shard drained (OnDone's mutex release), so an equal
+  // before/after count proves the pass left nothing behind.
+  for (;;) {
+    uint64_t before = total_stats().submitted;
+    for (auto& shard : shards_) shard->service->Drain();
+    if (total_stats().submitted == before) return;
+  }
+}
+
+ShardedSolverService::ShardStats ShardedSolverService::shard_stats(
+    size_t shard) const {
+  const Shard& s = *shards_[shard];
+  ShardStats out;
+  out.submitted = s.submitted.load(std::memory_order_relaxed);
+  out.completed = s.completed.load(std::memory_order_relaxed);
+  out.failed = s.failed.load(std::memory_order_relaxed);
+  out.batches = s.batches.load(std::memory_order_relaxed);
+  out.solves = s.solves.load(std::memory_order_relaxed);
+  out.solve_failures = s.solve_failures.load(std::memory_order_relaxed);
+  return out;
+}
+
+ShardedSolverService::ShardStats ShardedSolverService::total_stats() const {
+  ShardStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats s = shard_stats(i);
+    total.submitted += s.submitted;
+    total.completed += s.completed;
+    total.failed += s.failed;
+    total.batches += s.batches;
+    total.solves += s.solves;
+    total.solve_failures += s.solve_failures;
+  }
+  return total;
+}
+
+Counter* ShardedSolverService::SolveKindCounter(const char* kind) {
+  std::lock_guard<std::mutex> lock(solve_kind_mu_);
+  auto it = solve_kind_counters_.find(std::string_view(kind));
+  if (it == solve_kind_counters_.end()) {
+    // First solve of this kind: one registry registration, cached after.
+    it = solve_kind_counters_
+             .emplace(kind, metrics_->GetCounter(
+                                std::string("service.shard.solves.") + kind))
+             .first;
+  }
+  return it->second;
+}
+
+void ShardedSolverService::NoteSubmitted(Shard& shard, size_t count) {
+  shard.submitted.fetch_add(count, std::memory_order_relaxed);
+  shard.submitted_counter->Increment(count);
+}
+
+void ShardedSolverService::NoteBatch(Shard& shard, size_t jobs_in_batch) {
+  shard.batches.fetch_add(1, std::memory_order_relaxed);
+  shard.batches_counter->Increment();
+  batch_jobs_counter_->Increment(jobs_in_batch);
+}
+
+void ShardedSolverService::NoteDone(Shard& shard, bool failed) {
+  shard.completed.fetch_add(1, std::memory_order_relaxed);
+  shard.completed_counter->Increment();
+  if (failed) {
+    shard.failed.fetch_add(1, std::memory_order_relaxed);
+    shard.failed_counter->Increment();
+  }
+}
+
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,231 @@
+// ShardedSolverService: N independent SolverService shards behind one
+// submission front-end — the scaling step after one shared job queue
+// (solver_service.h) saturates.
+//
+// Three entry points:
+//   * Submit(job_id, name, fn)  — routes one job to its shard
+//     (StableJobHash(job_id) % num_shards, stable across runs) and returns
+//     a future, exactly like SolverService::Submit;
+//   * BatchSubmit(name, jobs)   — coalesces many jobs into ONE pool
+//     dispatch per shard: the batch is grouped by routing key, each group
+//     runs back-to-back on its shard's pool, and every job still gets its
+//     own future and its own failure accounting (a throwing job fails only
+//     its future, never the batch or the queue);
+//   * Execute(job_id, kind, t)  — the SolveBackend hook: the engine's
+//     oversized-basis / fallback solves run on the routed shard's pool via
+//     a helping TaskGroup wait (deadlock-free even when the caller is
+//     itself a pool worker) and block until done.
+//
+// Accounting: each shard keeps job-level ShardStats (submitted / completed /
+// failed / batches / solves) mirrored into `service.shard.<i>.*` metrics;
+// the shard's inner SolverService counts dispatch units (one per batch), so
+// the two views together show the coalescing ratio. Routing is a pure
+// function of the job id, so results — and the engine's deterministic
+// counters — are bit-identical for every shard count
+// (tests/sharded_service_test.cc pins {1,2,4} shards x {1,2,8} threads).
+
+#ifndef LPLOW_RUNTIME_SHARDED_SOLVER_SERVICE_H_
+#define LPLOW_RUNTIME_SHARDED_SOLVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/metrics.h"
+#include "src/runtime/solve_backend.h"
+#include "src/runtime/solver_service.h"
+#include "src/runtime/thread_pool.h"
+
+namespace lplow {
+namespace runtime {
+
+class ShardedSolverService final : public SolveBackend {
+ public:
+  struct Options {
+    /// Shard count (>= 1); each shard is an independent SolverService with
+    /// its own pool and queue.
+    size_t num_shards = 2;
+    /// Worker threads per shard (>= 1).
+    size_t threads_per_shard = 1;
+    /// Registry for service.shard.* metrics; null = MetricsRegistry::Global().
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Job-level accounting for one shard. `submitted`/`completed`/`failed`
+  /// count individual jobs (batched or not); `batches` counts BatchSubmit
+  /// dispatch units routed here. `solves`/`solve_failures` count
+  /// SolveBackend::Execute dispatches separately (synchronous, so never
+  /// in-flight at Drain(), and no future to re-throw through) — a solve
+  /// that throws inside a job counts once under each view.
+  struct ShardStats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  // Includes failed.
+    uint64_t failed = 0;     // Jobs that threw; each future re-throws.
+    uint64_t batches = 0;
+    uint64_t solves = 0;
+    uint64_t solve_failures = 0;  // Execute dispatches that threw.
+  };
+
+  ShardedSolverService() : ShardedSolverService(Options()) {}
+  explicit ShardedSolverService(const Options& options);
+
+  /// Drains every shard, then stops their pools.
+  ~ShardedSolverService() override;
+
+  ShardedSolverService(const ShardedSolverService&) = delete;
+  ShardedSolverService& operator=(const ShardedSolverService&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard `job_id` routes to: StableJobHash(job_id) % num_shards.
+  size_t ShardFor(uint64_t job_id) const {
+    return static_cast<size_t>(StableJobHash(job_id) % shards_.size());
+  }
+
+  /// Routes `job` to its shard and returns a future for its result; `name`
+  /// tags the shard's per-kind counter exactly like SolverService::Submit.
+  template <typename Fn, typename T = std::invoke_result_t<Fn&>>
+  std::future<T> Submit(uint64_t job_id, const std::string& name, Fn job) {
+    Shard& shard = *shards_[ShardFor(job_id)];
+    NoteSubmitted(shard, 1);
+    return shard.service->Submit(
+        name, [this, &shard, job = std::move(job)]() mutable {
+          try {
+            if constexpr (std::is_void_v<T>) {
+              job();
+              NoteDone(shard, /*failed=*/false);
+            } else {
+              T out = job();
+              NoteDone(shard, /*failed=*/false);
+              return out;
+            }
+          } catch (...) {
+            NoteDone(shard, /*failed=*/true);
+            throw;
+          }
+        });
+  }
+
+  /// Coalesced submission: `jobs` is a list of (job_id, callable) pairs; the
+  /// batch is grouped by routed shard and each group runs as ONE dispatch
+  /// unit on its shard's queue (jobs back-to-back, in batch order within the
+  /// group). Futures come back in input order. A job that throws fails its
+  /// own future and counts against its shard; the rest of its group still
+  /// runs. When harvesting exceptions, Drain() before get(): after Drain
+  /// the stored exceptions are owned solely by the returned futures, so
+  /// their teardown happens on the consuming thread.
+  template <typename Fn, typename T = std::invoke_result_t<Fn&>>
+  std::vector<std::future<T>> BatchSubmit(
+      const std::string& name, std::vector<std::pair<uint64_t, Fn>> jobs) {
+    struct BatchState {
+      std::vector<std::pair<uint64_t, Fn>> jobs;
+      std::vector<std::promise<T>> promises;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->jobs = std::move(jobs);
+    state->promises.resize(state->jobs.size());
+    std::vector<std::future<T>> futures;
+    futures.reserve(state->jobs.size());
+    for (auto& p : state->promises) futures.push_back(p.get_future());
+
+    std::vector<std::vector<size_t>> by_shard(shards_.size());
+    for (size_t i = 0; i < state->jobs.size(); ++i) {
+      by_shard[ShardFor(state->jobs[i].first)].push_back(i);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (by_shard[s].empty()) continue;
+      Shard& shard = *shards_[s];
+      NoteSubmitted(shard, by_shard[s].size());
+      NoteBatch(shard, by_shard[s].size());
+      shard.service->Submit(
+          name,
+          [this, &shard, indices = std::move(by_shard[s]), state]() mutable {
+            for (size_t i : indices) {
+              try {
+                if constexpr (std::is_void_v<T>) {
+                  state->jobs[i].second();
+                  state->promises[i].set_value();
+                } else {
+                  state->promises[i].set_value(state->jobs[i].second());
+                }
+                NoteDone(shard, /*failed=*/false);
+              } catch (...) {
+                state->promises[i].set_exception(std::current_exception());
+                NoteDone(shard, /*failed=*/true);
+              }
+            }
+            // Drop this group's state reference inside the dispatch, not at
+            // task destruction: Drain() (which observes the dispatch's
+            // completion) then implies every batch's promises are dead or
+            // owned solely by the returned futures, so a stored exception
+            // is torn down on the consumer's thread, never concurrently
+            // with it.
+            state.reset();
+          });
+    }
+    return futures;
+  }
+
+  /// SolveBackend: runs `task` on the routed shard's pool and blocks until
+  /// it completed. The wait helps drain that pool, so a solver running
+  /// inside another service's job may still route its solves here.
+  void Execute(uint64_t job_id, const char* kind,
+               const std::function<void()>& task) override;
+
+  /// Blocks until every job submitted to any shard has completed.
+  void Drain();
+
+  ShardStats shard_stats(size_t shard) const;
+  /// Element-wise sum of all shards' ShardStats.
+  ShardStats total_stats() const;
+
+  /// The shard's inner service (its stats count dispatch units, so
+  /// `shard(i).stats().submitted` vs `shard_stats(i).submitted` shows the
+  /// batch coalescing ratio).
+  SolverService& shard(size_t i) { return *shards_[i]->service; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<SolverService> service;
+    Counter* submitted_counter;
+    Counter* completed_counter;
+    Counter* failed_counter;
+    Counter* batches_counter;
+    Counter* solves_counter;
+    Counter* solve_failures_counter;
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> solves{0};
+    std::atomic<uint64_t> solve_failures{0};
+  };
+
+  void NoteSubmitted(Shard& shard, size_t count);
+  void NoteBatch(Shard& shard, size_t jobs_in_batch);
+  void NoteDone(Shard& shard, bool failed);
+  Counter* SolveKindCounter(const char* kind);
+
+  MetricsRegistry* metrics_;
+  Counter* batch_jobs_counter_;  // service.shard.batch_jobs (all shards).
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Per-kind solve counter cache: Execute is the engine's per-iteration
+  // dispatch path and must not pay a string concat plus the registry-wide
+  // mutex per solve (metrics.h: look up once, keep the pointer).
+  std::mutex solve_kind_mu_;
+  std::map<std::string, Counter*, std::less<>> solve_kind_counters_;
+};
+
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_SHARDED_SOLVER_SERVICE_H_

@@ -1,0 +1,84 @@
+// SolveBackend: the injectable dispatch seam for the engine's heavyweight
+// basis solves (oversized eps-net samples and the Las Vegas fallback).
+//
+// The engine's RunRefinement loop blocks on every basis solve, so *where*
+// the solve runs is pure dispatch policy: the result, and with it every
+// deterministic counter (rounds, bytes, iters, resample bytes), is
+// bit-identical whichever backend executes it. The default backend is the
+// caller's own pool (InlinePoolBackend, the pre-seam behavior); a
+// ShardedSolverService routes the same solves across N shards for the
+// heavy-traffic scenario. docs/runtime.md §"Sharded solver backend"
+// documents the routing rule and the determinism contract.
+
+#ifndef LPLOW_RUNTIME_SOLVE_BACKEND_H_
+#define LPLOW_RUNTIME_SOLVE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/runtime/thread_pool.h"
+
+namespace lplow {
+namespace runtime {
+
+/// Stable FNV-1a over the eight little-endian bytes of `job_id`. Shard
+/// routing is `StableJobHash(id) % num_shards`: a pure function of the id,
+/// never of queue state, so a job's shard is reproducible across runs,
+/// processes, and thread counts.
+inline uint64_t StableJobHash(uint64_t job_id) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (job_id >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Derives the routing key for one dispatch from a run-level id (typically
+/// the solver seed) and the dispatch sequence number within the run, so
+/// consecutive solves of one run spread across shards deterministically.
+inline uint64_t DeriveJobId(uint64_t run_id, uint64_t seq) {
+  return run_id ^ (0x9E3779B97F4A7C15ULL * (seq + 1));
+}
+
+/// Executes solve tasks on behalf of the engine. Execute() runs `task` as
+/// one dispatch unit and returns only after it completed (rethrowing
+/// anything the task threw), so callers keep the exact blocking semantics
+/// of an inline solve. Implementations must be safe to call from pool
+/// workers (no non-helping waits on their own pool).
+class SolveBackend {
+ public:
+  virtual ~SolveBackend() = default;
+
+  /// `job_id` keys deterministic routing (sharded backends); `kind` names
+  /// the dispatch for accounting ("SolveCoordinator", ...).
+  virtual void Execute(uint64_t job_id, const char* kind,
+                       const std::function<void()>& task) = 0;
+};
+
+/// The default backend: run on `pool` via a helping TaskGroup wait, or
+/// inline when `pool` is null — exactly the dispatch the engine used before
+/// the seam existed.
+class InlinePoolBackend final : public SolveBackend {
+ public:
+  explicit InlinePoolBackend(ThreadPool* pool) : pool_(pool) {}
+
+  void Execute(uint64_t /*job_id*/, const char* /*kind*/,
+               const std::function<void()>& task) override {
+    if (pool_ == nullptr) {
+      task();
+      return;
+    }
+    TaskGroup group(pool_);
+    group.Run(task);
+    group.Wait();
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_SOLVE_BACKEND_H_

@@ -100,6 +100,8 @@ class TaskGroup {
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 
+class SolveBackend;  // solve_backend.h
+
 /// Threading knob shared by the model solvers (CoordinatorOptions::runtime,
 /// MpcOptions::runtime). The default is the serial reference path; results
 /// are bit-identical for every setting.
@@ -109,6 +111,15 @@ struct RuntimeOptions {
   /// Optional externally owned pool (e.g. shared across a SolverService);
   /// overrides num_threads when set.
   ThreadPool* pool = nullptr;
+  /// Where the engine's oversized-basis and Las Vegas fallback solves run
+  /// (e.g. a ShardedSolverService); null = dispatch on the solver's own
+  /// pool. Pure dispatch policy: results and deterministic counters are
+  /// bit-identical for every backend (docs/runtime.md §"Sharded solver
+  /// backend").
+  SolveBackend* solver_backend = nullptr;
+  /// Sample sizes at or above this route through the backend/pool instead
+  /// of solving inline; 0 = the engine default (4096).
+  size_t oversized_basis_threshold = 0;
 };
 
 /// Resolves RuntimeOptions to the pool a solver should use: the external

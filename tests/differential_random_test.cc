@@ -1,0 +1,229 @@
+// Randomized differential harness (label `slow`): ~200 seeded LP / SVM /
+// MEB instances, each solved by the three engine transports (coordinator,
+// MPC, streaming) AND the baseline solvers (classic Clarkson reweighting,
+// ship-all, iterated tree-merge), all checked against the problem's direct
+// solve: objective values must agree within the problem's policy tolerance
+// (CompareValues == 0) and the reported bases must have identical sizes.
+//
+// Everything is keyed by seed, so a failure reproduces exactly; the case
+// index is in the failure message.
+//
+// SVM rides with two measured accommodations (LP and MEB are fully
+// strict). The iterative QP dual ascent stalls within ~1.2% of the optimum
+// on a few percent of random samples, so (1) the SVM cases use a
+// *planted-support* construction — the two optimal support vectors sit
+// exactly on the margin and every other point lives outside a 50% moat, so
+// the optimum is known (norm_squared = 1/margin^2, reproduced exactly by
+// the direct solve on every case) — with the differential policy tolerance
+// value_tol = 2e-2, 1.7x the worst stall observed over 120 probe cases
+// (the Config comment's "must absorb the iterative solver's residual");
+// and (2) the basis-size check allows +-1,
+// because on a stalled dual LinearSvm::SolveBasis deliberately returns the
+// unminimized support set (see linear_svm.cc), which is a solver artifact,
+// not a protocol property. The stock SeparableSvmData generator is
+// unsuitable here by construction: it pushes every in-band point to the
+// identical margin distance, manufacturing massive support ties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/clarkson_classic.h"
+#include "src/baselines/ship_all.h"
+#include "src/baselines/tree_merge.h"
+#include "src/core/clarkson.h"
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+#include "tests/testing_util.h"
+
+namespace lplow {
+namespace {
+
+constexpr size_t kCasesPerProblem = 67;  // 3 problems -> 201 cases.
+
+/// Value + basis-size agreement of one solver run against the direct solve.
+/// `basis_size_slack` is 0 (strict) except for SVM (see the header comment).
+template <LpTypeProblem P>
+void ExpectAgrees(const P& problem,
+                  const BasisResult<typename P::Value,
+                                    typename P::Constraint>& direct,
+                  const typename P::Value& value, size_t basis_size,
+                  size_t basis_size_slack, const char* solver,
+                  const char* tag, size_t case_index) {
+  EXPECT_EQ(problem.CompareValues(value, direct.value), 0)
+      << tag << " case " << case_index << ": " << solver
+      << " objective disagrees with the direct solve";
+  size_t diff = basis_size > direct.basis.size()
+                    ? basis_size - direct.basis.size()
+                    : direct.basis.size() - basis_size;
+  EXPECT_LE(diff, basis_size_slack)
+      << tag << " case " << case_index << ": " << solver << " basis size "
+      << basis_size << " disagrees with the direct solve's "
+      << direct.basis.size();
+}
+
+/// One instance through every solver under test. `seed` keys the instance;
+/// per-solver seeds are derived from it so reruns are exact.
+template <LpTypeProblem P>
+void RunDifferentialCase(const P& problem,
+                         const std::vector<typename P::Constraint>& input,
+                         uint64_t seed, const char* tag, size_t case_index,
+                         size_t basis_size_slack = 0) {
+  using Constraint = typename P::Constraint;
+  const auto direct =
+      problem.SolveBasis(std::span<const Constraint>(input));
+
+  Rng rng(seed);
+  auto parts = workload::Partition(input, 6, true, &rng);
+
+  // --- the three engine transports.
+  {
+    coord::CoordinatorOptions opt;
+    opt.net.scale = 0.1;
+    opt.seed = seed ^ 0xC004ULL;
+    auto got = coord::SolveCoordinator(problem, parts, opt, nullptr);
+    ASSERT_TRUE(got.ok()) << tag << " case " << case_index << ": coordinator";
+    ExpectAgrees(problem, direct, got->value, got->basis.size(),
+                 basis_size_slack, "coordinator", tag, case_index);
+  }
+  {
+    mpc::MpcOptions opt;
+    opt.delta = 0.5;
+    opt.net.scale = 0.1;
+    opt.seed = seed ^ 0x3BCULL;
+    auto got = mpc::SolveMpc(problem, parts, opt, nullptr);
+    ASSERT_TRUE(got.ok()) << tag << " case " << case_index << ": mpc";
+    ExpectAgrees(problem, direct, got->value, got->basis.size(), basis_size_slack,
+                 "mpc", tag, case_index);
+  }
+  {
+    stream::VectorStream<Constraint> vs(input);
+    stream::StreamingOptions opt;
+    opt.net.scale = 0.1;
+    opt.seed = seed ^ 0x57AEULL;
+    auto got = stream::SolveStreaming(problem, vs, opt, nullptr);
+    ASSERT_TRUE(got.ok()) << tag << " case " << case_index << ": streaming";
+    ExpectAgrees(problem, direct, got->value, got->basis.size(), basis_size_slack,
+                 "streaming", tag, case_index);
+  }
+
+  // --- the baselines.
+  {
+    // Classic Clarkson/Welzl reweighting (rate 2, fixed sample size).
+    ClarksonOptions opt = baselines::ClassicClarksonOptions(
+        problem.CombinatorialDimension(), input.size(), seed ^ 0xC1A5ULL);
+    auto got =
+        ClarksonSolve(problem, std::span<const Constraint>(input), opt,
+                      nullptr);
+    ASSERT_TRUE(got.ok()) << tag << " case " << case_index
+                          << ": clarkson_classic";
+    ExpectAgrees(problem, direct, got->value, got->basis.size(),
+                 basis_size_slack, "clarkson_classic", tag, case_index);
+  }
+  {
+    baselines::ShipAllStats stats;
+    auto got = baselines::ShipAll(problem, parts, &stats);
+    EXPECT_EQ(stats.rounds, 1u);
+    ExpectAgrees(problem, direct, got.value, got.basis.size(), basis_size_slack,
+                 "ship_all", tag, case_index);
+  }
+  {
+    baselines::TreeMergeStats stats;
+    auto got = baselines::IteratedTreeMerge(problem, parts, &stats);
+    ASSERT_TRUE(got.ok()) << tag << " case " << case_index << ": tree_merge";
+    ExpectAgrees(problem, direct, got->value, got->basis.size(), basis_size_slack,
+                 "tree_merge", tag, case_index);
+  }
+}
+
+TEST(DifferentialRandomTest, LpInstances) {
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1F000ULL + i;
+    const size_t n = 600 + (i * 137) % 1400;
+    auto c = testing_util::MakeFeasibleLpCase(n, 2, seed);
+    RunDifferentialCase(c.problem, c.constraints, seed, "lp", i);
+  }
+}
+
+/// Planted-support separable SVM instance in 2D (see the header comment):
+/// the optimum is exactly w/margin with norm_squared 1/margin^2, supported
+/// by the two planted margin points. Both get the SAME raw perpendicular
+/// sign: under z = label * x the pair's perp components then have opposite
+/// signs, which puts w/margin inside their dual cone (with `side *` on the
+/// perp term the cone degenerates and the pair is NOT the support). Every
+/// other point is rejection-sampled outside a 50% moat, so the support is
+/// unique with a wide conditioning gap.
+std::vector<SvmPoint> PlantedSupportSvm(size_t n, double margin, Rng* rng) {
+  Vec w(2);
+  double norm = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    w[i] = rng->Normal();
+    norm += w[i] * w[i];
+  }
+  norm = std::sqrt(norm);
+  for (size_t i = 0; i < 2; ++i) w[i] /= norm;
+  Vec perp(2);
+  perp[0] = -w[1];
+  perp[1] = w[0];
+  std::vector<SvmPoint> out;
+  out.reserve(n);
+  auto plant = [&](double side) {
+    SvmPoint p;
+    p.x = w * (side * margin) + perp * rng->UniformDouble(1.0, 8.0);
+    p.label = side >= 0 ? 1 : -1;
+    out.push_back(std::move(p));
+  };
+  plant(+1.0);
+  plant(-1.0);
+  const double moat = margin * 1.5;
+  while (out.size() < n) {
+    Vec x(2);
+    for (size_t i = 0; i < 2; ++i) x[i] = rng->UniformDouble(-10, 10);
+    double proj = w.Dot(x);
+    if (std::fabs(proj) < moat) continue;
+    SvmPoint p;
+    p.x = std::move(x);
+    p.label = proj >= 0 ? 1 : -1;
+    out.push_back(std::move(p));
+  }
+  // Move the planted pair off the fixed head positions.
+  std::swap(out[0], out[rng->UniformIndex(out.size())]);
+  std::swap(out[1], out[rng->UniformIndex(out.size())]);
+  return out;
+}
+
+TEST(DifferentialRandomTest, SvmInstances) {
+  LinearSvm::Config config;
+  config.value_tol = 2e-2;  // The differential policy tolerance (header).
+  const LinearSvm problem(2, config);
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1F500ULL + i;
+    const size_t n = 400 + (i * 113) % 800;
+    Rng rng(seed);
+    auto points = PlantedSupportSvm(n, /*margin=*/1.0, &rng);
+    RunDifferentialCase(problem, points, seed, "svm", i,
+                        /*basis_size_slack=*/1);
+  }
+}
+
+TEST(DifferentialRandomTest, MebInstances) {
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1FA00ULL + i;
+    const size_t n = 500 + (i * 101) % 1200;
+    auto c = testing_util::MakeGaussianMebCase(n, 3, seed);
+    RunDifferentialCase(c.problem, c.points, seed, "meb", i);
+  }
+}
+
+}  // namespace
+}  // namespace lplow

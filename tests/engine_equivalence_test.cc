@@ -45,23 +45,7 @@
 namespace lplow {
 namespace {
 
-// FNV-1a over the problem's own wire format: any drift in the computed
-// basis (constraints, order, or multiplicity) changes the hash.
-uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
-  uint64_t h = 1469598103934665603ULL;
-  for (uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-template <typename P, typename R>
-uint64_t BasisHash(const P& problem, const R& result) {
-  BitWriter w;
-  for (const auto& c : result.basis) problem.SerializeConstraint(c, &w);
-  return Fnv1a(w.Release());
-}
+using testing_util::BasisHash;  // FNV-1a over the problem's wire format.
 
 /// One model run distilled to its deterministic fingerprint. The meaning of
 /// a/b/c is per-model:

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <functional>
 #include <future>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/models/coordinator/coordinator_solver.h"
@@ -14,6 +17,7 @@
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
 #include "src/problems/min_enclosing_ball.h"
+#include "src/runtime/sharded_solver_service.h"
 #include "src/runtime/solver_service.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -23,6 +27,7 @@ namespace lplow {
 namespace {
 
 using runtime::MetricsRegistry;
+using runtime::ShardedSolverService;
 using runtime::SolverService;
 
 // Jobs per kind (4 kinds). Overridable so slow environments — TSan CI
@@ -116,6 +121,127 @@ TEST(RuntimeStressTest, HeavyTrafficMixedJobs) {
             results.size());
   EXPECT_EQ(reg.GetTimer("solver_service.job_seconds")->count(),
             results.size());
+}
+
+TEST(RuntimeStressTest, ShardedHeavyTrafficWithConcurrentBatchSubmit) {
+  // The sharded front-end under the same 180-job mixed traffic, but with
+  // the four job kinds batched by four CONCURRENT BatchSubmit callers (the
+  // submission side is itself contended), and the coordinator-LP jobs
+  // routing their engine basis solves back into the sharded service as its
+  // SolveBackend — cross-shard helping waits under real load (and under
+  // TSan in the CI matrix).
+  MetricsRegistry reg;
+  ShardedSolverService::Options sopt;
+  sopt.num_shards = 4;
+  sopt.threads_per_shard = 2;
+  sopt.metrics = &reg;
+  ShardedSolverService service(sopt);
+
+  const int jobs_per_kind = JobsPerKind();
+  using Job = std::pair<uint64_t, std::function<bool()>>;
+
+  auto make_coordinator_lp = [&service](int j) -> std::function<bool()> {
+    return [&service, j] {
+      auto [problem, constraints] =
+          testing_util::MakeFeasibleLpCase(3000, 2, 1000 + j);
+      Rng rng(1000 + j);
+      auto parts = workload::Partition(constraints, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 9000 + j;
+      opt.runtime.solver_backend = &service;
+      opt.runtime.oversized_basis_threshold = 1;
+      auto result = coord::SolveCoordinator(problem, parts, opt, nullptr);
+      if (!result.ok()) return false;
+      auto direct = testing_util::DirectValue(problem, constraints);
+      return problem.CompareValues(result->value, direct) == 0;
+    };
+  };
+  auto make_mpc_lp = [](int j) -> std::function<bool()> {
+    return [j] {
+      auto [problem, constraints] =
+          testing_util::MakeFeasibleLpCase(3000, 2, 2000 + j);
+      Rng rng(2000 + j);
+      auto parts = workload::Partition(constraints, 8, true, &rng);
+      mpc::MpcOptions opt;
+      opt.delta = 0.5;
+      opt.net.scale = 0.1;
+      opt.seed = 9500 + j;
+      auto result = mpc::SolveMpc(problem, parts, opt, nullptr);
+      if (!result.ok()) return false;
+      auto direct = testing_util::DirectValue(problem, constraints);
+      return problem.CompareValues(result->value, direct) == 0;
+    };
+  };
+  auto make_coordinator_svm = [](int j) -> std::function<bool()> {
+    return [j] {
+      auto [problem, points] =
+          testing_util::MakeSeparableSvmCase(1500, 2, 0.5, 2500 + j);
+      Rng rng(2500 + j);
+      auto parts = workload::Partition(points, 8, true, &rng);
+      coord::CoordinatorOptions opt;
+      opt.net.scale = 0.1;
+      opt.seed = 9700 + j;
+      auto result = coord::SolveCoordinator(problem, parts, opt, nullptr);
+      return result.ok() && result->value.separable;
+    };
+  };
+  auto make_direct_meb = [](int j) -> std::function<bool()> {
+    return [j] {
+      auto [problem, points] =
+          testing_util::MakeGaussianMebCase(1200, 3, 3000 + j);
+      auto direct = testing_util::DirectValue(problem, points);
+      return !direct.ball.empty();
+    };
+  };
+
+  // One submitter thread per kind; each splits its jobs into three batches
+  // so every shard sees multiple concurrent coalesced dispatches.
+  std::vector<std::vector<std::future<bool>>> futures(4);
+  std::vector<std::thread> submitters;
+  std::vector<std::function<std::function<bool()>(int)>> kinds = {
+      make_coordinator_lp, make_mpc_lp, make_coordinator_svm,
+      make_direct_meb};
+  for (size_t kind = 0; kind < kinds.size(); ++kind) {
+    submitters.emplace_back([&, kind] {
+      const int per_batch = (jobs_per_kind + 2) / 3;
+      for (int start = 0; start < jobs_per_kind; start += per_batch) {
+        std::vector<Job> batch;
+        for (int j = start;
+             j < jobs_per_kind && j < start + per_batch; ++j) {
+          batch.emplace_back(static_cast<uint64_t>(kind * 1000 + j),
+                             kinds[kind](j));
+        }
+        auto got = service.BatchSubmit("stress_batch", std::move(batch));
+        for (auto& f : got) futures[kind].push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  size_t total = 0, ok = 0;
+  for (auto& kind_futures : futures) {
+    for (auto& f : kind_futures) {
+      ++total;
+      ok += f.get() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(4 * jobs_per_kind));
+  EXPECT_EQ(ok, total) << "some jobs returned wrong answers";
+
+  service.Drain();
+  auto totals = service.total_stats();
+  EXPECT_EQ(totals.submitted, total);
+  EXPECT_EQ(totals.completed, total);
+  EXPECT_EQ(totals.failed, 0u);
+  EXPECT_GT(totals.batches, 0u);
+  EXPECT_GT(totals.solves, 0u);  // The coordinator-LP engine solves routed.
+  uint64_t per_shard = 0;
+  for (size_t s = 0; s < service.num_shards(); ++s) {
+    per_shard += service.shard_stats(s).submitted;
+  }
+  EXPECT_EQ(per_shard, total);
+  EXPECT_EQ(reg.GetCounter("service.shard.batch_jobs")->value(), total);
 }
 
 TEST(RuntimeStressTest, ParallelSolversInsideServiceJobs) {

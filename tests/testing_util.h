@@ -16,6 +16,7 @@
 
 #include "src/core/clarkson.h"
 #include "src/core/lp_type.h"
+#include "src/util/bit_stream.h"
 #include "src/models/coordinator/coordinator_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
@@ -67,6 +68,29 @@ struct MebCase {
 inline MebCase MakeGaussianMebCase(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
   return MebCase{MinEnclosingBall(d), workload::GaussianCloud(n, d, &rng)};
+}
+
+// ----------------------------------------------- transcript fingerprints
+
+/// FNV-1a over raw bytes: the transcript-hash primitive shared by
+/// engine_equivalence_test and sharded_service_test.
+inline uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a of `result.basis` serialized through the problem's own wire
+/// format: any drift in the computed basis (constraints, order, or
+/// multiplicity) changes the hash.
+template <typename P, typename R>
+uint64_t BasisHash(const P& problem, const R& result) {
+  BitWriter w;
+  for (const auto& c : result.basis) problem.SerializeConstraint(c, &w);
+  return Fnv1a(w.Release());
 }
 
 // ------------------------------------------------- direct-solve agreement
