@@ -1,0 +1,73 @@
+// The sampling-free deterministic model: iterations and merge traffic for
+// LP vs n, r, and the number of blocks b — the RNG-free baseline for the
+// randomized bounds (compare bench_coordinator_lp on the same axes).
+//
+// Every counter here is deterministic BY CONSTRUCTION, not merely under a
+// fixed seed — the model has no seed — so all of them are gated exactly by
+// the bench-perf CI job (bench_compare.py --strict-counters).
+
+#include <benchmark/benchmark.h>
+
+#include "src/models/deterministic/deterministic_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace {
+
+void BM_DeterministicLp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const size_t b = static_cast<size_t>(state.range(2));
+  // The instance generator is seeded; the solver draws nothing.
+  Rng rng(0xDE7 + n + 31 * r + 7 * b);
+  auto inst = workload::RandomFeasibleLp(n, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, b, false, nullptr);
+
+  det::DeterministicStats stats;
+  for (auto _ : state) {
+    det::DeterministicOptions opt;
+    opt.r = r;
+    opt.net.scale = 0.1;
+    auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+  }
+  size_t ship_all = 0;
+  for (const auto& c : inst.constraints) {
+    ship_all += problem.ConstraintBytes(c);
+  }
+  const size_t traffic = stats.candidate_bytes + stats.broadcast_bytes;
+  state.counters["iters"] = static_cast<double>(stats.iterations);
+  state.counters["ok_iters"] =
+      static_cast<double>(stats.successful_iterations);
+  state.counters["merge_rounds"] = static_cast<double>(stats.merge_rounds);
+  state.counters["cand_KB"] = static_cast<double>(stats.candidate_bytes) / 1024.0;
+  state.counters["bcast_KB"] =
+      static_cast<double>(stats.broadcast_bytes) / 1024.0;
+  state.counters["resample_KB"] =
+      static_cast<double>(stats.sample_bytes) / 1024.0;
+  state.counters["ship_all_KB"] = static_cast<double>(ship_all) / 1024.0;
+  state.counters["vs_ship_pct"] = 100.0 * traffic / ship_all;
+}
+
+BENCHMARK(BM_DeterministicLp)
+    ->ArgNames({"n", "r", "b"})
+    // n sweep (mirror bench_coordinator_lp's axes).
+    ->Args({30000, 3, 4})
+    ->Args({100000, 3, 4})
+    ->Args({300000, 3, 4})
+    // r sweep (merge window shrinks as n^{1/r}; iterations grow).
+    ->Args({100000, 2, 4})
+    ->Args({100000, 4, 4})
+    // b sweep (candidate traffic grows with the block count).
+    ->Args({100000, 3, 2})
+    ->Args({100000, 3, 16})
+    ->Args({100000, 3, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

@@ -1,6 +1,6 @@
 // Command-line LP solver over instance files (src/workload/lp_io.h format):
 //
-//   lp_solve_cli FILE [--model=direct|stream|coord|mpc] [--r=N] [--k=N]
+//   lp_solve_cli FILE [--model=direct|stream|coord|mpc|det] [--r=N] [--k=N]
 //                     [--delta=X] [--scale=X] [--seed=N]
 //
 // Solves min c.x subject to the file's constraints in the chosen model and
@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
@@ -155,6 +156,28 @@ int main(int argc, char** argv) {
         "max load %.1f KB\n",
         args.delta, stats.machines, stats.rounds,
         stats.max_load_bytes / 1024.0);
+    return 0;
+  }
+  if (args.model == "det") {
+    // The sampling-free model: the partition is contiguous and the solver
+    // takes no seed, so the whole run consumes zero random bits.
+    auto parts = workload::Partition(inst->constraints, args.k, false, nullptr);
+    det::DeterministicOptions opt;
+    opt.r = args.r;
+    opt.net.scale = args.scale;
+    det::DeterministicStats stats;
+    auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintValue(problem, result->value);
+    std::printf(
+        "model: deterministic (b = %zu, r = %d): %zu iterations, "
+        "%zu merge rounds, %.1f KB shipped\n",
+        stats.blocks, args.r, stats.iterations, stats.merge_rounds,
+        (stats.candidate_bytes + stats.broadcast_bytes) / 1024.0);
     return 0;
   }
   std::fprintf(stderr, "unknown model '%s'\n", args.model.c_str());

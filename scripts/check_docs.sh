@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Docs cross-reference checker: fails if any checked markdown file contains
+# a dangling reference, so renames and deletions cannot silently rot the
+# documentation. Runs in the release CI lane.
+#
+# Two kinds of reference are verified in README.md, bench/README.md, and
+# every docs/*.md:
+#
+#   1. relative markdown links `[text](path)` (external http(s)/mailto links
+#      and pure #anchors are skipped), resolved against the file's own
+#      directory;
+#   2. repo paths mentioned in prose or backticks — any
+#      src/|scripts/|tests/|bench/|examples/|docs/|data/ token ending in a
+#      known extension, plus the same prefixes with a trailing slash naming
+#      a directory — resolved against the repo root.
+#
+# The script self-tests first: a synthetic doc with a dangling link and a
+# dangling path MUST fail the checker, so a regression in the checker
+# itself (e.g. a broken regex silently matching nothing) also fails CI.
+#
+# Usage: scripts/check_docs.sh [repo-root]
+set -euo pipefail
+
+root="$(cd "${1:-$(dirname "$0")/..}" && pwd)"
+
+# Extensions a bare path mention must end in to be checked (keeps prose like
+# "src/models/..." or shell globs out of scope). Each token must start at a
+# non-path-character boundary so e.g. `integration-tests/runner.sh` is not
+# misread as the repo path `tests/runner.sh`; the boundary character is
+# stripped again after extraction.
+boundary='(^|[^A-Za-z0-9_./-])'
+path_regex="$boundary"'(src|scripts|tests|bench|examples|docs|data)/[A-Za-z0-9_./-]*[A-Za-z0-9_]\.(h|cc|md|sh|py|json|lp|txt|yml)'
+dir_regex="$boundary"'(src|scripts|tests|bench|examples|docs|data)(/[A-Za-z0-9_-]+)*/'
+
+# check_one <markdown-file> <root-for-repo-paths>; prints each dangling
+# reference, returns non-zero if any.
+check_one() {
+  local doc="$1" repo="$2" bad=0 target resolved
+  local doc_dir
+  doc_dir="$(dirname "$doc")"
+
+  # --- relative markdown links.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    target="${target%%#*}"           # Strip in-page anchors.
+    [ -n "$target" ] || continue
+    resolved="$doc_dir/$target"
+    if [ ! -e "$resolved" ]; then
+      echo "DANGLING LINK  $doc: ($target)"
+      bad=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$doc" 2>/dev/null \
+             | sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' | sort -u)
+
+  # --- repo path mentions (files with known extensions, and directories
+  # written with a trailing slash).
+  while IFS= read -r target; do
+    if [ ! -e "$repo/$target" ]; then
+      echo "DANGLING PATH  $doc: $target"
+      bad=1
+    fi
+  done < <({ grep -oE "$path_regex" "$doc" 2>/dev/null;
+             grep -oE "$dir_regex" "$doc" 2>/dev/null; } \
+             | sed -E 's|^[^A-Za-z0-9_./-]||' | sort -u)
+
+  return $bad
+}
+
+# ------------------------------------------------------------- self-test
+# The checker must FAIL on a doc with dangling references; a checker that
+# passes everything is itself a bug.
+selftest_dir="$(mktemp -d)"
+trap 'rm -rf "$selftest_dir"' EXIT
+cat > "$selftest_dir/bad.md" <<'EOF'
+A [dangling link](no-such-file.md) and a dangling path mention:
+`src/models/definitely_not_real.h`.
+EOF
+if check_one "$selftest_dir/bad.md" "$root" > /dev/null; then
+  echo "check_docs: SELF-TEST FAILED — dangling references were not detected" >&2
+  exit 1
+fi
+cat > "$selftest_dir/good.md" <<'EOF'
+A fine link: [bad](bad.md); a fine path: `scripts/check_docs.sh`.
+scripts/check_docs.sh also resolves at line start. Hyphenated or nested
+names like integration-tests/runner.sh and testdata/missing.json are NOT
+repo paths and must not be flagged.
+EOF
+if ! check_one "$selftest_dir/good.md" "$root" > /dev/null; then
+  echo "check_docs: SELF-TEST FAILED — clean doc was flagged" >&2
+  exit 1
+fi
+
+# ---------------------------------------------------------- the real docs
+docs=("$root/README.md" "$root/bench/README.md")
+for f in "$root"/docs/*.md; do
+  docs+=("$f")
+done
+
+failures=0
+for doc in "${docs[@]}"; do
+  check_one "$doc" "$root" || failures=1
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs: FAIL — fix the dangling references above (or update the" >&2
+  echo "docs when renaming files; this check runs in the release CI lane)." >&2
+  exit 1
+fi
+echo "check_docs: OK — ${#docs[@]} files, all cross-references resolve."

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -136,28 +137,39 @@ class ConstraintView {
     return st;
   }
 
-  /// Multiplies the weight of every item with `violates(item)` by `rate`.
-  /// Requires a weighted view (vacuously fine on an empty one).
+  /// Multiplies the weight of every item with `violates(item)` by `rate`,
+  /// saturating at `ceiling`. Requires a weighted view (vacuously fine on an
+  /// empty one). The default ceiling (infinity) is the classic unbounded
+  /// reweighting of the randomized models, whose success-gated updates are
+  /// few; the deterministic transport reweights on *every* iteration and
+  /// passes a finite ceiling so weights never overflow double (saturated
+  /// violators stay the global maximum, which is all top-by-weight selection
+  /// needs).
   template <typename Pred>
-  void ScaleViolators(Pred&& violates, double rate) {
+  void ScaleViolators(Pred&& violates, double rate,
+                      double ceiling = std::numeric_limits<double>::infinity()) {
     LPLOW_CHECK_EQ(weights_.size(), items_.size());
     for (size_t i = 0; i < items_.size(); ++i) {
-      if (violates(items_[i])) weights_[i] *= rate;
+      if (violates(items_[i])) {
+        weights_[i] = std::min(weights_[i] * rate, ceiling);
+      }
     }
   }
 
   /// Pool-routed reweighting: each update touches only its own slot, so the
   /// result is exactly the serial one for every thread count.
   template <typename Pred>
-  void ScaleViolators(runtime::ThreadPool* pool, Pred&& violates,
-                      double rate) {
+  void ScaleViolators(runtime::ThreadPool* pool, Pred&& violates, double rate,
+                      double ceiling = std::numeric_limits<double>::infinity()) {
     if (pool == nullptr || items_.size() < kParallelScanMinItems) {
-      ScaleViolators(violates, rate);
+      ScaleViolators(violates, rate, ceiling);
       return;
     }
     LPLOW_CHECK_EQ(weights_.size(), items_.size());
     runtime::ParallelFor(pool, 0, items_.size(), [&](size_t i) {
-      if (violates(items_[i])) weights_[i] *= rate;
+      if (violates(items_[i])) {
+        weights_[i] = std::min(weights_[i] * rate, ceiling);
+      }
     });
   }
 

@@ -1,0 +1,9 @@
+// SolveDeterministic is a header template (deterministic_solver.h).
+
+#include "src/models/deterministic/deterministic_solver.h"
+
+namespace lplow {
+namespace det {
+// (Intentionally empty.)
+}  // namespace det
+}  // namespace lplow

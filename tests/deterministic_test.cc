@@ -1,0 +1,223 @@
+// The sampling-free deterministic model (src/models/deterministic/):
+// direct-solve agreement on LP/SVM/MEB, the zero-random-bits contract
+// (there is no seed to vary — reruns, partition skew, and thread counts
+// must all leave the transcript bit-identical), the merge/broadcast cost
+// accounting, the tiny-input direct path, and the iteration-cap discipline
+// with the Las Vegas fallback disabled.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/deterministic/deterministic_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+#include "tests/testing_util.h"
+
+namespace lplow {
+namespace {
+
+using testing_util::BasisHash;
+
+/// The full deterministic transcript: basis bytes plus every stat the model
+/// reports. Two runs are "the same run" iff these are equal.
+struct Transcript {
+  uint64_t basis_hash = 0;
+  size_t iterations = 0;
+  size_t successful = 0;
+  size_t merge_rounds = 0;
+  size_t candidate_bytes = 0;
+  size_t broadcast_bytes = 0;
+  size_t sample_bytes = 0;
+
+  bool operator==(const Transcript&) const = default;
+};
+
+template <LpTypeProblem P>
+Transcript RunModel(const P& problem,
+               const std::vector<std::vector<typename P::Constraint>>& parts,
+               det::DeterministicStats* stats_out = nullptr,
+               size_t threads = 1) {
+  det::DeterministicOptions opt;
+  opt.net.scale = 0.1;
+  opt.runtime.num_threads = threads;
+  det::DeterministicStats stats;
+  auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+  EXPECT_TRUE(result.ok());
+  if (stats_out) *stats_out = stats;
+  if (!result.ok()) return {};
+  return Transcript{BasisHash(problem, *result), stats.iterations,
+                    stats.successful_iterations, stats.merge_rounds,
+                    stats.candidate_bytes, stats.broadcast_bytes,
+                    stats.sample_bytes};
+}
+
+TEST(DeterministicTest, LpAgreesWithDirectSolve) {
+  auto c = testing_util::MakeFeasibleLpCase(4000, 2, 201);
+  auto parts = workload::Partition(c.constraints, 6, false, nullptr);
+  det::DeterministicOptions opt;
+  opt.net.scale = 0.1;
+  det::DeterministicStats stats;
+  auto result = det::SolveDeterministic(c.problem, parts, opt, &stats);
+  ASSERT_TRUE(result.ok());
+  testing_util::ExpectMatchesDirect(c.problem, c.constraints, result->value,
+                                    "deterministic");
+  EXPECT_FALSE(stats.direct_solve);
+  EXPECT_GE(stats.iterations, 1u);
+  // Terminal exit means f(B) = f(S) exactly: the basis must reproduce the
+  // direct solve's basis size, not just its value.
+  auto direct = c.problem.SolveBasis(
+      std::span<const Halfspace>(c.constraints));
+  EXPECT_EQ(result->basis.size(), direct.basis.size());
+}
+
+TEST(DeterministicTest, SvmAndMebAgreeWithDirectSolve) {
+  {
+    // Planted-support instance: the stock SeparableSvmData generator
+    // manufactures margin ties that stall the iterative QP dual ascent (in
+    // the direct solve as much as in any model), so — like the differential
+    // harness — the SVM check runs on the tie-free construction with the
+    // measured differential tolerance.
+    Rng rng(202);
+    auto points = testing_util::PlantedSupportSvm(2000, /*margin=*/1.0, &rng);
+    LinearSvm::Config config;
+    config.value_tol = 2e-2;  // The differential policy tolerance.
+    const LinearSvm problem(2, config);
+    auto parts = workload::Partition(points, 5, false, nullptr);
+    det::DeterministicOptions opt;
+    opt.net.scale = 0.1;
+    auto result = det::SolveDeterministic(problem, parts, opt, nullptr);
+    ASSERT_TRUE(result.ok());
+    testing_util::ExpectMatchesDirect(problem, points, result->value,
+                                      "deterministic svm");
+  }
+  {
+    auto c = testing_util::MakeGaussianMebCase(3000, 3, 203);
+    auto parts = workload::Partition(c.points, 5, false, nullptr);
+    det::DeterministicOptions opt;
+    opt.net.scale = 0.1;
+    auto result = det::SolveDeterministic(c.problem, parts, opt, nullptr);
+    ASSERT_TRUE(result.ok());
+    testing_util::ExpectMatchesDirect(c.problem, c.points, result->value,
+                                      "deterministic meb");
+  }
+}
+
+TEST(DeterministicTest, RerunsAreBitIdentical) {
+  // There is no DeterministicOptions::seed: the model consumes zero random
+  // bits, so rerunning the identical call IS the reproducibility contract —
+  // no "same seed" qualifier needed.
+  auto c = testing_util::MakeFeasibleLpCase(5000, 2, 204);
+  auto parts = workload::Partition(c.constraints, 8, false, nullptr);
+  Transcript first = RunModel(c.problem, parts);
+  Transcript second = RunModel(c.problem, parts);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, Transcript{});
+}
+
+TEST(DeterministicTest, TranscriptInvariantAcrossThreadCounts) {
+  auto c = testing_util::MakeGaussianMebCase(6000, 3, 205);
+  auto parts = workload::Partition(c.points, 8, false, nullptr);
+  Transcript want = RunModel(c.problem, parts, nullptr, /*threads=*/1);
+  ASSERT_NE(want, Transcript{});
+  for (size_t threads : {2u, 8u}) {
+    det::DeterministicStats stats;
+    Transcript got = RunModel(c.problem, parts, &stats, threads);
+    EXPECT_EQ(got, want) << "transcript drifted at threads=" << threads;
+    EXPECT_EQ(stats.threads, threads);
+  }
+}
+
+TEST(DeterministicTest, PartitionSkewChangesCostsNotTheValue) {
+  // Contiguous vs shuffled partitions reshape the merge traffic but the
+  // model must land on the same exact optimum either way.
+  auto c = testing_util::MakeFeasibleLpCase(3000, 2, 206);
+  Rng rng(206);
+  auto contiguous = workload::Partition(c.constraints, 6, false, nullptr);
+  auto shuffled = workload::Partition(c.constraints, 6, true, &rng);
+  auto a = det::SolveDeterministic(c.problem, contiguous,
+                                   det::DeterministicOptions{}, nullptr);
+  auto b = det::SolveDeterministic(c.problem, shuffled,
+                                   det::DeterministicOptions{}, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(c.problem.CompareValues(a->value, b->value), 0);
+}
+
+TEST(DeterministicTest, CostAccountingIsPopulated) {
+  auto c = testing_util::MakeFeasibleLpCase(4000, 2, 207);
+  auto parts = workload::Partition(c.constraints, 6, false, nullptr);
+  det::DeterministicStats stats;
+  Transcript t = RunModel(c.problem, parts, &stats);
+  ASSERT_NE(t, Transcript{});
+  EXPECT_EQ(stats.n, 4000u);
+  EXPECT_EQ(stats.blocks, 6u);
+  EXPECT_GT(stats.sample_size, 0u);
+  // Every iteration runs one merge round, one scan round, and (when
+  // non-terminal) one reweight round.
+  EXPECT_GE(stats.merge_rounds, 2 * stats.iterations);
+  EXPECT_GT(stats.candidate_bytes, 0u);
+  EXPECT_GT(stats.broadcast_bytes, 0u);
+  EXPECT_GT(stats.sample_bytes, 0u);
+  EXPECT_GE(stats.iterations, stats.successful_iterations);
+}
+
+TEST(DeterministicTest, TinyInputTakesTheDirectPath) {
+  auto c = testing_util::MakeFeasibleLpCase(20, 2, 208);
+  auto parts = workload::Partition(c.constraints, 3, false, nullptr);
+  det::DeterministicStats stats;
+  auto result =
+      det::SolveDeterministic(c.problem, parts, det::DeterministicOptions{},
+                              &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.direct_solve);
+  EXPECT_EQ(stats.iterations, 0u);
+  testing_util::ExpectMatchesDirect(c.problem, c.constraints, result->value,
+                                    "deterministic direct path");
+}
+
+TEST(DeterministicTest, DegenerateInputsAreRejected) {
+  LinearProgram problem(Vec{1.0, 0.0});
+  det::DeterministicOptions opt;
+  auto no_blocks = det::SolveDeterministic(
+      problem, std::vector<std::vector<Halfspace>>{}, opt, nullptr);
+  EXPECT_EQ(no_blocks.status().code(), StatusCode::kInvalidArgument);
+  auto empty = det::SolveDeterministic(
+      problem, std::vector<std::vector<Halfspace>>{{}, {}}, opt, nullptr);
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeterministicTest, IterationCapWithoutFallbackIsResourceExhausted) {
+  auto c = testing_util::MakeFeasibleLpCase(4000, 2, 209);
+  auto parts = workload::Partition(c.constraints, 6, false, nullptr);
+  det::DeterministicOptions opt;
+  // A tiny merge window (m << n) cannot cover the optimum's neighborhood in
+  // one iteration, so a cap of 1 is guaranteed to exhaust. (At the default
+  // window size a lucky contiguous prefix CAN be violator-free.)
+  opt.net.scale = 0.005;
+  opt.max_iterations = 1;
+  opt.fallback_to_direct = false;
+  det::DeterministicStats stats;
+  auto result = det::SolveDeterministic(c.problem, parts, opt, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stats.iterations, 1u);
+  EXPECT_FALSE(stats.direct_solve);
+
+  // Same cap with the fallback on: the Las Vegas promise holds — gather
+  // everything, solve directly, return the exact optimum.
+  opt.fallback_to_direct = true;
+  auto recovered = det::SolveDeterministic(c.problem, parts, opt, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(stats.direct_solve);
+  testing_util::ExpectMatchesDirect(c.problem, c.constraints,
+                                    recovered->value,
+                                    "deterministic cap fallback");
+}
+
+}  // namespace
+}  // namespace lplow

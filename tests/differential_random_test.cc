@@ -4,6 +4,9 @@
 // ship-all, iterated tree-merge), all checked against the problem's direct
 // solve: objective values must agree within the problem's policy tolerance
 // (CompareValues == 0) and the reported bases must have identical sizes.
+// A further 51 seeded cases run the sampling-free deterministic model
+// against the direct solve with EXACT basis-size matching (the randomized
+// ±1 SVM band does not apply — see RunDeterministicCase).
 //
 // Everything is keyed by seed, so a failure reproduces exactly; the case
 // index is in the failure message.
@@ -37,6 +40,7 @@
 #include "src/baselines/tree_merge.h"
 #include "src/core/clarkson.h"
 #include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
@@ -155,52 +159,10 @@ TEST(DifferentialRandomTest, LpInstances) {
   }
 }
 
-/// Planted-support separable SVM instance in 2D (see the header comment):
-/// the optimum is exactly w/margin with norm_squared 1/margin^2, supported
-/// by the two planted margin points. Both get the SAME raw perpendicular
-/// sign: under z = label * x the pair's perp components then have opposite
-/// signs, which puts w/margin inside their dual cone (with `side *` on the
-/// perp term the cone degenerates and the pair is NOT the support). Every
-/// other point is rejection-sampled outside a 50% moat, so the support is
-/// unique with a wide conditioning gap.
-std::vector<SvmPoint> PlantedSupportSvm(size_t n, double margin, Rng* rng) {
-  Vec w(2);
-  double norm = 0;
-  for (size_t i = 0; i < 2; ++i) {
-    w[i] = rng->Normal();
-    norm += w[i] * w[i];
-  }
-  norm = std::sqrt(norm);
-  for (size_t i = 0; i < 2; ++i) w[i] /= norm;
-  Vec perp(2);
-  perp[0] = -w[1];
-  perp[1] = w[0];
-  std::vector<SvmPoint> out;
-  out.reserve(n);
-  auto plant = [&](double side) {
-    SvmPoint p;
-    p.x = w * (side * margin) + perp * rng->UniformDouble(1.0, 8.0);
-    p.label = side >= 0 ? 1 : -1;
-    out.push_back(std::move(p));
-  };
-  plant(+1.0);
-  plant(-1.0);
-  const double moat = margin * 1.5;
-  while (out.size() < n) {
-    Vec x(2);
-    for (size_t i = 0; i < 2; ++i) x[i] = rng->UniformDouble(-10, 10);
-    double proj = w.Dot(x);
-    if (std::fabs(proj) < moat) continue;
-    SvmPoint p;
-    p.x = std::move(x);
-    p.label = proj >= 0 ? 1 : -1;
-    out.push_back(std::move(p));
-  }
-  // Move the planted pair off the fixed head positions.
-  std::swap(out[0], out[rng->UniformIndex(out.size())]);
-  std::swap(out[1], out[rng->UniformIndex(out.size())]);
-  return out;
-}
+// The planted-support SVM construction (see the header comment) lives in
+// testing_util.h — the deterministic differential cases below and
+// deterministic_test.cc reuse it.
+using testing_util::PlantedSupportSvm;
 
 TEST(DifferentialRandomTest, SvmInstances) {
   LinearSvm::Config config;
@@ -222,6 +184,68 @@ TEST(DifferentialRandomTest, MebInstances) {
     const size_t n = 500 + (i * 101) % 1200;
     auto c = testing_util::MakeGaussianMebCase(n, 3, seed);
     RunDifferentialCase(c.problem, c.points, seed, "meb", i);
+  }
+}
+
+// --------------------------------------------- the deterministic model
+
+constexpr size_t kDeterministicCasesPerProblem = 17;  // 3 problems -> 51.
+
+/// One instance through the sampling-free deterministic model vs the direct
+/// solve. Unlike the randomized cases above there is NO tolerance band on
+/// the basis size — not even for SVM: the deterministic merge always
+/// carries the previous basis into the next sample, so the terminal solve
+/// sees the support with the full sample as context and the ±1
+/// stalled-dual artifact of the randomized samples does not arise. The
+/// `seed` keys only the *instance* (and the partition shuffle); the solver
+/// itself takes no seed and draws zero random bits.
+template <LpTypeProblem P>
+void RunDeterministicCase(const P& problem,
+                          const std::vector<typename P::Constraint>& input,
+                          uint64_t seed, const char* tag, size_t case_index) {
+  using Constraint = typename P::Constraint;
+  const auto direct = problem.SolveBasis(std::span<const Constraint>(input));
+
+  Rng rng(seed);
+  auto parts = workload::Partition(input, 6, true, &rng);
+
+  det::DeterministicOptions opt;
+  opt.net.scale = 0.1;
+  det::DeterministicStats stats;
+  auto got = det::SolveDeterministic(problem, parts, opt, &stats);
+  ASSERT_TRUE(got.ok()) << tag << " case " << case_index << ": deterministic";
+  ExpectAgrees(problem, direct, got->value, got->basis.size(),
+               /*basis_size_slack=*/0, "deterministic", tag, case_index);
+}
+
+TEST(DifferentialRandomTest, DeterministicLpInstances) {
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7000ULL + i;
+    const size_t n = 600 + (i * 137) % 1400;
+    auto c = testing_util::MakeFeasibleLpCase(n, 2, seed);
+    RunDeterministicCase(c.problem, c.constraints, seed, "det-lp", i);
+  }
+}
+
+TEST(DifferentialRandomTest, DeterministicSvmInstances) {
+  LinearSvm::Config config;
+  config.value_tol = 2e-2;  // The differential policy tolerance (header).
+  const LinearSvm problem(2, config);
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7500ULL + i;
+    const size_t n = 400 + (i * 113) % 800;
+    Rng rng(seed);
+    auto points = PlantedSupportSvm(n, /*margin=*/1.0, &rng);
+    RunDeterministicCase(problem, points, seed, "det-svm", i);
+  }
+}
+
+TEST(DifferentialRandomTest, DeterministicMebInstances) {
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7A00ULL + i;
+    const size_t n = 500 + (i * 101) % 1200;
+    auto c = testing_util::MakeGaussianMebCase(n, 3, seed);
+    RunDeterministicCase(c.problem, c.points, seed, "det-meb", i);
   }
 }
 

@@ -16,6 +16,12 @@
 // and oversized basis solves are routed through runtime::ThreadPool /
 // SiteExecutor, and the transcript must not depend on the thread count.
 //
+// The fourth (sampling-free deterministic) model rides with its own golden
+// per instance, captured when the model shipped: it has no pre-engine
+// ancestor to compare against, so the golden pins the model against itself
+// going forward — and because it draws zero random bits, the pin covers
+// reruns as well as thread counts.
+//
 // Where the paper predicts agreement — all three models are Las Vegas
 // implementations of Algorithm 1, so they compute the exact f(S) — the
 // test also asserts cross-model value agreement per instance.
@@ -33,6 +39,7 @@
 #include <gtest/gtest.h>
 
 #include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
@@ -49,9 +56,10 @@ using testing_util::BasisHash;  // FNV-1a over the problem's wire format.
 
 /// One model run distilled to its deterministic fingerprint. The meaning of
 /// a/b/c is per-model:
-///   coordinator: rounds / total_bytes / messages
-///   mpc:         rounds / total_bytes / max_load_bytes
-///   streaming:   passes / peak_items  / violation_tests
+///   coordinator:   rounds / total_bytes / messages
+///   mpc:           rounds / total_bytes / max_load_bytes
+///   streaming:     passes / peak_items  / violation_tests
+///   deterministic: merge_rounds / candidate_bytes / broadcast_bytes
 struct Fingerprint {
   uint64_t basis_hash = 0;
   uint64_t iterations = 0;
@@ -158,11 +166,37 @@ Fingerprint RunStreaming(const P& problem,
                      stats.peak_items, stats.violation_tests};
 }
 
-/// Golden triple for one (model, instance): identical at every thread count.
+template <LpTypeProblem P>
+Fingerprint RunDeterministic(
+    const P& problem,
+    const std::vector<std::vector<typename P::Constraint>>& parts,
+    size_t threads, typename P::Value* value_out) {
+  det::DeterministicOptions opt;
+  opt.net.scale = 0.1;
+  // No seed: the model draws zero random bits, so its golden pins the
+  // transcript across reruns as well as thread counts.
+  opt.runtime.num_threads = threads;
+  det::DeterministicStats stats;
+  auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+  EXPECT_TRUE(result.ok());
+  if (!result.ok()) return {};
+  EXPECT_FALSE(stats.direct_solve);
+  if (value_out) *value_out = result->value;
+  return Fingerprint{BasisHash(problem, *result), stats.iterations,
+                     stats.successful_iterations, stats.merge_rounds,
+                     stats.candidate_bytes, stats.broadcast_bytes};
+}
+
+/// Golden quadruple for one (model, instance): identical at every thread
+/// count. The coordinator/MPC/streaming rows were captured from the
+/// pre-engine loops (header comment); the deterministic rows were captured
+/// when the model shipped — it has no pre-engine ancestor, so its golden
+/// pins the model against itself going forward.
 struct ModelGoldens {
   Fingerprint coordinator;
   Fingerprint mpc;
   Fingerprint streaming;
+  Fingerprint deterministic;
 };
 
 constexpr size_t kThreadCounts[] = {1, 2, 8};
@@ -177,6 +211,7 @@ void CheckInstance(const char* instance, const P& problem,
   typename P::Value coord_value{};
   typename P::Value mpc_value{};
   typename P::Value stream_value{};
+  typename P::Value det_value{};
   for (size_t threads : kThreadCounts) {
     CheckGolden("coordinator", instance, threads,
                 RunCoordinator(problem, parts, threads, &coord_value),
@@ -186,14 +221,21 @@ void CheckInstance(const char* instance, const P& problem,
     CheckGolden("streaming", instance, threads,
                 RunStreaming(problem, input, threads, &stream_value),
                 want.streaming);
+    CheckGolden("deterministic", instance, threads,
+                RunDeterministic(problem, parts, threads, &det_value),
+                want.deterministic);
   }
 
   // Theorems 1-3 are Las Vegas: every model computes the exact f(S), so the
-  // paper predicts value agreement across models on every instance.
+  // paper predicts value agreement across models on every instance — and
+  // the sampling-free model exits only at the same zero-violator terminal,
+  // so it joins the same agreement class.
   EXPECT_EQ(problem.CompareValues(coord_value, mpc_value), 0)
       << instance << ": coordinator != mpc";
   EXPECT_EQ(problem.CompareValues(coord_value, stream_value), 0)
       << instance << ": coordinator != streaming";
+  EXPECT_EQ(problem.CompareValues(coord_value, det_value), 0)
+      << instance << ": coordinator != deterministic";
 }
 
 // ------------------------------------------------------------ the goldens
@@ -206,6 +248,8 @@ TEST(EngineEquivalenceTest, LpMatchesPreRefactorGoldens) {
                                      240},
                     /*mpc=*/{0xe1a50ac6730a86acULL, 11, 3, 57, 650594, 52360},
                     /*streaming=*/{0xc71a4e41b786d244ULL, 1, 1, 2, 6278, 6000},
+                    /*deterministic=*/{0xe1a50ac6730a86acULL, 2, 1, 5, 336000,
+                                       896},
                 });
 }
 
@@ -218,6 +262,8 @@ TEST(EngineEquivalenceTest, SvmMatchesPreRefactorGoldens) {
                     /*mpc=*/{0x007f4b965f680e81ULL, 2, 2, 11, 75264, 31752},
                     /*streaming=*/{0x893523d69e1220f1ULL, 5, 3, 6, 5130,
                                    40000},
+                    /*deterministic=*/{0x007f4b965f680e81ULL, 1, 1, 2, 84000,
+                                       336},
                 });
 }
 
@@ -231,6 +277,8 @@ TEST(EngineEquivalenceTest, MebMatchesPreRefactorGoldens) {
                              84168},
                     /*streaming=*/{0x8a55c56346b3f766ULL, 7, 5, 8, 10203,
                                    90000},
+                    /*deterministic=*/{0x9b542140e333ccceULL, 2, 1, 5, 280000,
+                                       1792},
                 });
 }
 

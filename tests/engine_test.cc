@@ -125,6 +125,36 @@ TEST(ConstraintStoreTest, PoolScanBitIdenticalToSerial) {
             serial_store.View().TotalWeight());
 }
 
+TEST(ConstraintStoreTest, ScaleViolatorsSaturatesAtTheCeiling) {
+  // The deterministic transport reweights on EVERY iteration, so it passes
+  // a finite ceiling: weights cap there instead of overflowing double, and
+  // the pooled variant lands on exactly the serial weights.
+  ConstraintStore<int> store({1, 2, 3, 4});
+  auto even = [](int v) { return v % 2 == 0; };
+  for (int i = 0; i < 5; ++i) {
+    store.View().ScaleViolators(even, 10.0, /*ceiling=*/500.0);
+  }
+  auto view = store.View();
+  EXPECT_DOUBLE_EQ(view.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(view.weight(1), 500.0);  // 10^5 capped at 500.
+  EXPECT_DOUBLE_EQ(view.weight(3), 500.0);
+
+  const size_t n = engine::kParallelScanMinItems + 13;
+  std::vector<int> items(n);
+  for (size_t i = 0; i < n; ++i) items[i] = static_cast<int>(i % 100);
+  auto pred = [](int v) { return v % 3 == 0; };
+  ConstraintStore<int> serial_store(items);
+  ConstraintStore<int> pooled_store(items);
+  runtime::ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    serial_store.View().ScaleViolators(pred, 7.0, /*ceiling=*/50.0);
+    pooled_store.View().ScaleViolators(&pool, pred, 7.0, /*ceiling=*/50.0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pooled_store.View().weight(i), serial_store.View().weight(i));
+  }
+}
+
 TEST(EnginePolicyTest, MatchesPaperFormulas) {
   auto c = testing_util::MakeFeasibleLpCase(5000, 2, 11);
   const size_t nu = c.problem.CombinatorialDimension();
@@ -145,6 +175,148 @@ TEST(EnginePolicyTest, OverridesWinAndSampleSizeClamps) {
   EXPECT_DOUBLE_EQ(policy.eps, 0.25);
   EXPECT_DOUBLE_EQ(policy.rate, 2.0);
   EXPECT_EQ(policy.sample_size, 100u);  // Clamped to n.
+}
+
+TEST(EnginePolicyTest, ZeroSizeInputEdgeCases) {
+  // Edge cases the sampling-free model surfaced: MakePolicy must stay
+  // finite at n = 0 (the formulas guard with max(n, 1)), and a sample-size
+  // override is clamped to n — so with n = 0 an override yields a
+  // ZERO-sample policy, while the paper formula keeps its nu + 1 floor.
+  auto c = testing_util::MakeFeasibleLpCase(10, 2, 15);
+  const size_t nu = c.problem.CombinatorialDimension();
+
+  auto formula = engine::MakePolicy(c.problem, 0, 2, EpsNetConfig{});
+  EXPECT_TRUE(std::isfinite(formula.eps));
+  EXPECT_GT(formula.eps, 0.0);
+  EXPECT_GE(formula.rate, 1.0);
+  EXPECT_GE(formula.sample_size, nu + 1);  // The floor survives n = 0.
+
+  auto overridden = engine::MakePolicy(c.problem, 0, 2, EpsNetConfig{},
+                                       /*eps=*/0, /*rate=*/0,
+                                       /*sample_size=*/64);
+  EXPECT_EQ(overridden.sample_size, 0u);  // min(override, n) with n = 0.
+}
+
+// Minimal transport over LinearProgram for engine-loop edge cases: serves a
+// fixed undersized sample (so violators always remain), counts hook calls,
+// and reports a recognizable cap status.
+class StubTransport {
+ public:
+  using Constraint = Halfspace;
+  using Value = LinearProgram::Value;
+
+  StubTransport(const LinearProgram& problem, std::vector<Halfspace> all,
+                size_t sample_size)
+      : problem_(problem), all_(std::move(all)), sample_size_(sample_size) {}
+
+  Result<std::vector<Halfspace>> NextSample() {
+    ++samples_served;
+    return std::vector<Halfspace>(all_.begin(), all_.begin() + sample_size_);
+  }
+  engine::ViolatorScan ScanViolators(
+      const BasisResult<Value, Halfspace>& basis) {
+    engine::ViolatorScan scan;
+    for (const auto& h : all_) {
+      scan.total_weight += 1.0;
+      if (problem_.Violates(basis.value, h)) {
+        scan.violator_weight += 1.0;
+        ++scan.violator_count;
+      }
+    }
+    return scan;
+  }
+  void EndIteration(bool success, const BasisResult<Value, Halfspace>&) {
+    ++iterations_closed;
+    successes += success ? 1 : 0;
+  }
+  void OnTerminal() { ++terminals; }
+  std::vector<Halfspace> GatherAll() {
+    ++gathers;
+    return all_;
+  }
+  Status IterationCapStatus() { return Status::ResourceExhausted("stub cap"); }
+  Result<BasisResult<Value, Halfspace>> Finish(
+      BasisResult<Value, Halfspace> result) {
+    ++finishes;
+    return result;
+  }
+
+  size_t samples_served = 0;
+  size_t iterations_closed = 0;
+  size_t successes = 0;
+  size_t terminals = 0;
+  size_t gathers = 0;
+  size_t finishes = 0;
+
+ private:
+  const LinearProgram& problem_;
+  std::vector<Halfspace> all_;
+  size_t sample_size_;
+};
+
+/// An instance + policy where the stub's fixed 3-constraint sample always
+/// leaves violators, so RunRefinement can only exit through the cap.
+struct CapFixture {
+  CapFixture()
+      : c(testing_util::MakeFeasibleLpCase(2000, 2, 16)),
+        transport(c.problem, c.constraints, 3) {
+    policy = engine::MakePolicy(c.problem, c.constraints.size(), 2,
+                                EpsNetConfig{});
+    policy.fallback_to_direct = false;
+    counters = engine::IterationCounters{&iterations, &successful,
+                                         &direct_solve, &sample_bytes};
+  }
+
+  testing_util::LpCase c;
+  StubTransport transport;
+  engine::RefinementPolicy policy;
+  size_t iterations = 0, successful = 0, sample_bytes = 0;
+  bool direct_solve = false;
+  engine::IterationCounters counters;
+};
+
+TEST(EngineRunTest, IterationCapWithoutFallbackReturnsTransportStatus) {
+  CapFixture f;
+  f.policy.max_iterations = 4;
+  auto result =
+      engine::RunRefinement(f.c.problem, f.transport, f.policy, f.counters);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.iterations, 4u);
+  EXPECT_EQ(f.transport.samples_served, 4u);
+  EXPECT_EQ(f.transport.iterations_closed, 4u);
+  EXPECT_FALSE(f.direct_solve);
+  // The cap path must not touch the terminal/fallback hooks.
+  EXPECT_EQ(f.transport.terminals, 0u);
+  EXPECT_EQ(f.transport.gathers, 0u);
+  EXPECT_EQ(f.transport.finishes, 0u);
+}
+
+TEST(EngineRunTest, ZeroIterationCapSkipsTheLoopEntirely) {
+  // A zero cap (e.g. from an unguarded max_iterations knob) must not crash
+  // or sample: without fallback it is an immediate cap status...
+  CapFixture f;
+  f.policy.max_iterations = 0;
+  auto result =
+      engine::RunRefinement(f.c.problem, f.transport, f.policy, f.counters);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.transport.samples_served, 0u);
+
+  // ...and with fallback it degenerates to gather-everything + direct
+  // solve, which still returns the exact optimum (the Las Vegas promise
+  // with zero refinement budget).
+  CapFixture g;
+  g.policy.max_iterations = 0;
+  g.policy.fallback_to_direct = true;
+  auto recovered =
+      engine::RunRefinement(g.c.problem, g.transport, g.policy, g.counters);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(g.direct_solve);
+  EXPECT_EQ(g.transport.gathers, 1u);
+  EXPECT_EQ(g.transport.finishes, 1u);
+  testing_util::ExpectMatchesDirect(g.c.problem, g.c.constraints,
+                                    recovered->value, "zero-cap fallback");
 }
 
 TEST(EngineBasisSolveTest, PoolRoutedSolveMatchesInline) {

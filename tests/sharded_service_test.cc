@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
@@ -76,6 +77,7 @@ struct ModelTranscripts {
   Transcript coordinator;
   Transcript mpc;
   Transcript streaming;
+  Transcript deterministic;
 
   bool operator==(const ModelTranscripts&) const = default;
 };
@@ -135,6 +137,23 @@ ModelTranscripts RunAllModels(
                      stats.peak_bytes, stats.sample_bytes};
     }
   }
+  {
+    // The sampling-free model: no seed to hold fixed — the sweep pins that
+    // the backend seam is equally invisible to a transport that consumes
+    // zero random bits.
+    det::DeterministicOptions opt;
+    opt.net.scale = 0.1;
+    opt.runtime = runtime;
+    det::DeterministicStats stats;
+    auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) {
+      out.deterministic =
+          Transcript{BasisHash(problem, *result), stats.iterations,
+                     stats.successful_iterations, stats.merge_rounds,
+                     stats.candidate_bytes, stats.sample_bytes};
+    }
+  }
   return out;
 }
 
@@ -178,8 +197,8 @@ TEST(ShardedServiceTest, TranscriptsBitIdenticalAcrossShardAndThreadCounts) {
                            << " threads=" << threads;
     }
 
-    // The backend really ran the solves: every engine basis solve of the 9
-    // runs dispatched through a shard.
+    // The backend really ran the solves: every engine basis solve of the 12
+    // runs (4 models x 3 thread counts) dispatched through a shard.
     auto totals = service.total_stats();
     EXPECT_GT(totals.solves, 0u);
     EXPECT_EQ(totals.failed, 0u);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/core/lp_type.h"
 #include "src/util/bit_stream.h"
 #include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
@@ -58,6 +60,57 @@ inline SvmCase MakeSeparableSvmCase(size_t n, size_t d, double margin,
                                     uint64_t seed) {
   Rng rng(seed);
   return SvmCase{LinearSvm(d), workload::SeparableSvmData(n, d, margin, &rng)};
+}
+
+/// Planted-support separable SVM instance in 2D: the optimum is exactly
+/// w/margin with norm_squared 1/margin^2, supported by the two planted
+/// margin points. Both get the SAME raw perpendicular sign: under
+/// z = label * x the pair's perp components then have opposite signs, which
+/// puts w/margin inside their dual cone (with `side *` on the perp term the
+/// cone degenerates and the pair is NOT the support). Every other point is
+/// rejection-sampled outside a 50% moat, so the support is unique with a
+/// wide conditioning gap — unlike SeparableSvmData, which pushes every
+/// in-band point to the identical margin distance and manufactures massive
+/// support ties that stall the iterative QP dual ascent (see
+/// differential_random_test.cc for the measured tolerance this implies).
+inline std::vector<SvmPoint> PlantedSupportSvm(size_t n, double margin,
+                                               Rng* rng) {
+  Vec w(2);
+  double norm = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    w[i] = rng->Normal();
+    norm += w[i] * w[i];
+  }
+  norm = std::sqrt(norm);
+  for (size_t i = 0; i < 2; ++i) w[i] /= norm;
+  Vec perp(2);
+  perp[0] = -w[1];
+  perp[1] = w[0];
+  std::vector<SvmPoint> out;
+  out.reserve(n);
+  auto plant = [&](double side) {
+    SvmPoint p;
+    p.x = w * (side * margin) + perp * rng->UniformDouble(1.0, 8.0);
+    p.label = side >= 0 ? 1 : -1;
+    out.push_back(std::move(p));
+  };
+  plant(+1.0);
+  plant(-1.0);
+  const double moat = margin * 1.5;
+  while (out.size() < n) {
+    Vec x(2);
+    for (size_t i = 0; i < 2; ++i) x[i] = rng->UniformDouble(-10, 10);
+    double proj = w.Dot(x);
+    if (std::fabs(proj) < moat) continue;
+    SvmPoint p;
+    p.x = std::move(x);
+    p.label = proj >= 0 ? 1 : -1;
+    out.push_back(std::move(p));
+  }
+  // Move the planted pair off the fixed head positions.
+  std::swap(out[0], out[rng->UniformIndex(out.size())]);
+  std::swap(out[1], out[rng->UniformIndex(out.size())]);
+  return out;
 }
 
 struct MebCase {
@@ -118,7 +171,8 @@ void ExpectMatchesDirect(const P& problem,
 
 /// For identical inputs, the sequential reference (Algorithm 1), the
 /// streaming solver (Theorem 1), the coordinator solver (Theorem 2), the MPC
-/// solver (Theorem 3), and a direct solve must all report the same f(S).
+/// solver (Theorem 3), the sampling-free deterministic solver, and a direct
+/// solve must all report the same f(S).
 template <LpTypeProblem P>
 void CheckAllModelsAgree(const P& problem,
                          const std::vector<typename P::Constraint>& input,
@@ -168,6 +222,17 @@ void CheckAllModelsAgree(const P& problem,
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(problem.CompareValues(parallel->value, direct), 0)
       << "mpc != direct";
+
+  // The sampling-free model takes no seed at all; a contiguous partition
+  // keeps its whole run free of random bits.
+  auto parts3 = workload::Partition(input, 4, false, nullptr);
+  det::DeterministicOptions dopt;
+  dopt.r = 2;
+  dopt.net.scale = 0.1;
+  auto deterministic = det::SolveDeterministic(problem, parts3, dopt, nullptr);
+  ASSERT_TRUE(deterministic.ok());
+  EXPECT_EQ(problem.CompareValues(deterministic->value, direct), 0)
+      << "deterministic != direct";
 }
 
 }  // namespace testing_util
