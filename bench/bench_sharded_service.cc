@@ -1,20 +1,26 @@
 // Shard-scaling of the ShardedSolverService (src/runtime): the same job
 // mix, wall-clock vs shard count, for both submission styles (per-job
 // Submit vs coalesced BatchSubmit), plus the engine's SolveBackend seam
-// under a shard sweep. The `jobs` / `batches` / `routed_solves` counters
-// are deterministic under the fixed seeds; `rounds`/`KB` of the backend
-// sweep must not vary with the shard count (the determinism contract of
-// docs/runtime.md §"Sharded solver backend").
+// under a shard sweep — in-process and across a loopback Unix socket
+// (lp_served daemon + SocketSolveBackend). The `jobs` / `batches` /
+// `routed_solves` / `remote_solves` counters are deterministic under the
+// fixed seeds; `rounds`/`KB` of the backend sweeps must not vary with the
+// shard count or the transport (the determinism contract of
+// docs/runtime.md §"Sharded solver backend" and §"Wire protocol").
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <functional>
 #include <future>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/models/coordinator/coordinator_solver.h"
 #include "src/problems/linear_program.h"
+#include "src/runtime/lp_client.h"
+#include "src/runtime/lp_served.h"
 #include "src/runtime/sharded_solver_service.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -151,6 +157,71 @@ void BM_SolveBackendShardSweep(benchmark::State& state) {
 }
 
 BENCHMARK(BM_SolveBackendShardSweep)
+    ->ArgNames({"shards"})
+    ->Args({1})
+    ->Args({2})
+    ->Args({4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The same sweep across the process boundary: an in-process lp_served
+// daemon on a loopback Unix socket, the engine dispatching through
+// SocketSolveBackend (serialize job -> frame -> daemon shard -> frame ->
+// deserialize result). rounds/KB must equal the in-process lane above at
+// every shard count — the transport moves the work, never the transcript —
+// so the lane prices exactly the wire + socket overhead.
+void BM_LoopbackSolveBackendShardSweep(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  Rng rng(0xBACE);
+  auto inst = workload::RandomFeasibleLp(300000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 64, true, &rng);
+
+  const std::string socket_path = "/tmp/lplow_bench_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(shards) + ".sock";
+  coord::CoordinatorStats stats;
+  uint64_t remote = 0, fallbacks = 0;
+  for (auto _ : state) {
+    runtime::SolveDaemon::Options dopt;
+    dopt.socket_path = socket_path;
+    dopt.num_shards = shards;
+    dopt.threads_per_shard = 2;
+    auto daemon = runtime::SolveDaemon::Start(dopt);
+    if (!daemon.ok()) {
+      state.SkipWithError("daemon start failed");
+      break;
+    }
+    runtime::SocketSolveBackend::Options copt;
+    copt.endpoints = {socket_path};
+    auto client = runtime::SocketSolveBackend::Create(copt);
+    if (!client.ok()) {
+      state.SkipWithError("client create failed");
+      break;
+    }
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    opt.seed = 0xBACE;
+    opt.runtime.num_threads = 2;
+    opt.runtime.solver_backend = client->get();
+    opt.runtime.oversized_basis_threshold = 1;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+    remote = (*client)->stats().remote_success;
+    fallbacks = (*client)->stats().local_fallbacks;
+    (*daemon)->Shutdown();
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+  state.counters["remote_solves"] = static_cast<double>(remote);
+  state.counters["local_fallbacks"] = static_cast<double>(fallbacks);
+}
+
+BENCHMARK(BM_LoopbackSolveBackendShardSweep)
     ->ArgNames({"shards"})
     ->Args({1})
     ->Args({2})

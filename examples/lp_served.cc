@@ -1,0 +1,85 @@
+// lp_served: the cross-process solver daemon as a command-line program.
+// Listens on a Unix socket, drains wire-framed solve jobs into a
+// ShardedSolverService, and exits cleanly on a client's --shutdown (remote
+// shutdown is enabled here; embedded daemons keep it off).
+//
+//   lp_served [--socket=PATH] [--shards=N] [--threads=N] [--max-inflight=N]
+//
+// Pair with lp_client_demo:
+//   ./lp_served --socket=/tmp/lp.sock &
+//   ./lp_client_demo --socket=/tmp/lp.sock --shutdown
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/runtime/lp_served.h"
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lplow;
+
+  runtime::SolveDaemon::Options options;
+  options.socket_path = "/tmp/lplow_served.sock";
+  options.num_shards = 2;
+  options.threads_per_shard = 2;
+  options.allow_remote_shutdown = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const std::string arg = argv[i];
+    if (ParseFlag(arg, "socket", &value)) {
+      options.socket_path = value;
+    } else if (ParseFlag(arg, "shards", &value)) {
+      options.num_shards = static_cast<size_t>(std::strtoul(value.c_str(),
+                                                            nullptr, 10));
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.threads_per_shard =
+          static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "max-inflight", &value)) {
+      options.max_inflight =
+          static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: lp_served [--socket=PATH] [--shards=N] "
+                   "[--threads=N] [--max-inflight=N]\n");
+      return 2;
+    }
+  }
+
+  auto daemon = runtime::SolveDaemon::Start(options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "lp_served: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("lp_served: listening on %s (%zu shards x %zu threads)\n",
+              (*daemon)->socket_path().c_str(), (*daemon)->num_shards(),
+              options.threads_per_shard);
+  std::fflush(stdout);
+
+  (*daemon)->WaitForShutdownRequest();
+  (*daemon)->Shutdown();
+
+  auto stats = (*daemon)->stats();
+  std::printf("lp_served: shutting down — %llu connections, %llu requests, "
+              "%llu solved, %llu errors, %llu busy, %llu malformed\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.solved),
+              static_cast<unsigned long long>(stats.solve_errors),
+              static_cast<unsigned long long>(stats.busy_rejected),
+              static_cast<unsigned long long>(stats.malformed));
+  return 0;
+}

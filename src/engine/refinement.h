@@ -41,6 +41,7 @@
 #include "src/runtime/metrics.h"
 #include "src/runtime/solve_backend.h"
 #include "src/runtime/thread_pool.h"
+#include "src/runtime/wire.h"
 #include "src/util/logging.h"
 #include "src/util/status.h"
 
@@ -194,6 +195,13 @@ concept RefinementTransport =
 /// intra-solve parallelism. `solve_seq` numbers the dispatch within the run
 /// (iteration index; the fallback uses the iteration cap) so a sharded
 /// backend spreads a run's solves deterministically.
+///
+/// Backends that want serialized jobs (WantsSerialized — e.g. a
+/// SocketSolveBackend talking to an `lp_served` daemon) get the sample as a
+/// wire::SolveRequest payload instead of a closure; the decoded remote
+/// result is bit-identical to a local solve (raw double images cross the
+/// wire), and any remote failure falls back to the local closure path, so
+/// the transcript never depends on where the solve ran.
 template <LpTypeProblem P>
 BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
     const P& problem, const std::vector<typename P::Constraint>& sample,
@@ -215,8 +223,26 @@ BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
     runtime::SolveBackend* backend = policy.solver_backend != nullptr
                                          ? policy.solver_backend
                                          : &inline_backend;
-    backend->Execute(runtime::DeriveJobId(policy.job_id, solve_seq),
-                     policy.name, solve);
+    const uint64_t dispatch_id = runtime::DeriveJobId(policy.job_id, solve_seq);
+    if constexpr (runtime::wire::WireSolvable<P>) {
+      if (backend->WantsSerialized()) {
+        auto request = runtime::wire::EncodeSolveRequestPayload(
+            dispatch_id, problem,
+            std::span<const typename P::Constraint>(sample.data(),
+                                                    sample.size()));
+        std::vector<uint8_t> response;
+        if (backend->ExecuteSerialized(dispatch_id, policy.name, request,
+                                       &response)) {
+          auto remote = runtime::wire::DecodeSolveResponsePayload(
+              problem, response, dispatch_id);
+          if (remote.ok()) return std::move(remote).value();
+          LPLOW_LOG(kWarning) << policy.name << " remote solve failed ("
+                              << remote.status().ToString()
+                              << "); solving locally";
+        }
+      }
+    }
+    backend->Execute(dispatch_id, policy.name, solve);
   } else {
     solve();
   }

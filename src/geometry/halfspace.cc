@@ -13,6 +13,11 @@ void Halfspace::Serialize(BitWriter* w) const {
 Result<Halfspace> Halfspace::Deserialize(BitReader* r) {
   auto d = r->GetU32();
   if (!d.ok()) return d.status();
+  // Each coordinate costs 8 bytes: a declared dimension the buffer cannot
+  // hold is rejected before the allocation, not after reading past the end.
+  if (*d > r->remaining() / 8) {
+    return Status::OutOfRange("Halfspace dimension exceeds buffer");
+  }
   Halfspace h;
   h.a = Vec(*d);
   for (size_t i = 0; i < *d; ++i) {

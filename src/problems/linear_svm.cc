@@ -138,6 +138,11 @@ Result<LinearSvm::Constraint> LinearSvm::DeserializeConstraint(
     BitReader* r) const {
   auto d = r->GetU32();
   if (!d.ok()) return d.status();
+  // Reject dimensions the buffer cannot hold before allocating (8 bytes per
+  // coordinate): decoding untrusted input must fail cleanly, never OOM.
+  if (*d > r->remaining() / 8) {
+    return Status::OutOfRange("SvmPoint dimension exceeds buffer");
+  }
   Constraint c;
   c.x = Vec(*d);
   for (size_t i = 0; i < *d; ++i) {

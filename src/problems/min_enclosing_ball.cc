@@ -78,6 +78,11 @@ Result<MinEnclosingBall::Constraint> MinEnclosingBall::DeserializeConstraint(
     BitReader* r) const {
   auto d = r->GetU32();
   if (!d.ok()) return d.status();
+  // Reject dimensions the buffer cannot hold before allocating (8 bytes per
+  // coordinate): decoding untrusted input must fail cleanly, never OOM.
+  if (*d > r->remaining() / 8) {
+    return Status::OutOfRange("point dimension exceeds buffer");
+  }
   Vec p(*d);
   for (size_t i = 0; i < *d; ++i) {
     auto x = r->GetDouble();

@@ -51,6 +51,7 @@ class MinEnclosingBall {
   Result<Constraint> DeserializeConstraint(BitReader* r) const;
 
   size_t dim() const { return dim_; }
+  const Config& config() const { return config_; }
 
  private:
   size_t dim_;

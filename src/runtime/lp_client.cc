@@ -1,0 +1,376 @@
+#include "src/runtime/lp_client.h"
+
+#include <utility>
+
+#include "src/runtime/net_io.h"
+#include "src/runtime/wire.h"
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace runtime {
+
+struct SocketSolveBackend::Endpoint {
+  std::string path;
+  std::mutex mu;
+  std::vector<int> idle;  // Pooled connections, hello already consumed.
+  EndpointStats stats;
+};
+
+namespace {
+
+/// Scoped admission slot: blocks in the constructor until the in-flight
+/// count is under the cap, releases (and wakes one waiter) on destruction.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(std::mutex* mu, std::condition_variable* cv, size_t* inflight,
+                size_t cap)
+      : mu_(mu), cv_(cv), inflight_(inflight), cap_(cap) {
+    if (cap_ == 0) return;
+    std::unique_lock<std::mutex> lock(*mu_);
+    cv_->wait(lock, [this] { return *inflight_ < cap_; });
+    ++*inflight_;
+  }
+  ~AdmissionSlot() {
+    if (cap_ == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      --*inflight_;
+    }
+    cv_->notify_one();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  std::mutex* mu_;
+  std::condition_variable* cv_;
+  size_t* inflight_;
+  size_t cap_;
+};
+
+}  // namespace
+
+SocketSolveBackend::SocketSolveBackend(const Options& options)
+    : options_(options) {
+  for (const std::string& path : options.endpoints) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->path = path;
+    endpoints_.push_back(std::move(ep));
+  }
+  MetricsRegistry* metrics =
+      options.metrics != nullptr ? options.metrics : &MetricsRegistry::Global();
+  requests_counter_ = metrics->GetCounter("wire.client.requests");
+  remote_success_counter_ = metrics->GetCounter("wire.client.remote_success");
+  local_fallback_counter_ = metrics->GetCounter("wire.client.local_fallbacks");
+  failover_counter_ = metrics->GetCounter("wire.client.failovers");
+}
+
+Result<std::unique_ptr<SocketSolveBackend>> SocketSolveBackend::Create(
+    const Options& options) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument(
+        "SocketSolveBackend requires at least one endpoint");
+  }
+  if (options.max_attempts_per_endpoint < 1 || options.failover_threshold < 1) {
+    return Status::InvalidArgument(
+        "max_attempts_per_endpoint and failover_threshold must be >= 1");
+  }
+  return std::unique_ptr<SocketSolveBackend>(new SocketSolveBackend(options));
+}
+
+SocketSolveBackend::~SocketSolveBackend() { CloseIdleConnections(); }
+
+void SocketSolveBackend::CloseIdleConnections() {
+  for (auto& ep : endpoints_) {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    for (int fd : ep->idle) net::CloseFd(fd);
+    ep->idle.clear();
+  }
+}
+
+const std::string& SocketSolveBackend::endpoint_path(size_t i) const {
+  return endpoints_[i]->path;
+}
+
+SocketSolveBackend::Stats SocketSolveBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+SocketSolveBackend::EndpointStats SocketSolveBackend::endpoint_stats(
+    size_t endpoint) const {
+  Endpoint& ep = *endpoints_[endpoint];
+  std::lock_guard<std::mutex> lock(ep.mu);
+  return ep.stats;
+}
+
+bool SocketSolveBackend::EndpointHealthy(const Endpoint& ep) const {
+  return ep.stats.consecutive_failures < options_.failover_threshold;
+}
+
+void SocketSolveBackend::NoteResult(Endpoint& ep, bool success) {
+  std::lock_guard<std::mutex> lock(ep.mu);
+  if (success) {
+    ep.stats.successes++;
+    ep.stats.consecutive_failures = 0;
+  } else {
+    ep.stats.failures++;
+    ep.stats.consecutive_failures++;
+  }
+  ep.stats.healthy = EndpointHealthy(ep);
+}
+
+Result<int> SocketSolveBackend::LeaseConnection(Endpoint& ep, bool* reused) {
+  {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    if (!ep.idle.empty()) {
+      int fd = ep.idle.back();
+      ep.idle.pop_back();
+      ep.stats.reuses++;
+      *reused = true;
+      return fd;
+    }
+  }
+  *reused = false;
+  LPLOW_ASSIGN_OR_RETURN(int fd, net::DialUnix(ep.path));
+  // The daemon greets every connection; consuming (and sanity-checking) the
+  // hello here means a pooled connection is always request-ready.
+  Result<wire::Frame> frame =
+      net::ReadFrame(fd, options_.hello_timeout_ms, options_.max_frame_payload);
+  if (!frame.ok()) {
+    net::CloseFd(fd);
+    return frame.status();
+  }
+  if (frame->header.kind != wire::FrameKind::kHello) {
+    net::CloseFd(fd);
+    return Status::InvalidArgument("expected hello frame from daemon");
+  }
+  Result<wire::Hello> hello = wire::DecodeHelloPayload(frame->payload);
+  if (!hello.ok()) {
+    net::CloseFd(fd);
+    return hello.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    ep.stats.dials++;
+  }
+  return fd;
+}
+
+void SocketSolveBackend::ReturnConnection(Endpoint& ep, int fd) {
+  std::lock_guard<std::mutex> lock(ep.mu);
+  if (ep.idle.size() < options_.max_pooled_connections) {
+    ep.idle.push_back(fd);
+    return;
+  }
+  net::CloseFd(fd);
+}
+
+Status SocketSolveBackend::TryEndpoint(Endpoint& ep,
+                                       const std::vector<uint8_t>& request,
+                                       uint64_t job_id,
+                                       std::vector<uint8_t>* response) {
+  Status last = Status::Internal("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts_per_endpoint;
+       ++attempt) {
+    bool reused = false;
+    Result<int> leased = LeaseConnection(ep, &reused);
+    if (!leased.ok()) {
+      // Dialing failed; another immediate dial would fail the same way.
+      NoteResult(ep, /*success=*/false);
+      return leased.status();
+    }
+    const int fd = *leased;
+    Status st = net::WriteFrame(fd, wire::FrameKind::kSolveRequest, request);
+    if (st.ok()) {
+      Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
+                                                 options_.max_frame_payload);
+      if (frame.ok()) {
+        switch (frame->header.kind) {
+          case wire::FrameKind::kSolveResponse: {
+            Result<wire::SolveResponseHead> head =
+                wire::PeekSolveResponseHead(frame->payload);
+            if (!head.ok() || head->job_id != job_id) {
+              // Desynced or garbled stream — this connection cannot be
+              // trusted for the next request either.
+              net::CloseFd(fd);
+              NoteResult(ep, /*success=*/false);
+              last = head.ok() ? Status::Internal(
+                                     "solve response for a different job id")
+                               : head.status();
+              continue;
+            }
+            ReturnConnection(ep, fd);
+            NoteResult(ep, /*success=*/true);
+            if (!head->status.ok()) {
+              // Deterministic server-side refusal: the daemon decoded the
+              // job and said no. Flagged FailedPrecondition so the caller
+              // skips failover (every replica would refuse identically)
+              // and solves locally.
+              return Status::FailedPrecondition("server refused solve: " +
+                                                head->status.ToString());
+            }
+            *response = std::move(frame->payload);
+            return Status::OK();
+          }
+          case wire::FrameKind::kBusy: {
+            // The daemon is saturated, not broken: keep the connection and
+            // the endpoint's health, let the caller fail over.
+            ReturnConnection(ep, fd);
+            return Status::ResourceExhausted("endpoint busy");
+          }
+          case wire::FrameKind::kError: {
+            net::CloseFd(fd);
+            NoteResult(ep, /*success=*/false);
+            return wire::DecodeErrorPayload(frame->payload);
+          }
+          default: {
+            net::CloseFd(fd);
+            NoteResult(ep, /*success=*/false);
+            last = Status::InvalidArgument("unexpected frame kind from daemon");
+            continue;
+          }
+        }
+      }
+      st = frame.status();
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // Timed out. The response may still arrive later, so the connection
+        // can never be reused — pooling it would hand a stale response to
+        // the next request.
+        net::CloseFd(fd);
+        NoteResult(ep, /*success=*/false);
+        return st;
+      }
+    }
+    // Write failed or the read hit a closed/garbled peer. A reused
+    // connection may simply have gone stale in the pool (the daemon
+    // restarted, an idle timeout...) — worth one fresh dial.
+    net::CloseFd(fd);
+    NoteResult(ep, /*success=*/false);
+    last = st;
+  }
+  return last;
+}
+
+bool SocketSolveBackend::ExecuteSerialized(uint64_t job_id, const char* kind,
+                                           const std::vector<uint8_t>& request,
+                                           std::vector<uint8_t>* response) {
+  (void)kind;
+  AdmissionSlot slot(&admission_mu_, &admission_cv_, &inflight_,
+                     options_.max_inflight);
+  requests_counter_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.requests++;
+  }
+  const size_t n = endpoints_.size();
+  const size_t home = static_cast<size_t>(StableJobHash(job_id) % n);
+  for (size_t offset = 0; offset < n; ++offset) {
+    Endpoint& ep = *endpoints_[(home + offset) % n];
+    if (offset > 0) {
+      // Skip endpoints already marked down — but the home endpoint (offset
+      // 0) is always probed, so a revived daemon gets rediscovered and the
+      // routing returns to its stable assignment.
+      bool healthy;
+      {
+        std::lock_guard<std::mutex> lock(ep.mu);
+        healthy = EndpointHealthy(ep);
+      }
+      if (!healthy) continue;
+      failover_counter_->Increment();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.failovers++;
+    }
+    Status st = TryEndpoint(ep, request, job_id, response);
+    if (st.ok()) {
+      remote_success_counter_->Increment();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.remote_success++;
+      return true;
+    }
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      // Deterministic server refusal: identical on every replica, so
+      // failover is pointless — straight to the local fallback.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.remote_errors++;
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (st.code() == StatusCode::kResourceExhausted) {
+        if (st.ToString().find("busy") != std::string::npos) {
+          stats_.busy++;
+        } else {
+          stats_.timeouts++;
+        }
+      }
+    }
+    LPLOW_LOG(kWarning) << "endpoint " << ep.path << " failed ("
+                        << st.ToString() << "); "
+                        << (offset + 1 < n ? "failing over" : "falling back");
+  }
+  return false;
+}
+
+void SocketSolveBackend::Execute(uint64_t job_id, const char* kind,
+                                 const std::function<void()>& task) {
+  (void)job_id;
+  (void)kind;
+  task();
+  local_fallback_counter_->Increment();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.local_fallbacks++;
+}
+
+Status SocketSolveBackend::Ping(size_t endpoint) {
+  if (endpoint >= endpoints_.size()) {
+    return Status::InvalidArgument("endpoint index out of range");
+  }
+  Endpoint& ep = *endpoints_[endpoint];
+  bool reused = false;
+  LPLOW_ASSIGN_OR_RETURN(int fd, LeaseConnection(ep, &reused));
+  Status st = net::WriteFrame(fd, wire::FrameKind::kPing, {});
+  if (st.ok()) {
+    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
+                                               options_.max_frame_payload);
+    if (frame.ok() && frame->header.kind == wire::FrameKind::kPong) {
+      ReturnConnection(ep, fd);
+      NoteResult(ep, /*success=*/true);
+      return Status::OK();
+    }
+    st = frame.ok() ? Status::InvalidArgument("expected pong from daemon")
+                    : frame.status();
+  }
+  net::CloseFd(fd);
+  NoteResult(ep, /*success=*/false);
+  return st;
+}
+
+Status SocketSolveBackend::RequestServerShutdown(size_t endpoint) {
+  if (endpoint >= endpoints_.size()) {
+    return Status::InvalidArgument("endpoint index out of range");
+  }
+  Endpoint& ep = *endpoints_[endpoint];
+  bool reused = false;
+  LPLOW_ASSIGN_OR_RETURN(int fd, LeaseConnection(ep, &reused));
+  Status st = net::WriteFrame(fd, wire::FrameKind::kShutdown, {});
+  if (st.ok()) {
+    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
+                                               options_.max_frame_payload);
+    if (frame.ok() && frame->header.kind == wire::FrameKind::kPong) {
+      st = Status::OK();
+    } else if (frame.ok() && frame->header.kind == wire::FrameKind::kError) {
+      st = wire::DecodeErrorPayload(frame->payload);
+    } else if (frame.ok()) {
+      st = Status::InvalidArgument("unexpected reply to shutdown");
+    } else {
+      st = frame.status();
+    }
+  }
+  // The daemon is exiting (or refused); either way this connection is done.
+  net::CloseFd(fd);
+  return st;
+}
+
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,162 @@
+// SocketSolveBackend: the engine-side client of the `lp_served` daemon — a
+// runtime::SolveBackend whose heavy basis solves cross the process boundary
+// as wire frames (src/runtime/wire.h) over pooled Unix-socket connections.
+//
+// Dispatch path: the engine checks WantsSerialized() (true here), encodes
+// the solve job, and calls ExecuteSerialized. The client routes the job to
+// its home endpoint (StableJobHash(job_id) % endpoints — the same stable
+// rule the daemon's shards use), leases a pooled connection or dials a new
+// one, and exchanges request/response with a per-request deadline.
+//
+// Failure ladder, in order:
+//   1. retry on the same endpoint (a pooled connection may be stale);
+//   2. fail over to the next *healthy* endpoint (an endpoint goes unhealthy
+//      after `failover_threshold` consecutive failures; one success heals
+//      it, and the home endpoint is always probed so a revived daemon is
+//      rediscovered);
+//   3. return false — the engine then runs the solve locally via Execute(),
+//      which is bit-identical by the determinism contract, so failover
+//      never changes results, only where the work ran.
+//
+// Backpressure: at most `max_inflight` ExecuteSerialized calls are admitted
+// concurrently (a condition-variable gate); a kBusy answer from the daemon
+// is not retried on that endpoint — it fails over or falls back.
+
+#ifndef LPLOW_RUNTIME_LP_CLIENT_H_
+#define LPLOW_RUNTIME_LP_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/runtime/metrics.h"
+#include "src/runtime/solve_backend.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace runtime {
+
+class SocketSolveBackend final : public SolveBackend {
+ public:
+  struct Options {
+    /// Unix socket paths of the lp_served endpoints (>= 1 required).
+    std::vector<std::string> endpoints;
+    /// Idle connections kept per endpoint; extras are closed on release.
+    size_t max_pooled_connections = 4;
+    /// Concurrent ExecuteSerialized calls admitted; 0 = unlimited. Callers
+    /// over the cap block (backpressure), they are never dropped.
+    size_t max_inflight = 0;
+    /// Deadline for one request/response exchange. A timed-out connection
+    /// is closed, never pooled again — its response may still arrive and
+    /// must not be read as the answer to a later request.
+    int request_timeout_ms = 30'000;
+    /// Deadline for the daemon's hello on a fresh connection.
+    int hello_timeout_ms = 5'000;
+    /// Tries on one endpoint before failing over (>= 1; the first try may
+    /// hit a stale pooled connection, so 2 is the useful default).
+    int max_attempts_per_endpoint = 2;
+    /// Consecutive failures that mark an endpoint unhealthy (skipped during
+    /// failover until a probe succeeds).
+    int failover_threshold = 3;
+    uint32_t max_frame_payload = 64u << 20;
+    /// Registry for wire.client.* metrics; null = MetricsRegistry::Global().
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Cross-endpoint accounting (per-endpoint detail in endpoint_stats()).
+  struct Stats {
+    uint64_t requests = 0;        // ExecuteSerialized calls.
+    uint64_t remote_success = 0;  // Served remotely, response returned.
+    uint64_t remote_errors = 0;   // Server said no, deterministically.
+    uint64_t busy = 0;            // kBusy answers.
+    uint64_t timeouts = 0;        // Exchanges cut by the deadline.
+    uint64_t failovers = 0;       // Jobs moved off their home endpoint.
+    uint64_t local_fallbacks = 0; // Execute() closures run in-process.
+  };
+
+  struct EndpointStats {
+    uint64_t dials = 0;
+    uint64_t reuses = 0;  // Pooled-connection leases.
+    uint64_t successes = 0;
+    uint64_t failures = 0;
+    int consecutive_failures = 0;
+    bool healthy = true;
+  };
+
+  static Result<std::unique_ptr<SocketSolveBackend>> Create(
+      const Options& options);
+
+  ~SocketSolveBackend() override;
+
+  SocketSolveBackend(const SocketSolveBackend&) = delete;
+  SocketSolveBackend& operator=(const SocketSolveBackend&) = delete;
+
+  bool WantsSerialized() const override { return true; }
+
+  /// Ships `request` to the job's endpoint (failing over per the ladder
+  /// above). True with `*response` filled when a daemon served it; false
+  /// when the caller must solve locally.
+  bool ExecuteSerialized(uint64_t job_id, const char* kind,
+                         const std::vector<uint8_t>& request,
+                         std::vector<uint8_t>* response) override;
+
+  /// The local-fallback leg: runs `task` inline on the calling thread.
+  void Execute(uint64_t job_id, const char* kind,
+               const std::function<void()>& task) override;
+
+  /// Liveness probe: one kPing/kPong exchange with `endpoint`.
+  Status Ping(size_t endpoint);
+
+  /// Asks `endpoint`'s daemon to drain and exit (it must have been started
+  /// with allow_remote_shutdown).
+  Status RequestServerShutdown(size_t endpoint);
+
+  /// Closes every pooled connection (new requests dial fresh).
+  void CloseIdleConnections();
+
+  size_t num_endpoints() const { return endpoints_.size(); }
+  const std::string& endpoint_path(size_t i) const;
+  Stats stats() const;
+  EndpointStats endpoint_stats(size_t endpoint) const;
+
+ private:
+  struct Endpoint;
+
+  explicit SocketSolveBackend(const Options& options);
+
+  /// Leases a connection: pooled if available, else a fresh dial (hello
+  /// consumed). `reused` tells the caller whether a failure might just be
+  /// staleness worth one retry.
+  Result<int> LeaseConnection(Endpoint& ep, bool* reused);
+  void ReturnConnection(Endpoint& ep, int fd);
+  void NoteResult(Endpoint& ep, bool success);
+  bool EndpointHealthy(const Endpoint& ep) const;
+
+  /// One request/response on one endpoint (with the per-endpoint retry).
+  /// kBusy comes back as ResourceExhausted("...busy...").
+  Status TryEndpoint(Endpoint& ep, const std::vector<uint8_t>& request,
+                     uint64_t job_id, std::vector<uint8_t>* response);
+
+  Options options_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  Counter* requests_counter_;
+  Counter* remote_success_counter_;
+  Counter* local_fallback_counter_;
+  Counter* failover_counter_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t inflight_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_LP_CLIENT_H_

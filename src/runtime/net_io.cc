@@ -1,0 +1,162 @@
+#include "src/runtime/net_io.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace lplow {
+namespace runtime {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+/// Milliseconds left until `deadline`; -1 when there is no deadline.
+int RemainingMs(const std::chrono::steady_clock::time_point* deadline) {
+  if (deadline == nullptr) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  *deadline - std::chrono::steady_clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+Result<int> DialUnix(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path empty or too long: " + path);
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status st = Errno(("connect " + path).c_str());
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ListenUnix(const std::string& path, int backlog) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path empty or too long: " + path);
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // stale files are the common case after a crash, so remove first.
+  unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno(("bind " + path).c_str());
+    CloseFd(fd);
+    return st;
+  }
+  if (listen(fd, backlog) < 0) {
+    Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  while (true) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, uint8_t* out, size_t size, int timeout_ms) {
+  std::chrono::steady_clock::time_point deadline_storage;
+  const std::chrono::steady_clock::time_point* deadline = nullptr;
+  if (timeout_ms >= 0) {
+    deadline_storage = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
+  size_t got = 0;
+  while (got < size) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready;
+    do {
+      ready = poll(&pfd, 1, RemainingMs(deadline));
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return Errno("poll");
+    if (ready == 0) return Status::ResourceExhausted("read timed out");
+    ssize_t n = recv(fd, out + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::OutOfRange("connection closed by peer");
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, wire::FrameKind kind,
+                  const std::vector<uint8_t>& payload) {
+  auto frame = wire::EncodeFrame(
+      kind, std::span<const uint8_t>(payload.data(), payload.size()));
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<wire::Frame> ReadFrame(int fd, int timeout_ms, uint32_t max_payload) {
+  uint8_t header_bytes[wire::kFrameHeaderBytes];
+  LPLOW_RETURN_IF_ERROR(
+      ReadExact(fd, header_bytes, sizeof(header_bytes), timeout_ms));
+  BitReader r(header_bytes, sizeof(header_bytes));
+  wire::Frame frame;
+  LPLOW_ASSIGN_OR_RETURN(frame.header,
+                         wire::DecodeFrameHeader(&r, max_payload));
+  frame.payload.resize(frame.header.payload_size);
+  if (frame.header.payload_size > 0) {
+    LPLOW_RETURN_IF_ERROR(ReadExact(fd, frame.payload.data(),
+                                    frame.payload.size(), timeout_ms));
+  }
+  return frame;
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = close(fd);
+  } while (rc < 0 && errno == EINTR);
+}
+
+}  // namespace net
+}  // namespace runtime
+}  // namespace lplow

@@ -1,0 +1,57 @@
+// Blocking Unix-domain socket helpers shared by the `lp_served` daemon and
+// the SocketSolveBackend client: dial/listen plus framed reads and writes
+// of the wire protocol (src/runtime/wire.h).
+//
+// All reads honor a millisecond deadline (poll + recv loops, EINTR-safe);
+// -1 blocks indefinitely. Errors come back as Status — a timeout is
+// ResourceExhausted("...timed out..."), a peer close is OutOfRange, so the
+// client can account them separately. Writes use MSG_NOSIGNAL: a dead peer
+// is an error, never a SIGPIPE.
+
+#ifndef LPLOW_RUNTIME_NET_IO_H_
+#define LPLOW_RUNTIME_NET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/wire.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace runtime {
+namespace net {
+
+/// Connects to the Unix socket at `path`. Returns the connected fd.
+Result<int> DialUnix(const std::string& path);
+
+/// Binds and listens on `path` (unlinking any stale socket file first).
+Result<int> ListenUnix(const std::string& path, int backlog);
+
+/// Accepts one connection; returns the fd, or an error when the listen fd
+/// was closed (the daemon's shutdown path).
+Result<int> AcceptConnection(int listen_fd);
+
+/// Writes all of `data` (EINTR-safe, MSG_NOSIGNAL).
+Status WriteAll(int fd, const uint8_t* data, size_t size);
+
+/// Reads exactly `size` bytes within `timeout_ms` (-1 = no deadline).
+Status ReadExact(int fd, uint8_t* out, size_t size, int timeout_ms);
+
+/// Writes one framed message.
+Status WriteFrame(int fd, wire::FrameKind kind,
+                  const std::vector<uint8_t>& payload);
+
+/// Reads one framed message: 10-byte header, validation, then the payload,
+/// all within `timeout_ms`.
+Result<wire::Frame> ReadFrame(int fd, int timeout_ms,
+                              uint32_t max_payload = wire::kMaxFramePayload);
+
+/// close(fd), EINTR-safe and null-tolerant (fd < 0 is a no-op).
+void CloseFd(int fd);
+
+}  // namespace net
+}  // namespace runtime
+}  // namespace lplow
+
+#endif  // LPLOW_RUNTIME_NET_IO_H_

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/runtime/thread_pool.h"
 
@@ -54,6 +55,30 @@ class SolveBackend {
   /// the dispatch for accounting ("SolveCoordinator", ...).
   virtual void Execute(uint64_t job_id, const char* kind,
                        const std::function<void()>& task) = 0;
+
+  /// True when the backend prefers jobs as wire bytes (a socket-served
+  /// backend cannot ship a closure across the process boundary). Callers
+  /// check this before paying for request serialization, so in-process
+  /// backends never do.
+  virtual bool WantsSerialized() const { return false; }
+
+  /// Serialized dispatch: `request` is a wire::SolveRequest payload
+  /// (src/runtime/wire.h); on success `*response` holds the matching
+  /// SolveResponse payload and the call returns true. Returning false means
+  /// the job was NOT executed remotely — unsupported backend, every
+  /// endpoint down, or a deterministic server-side error — and the caller
+  /// must fall back to Execute() with the local closure. That fallback is
+  /// the graceful-failover contract: results are bit-identical either way
+  /// (docs/runtime.md §"Wire protocol").
+  virtual bool ExecuteSerialized(uint64_t job_id, const char* kind,
+                                 const std::vector<uint8_t>& request,
+                                 std::vector<uint8_t>* response) {
+    (void)job_id;
+    (void)kind;
+    (void)request;
+    (void)response;
+    return false;
+  }
 };
 
 /// The default backend: run on `pool` via a helping TaskGroup wait, or

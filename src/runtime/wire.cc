@@ -1,0 +1,364 @@
+#include "src/runtime/wire.h"
+
+#include <string>
+
+namespace lplow {
+namespace runtime {
+namespace wire {
+
+namespace {
+
+// Shared vector codec for configs and values (the constraint codecs stay
+// with their problems). Same pre-allocation discipline as the constraint
+// decoders: validate the declared dimension against the remaining bytes
+// before constructing the Vec.
+void EncodeVec(const Vec& v, BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(v.dim()));
+  for (size_t i = 0; i < v.dim(); ++i) w->PutDouble(v[i]);
+}
+
+Result<Vec> DecodeVec(BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, r->GetU32());
+  if (dim > r->remaining() / 8) {
+    return Status::OutOfRange("vector dimension exceeds payload");
+  }
+  Vec v(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    LPLOW_ASSIGN_OR_RETURN(v[i], r->GetDouble());
+  }
+  return v;
+}
+
+Result<uint32_t> DecodeProblemDim(BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, r->GetU32());
+  // The problem ctors CHECK dim >= 1; a decoder must return Status instead
+  // of tripping an assert on hostile input.
+  if (dim < 1 || dim > kMaxWireDim) {
+    return Status::InvalidArgument("problem dimension out of range");
+  }
+  return dim;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- frames
+
+void EncodeFrameHeader(FrameKind kind, uint32_t payload_size, BitWriter* w) {
+  w->PutU32(kMagic);
+  w->PutU8(kWireVersion);
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutU32(payload_size);
+}
+
+Result<FrameHeader> DecodeFrameHeader(BitReader* r, uint32_t max_payload) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t magic, r->GetU32());
+  if (magic != kMagic) return Status::InvalidArgument("bad frame magic");
+  FrameHeader header;
+  LPLOW_ASSIGN_OR_RETURN(header.version, r->GetU8());
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(header.version) +
+        " (this peer speaks " + std::to_string(kWireVersion) + ")");
+  }
+  LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind < static_cast<uint8_t>(FrameKind::kHello) ||
+      kind > static_cast<uint8_t>(FrameKind::kShutdown)) {
+    return Status::InvalidArgument("unknown frame kind " +
+                                   std::to_string(kind));
+  }
+  header.kind = static_cast<FrameKind>(kind);
+  LPLOW_ASSIGN_OR_RETURN(header.payload_size, r->GetU32());
+  if (header.payload_size > max_payload) {
+    return Status::ResourceExhausted(
+        "frame payload " + std::to_string(header.payload_size) +
+        " exceeds limit " + std::to_string(max_payload));
+  }
+  return header;
+}
+
+std::vector<uint8_t> EncodeFrame(FrameKind kind,
+                                 std::span<const uint8_t> payload) {
+  BitWriter w;
+  EncodeFrameHeader(kind, static_cast<uint32_t>(payload.size()), &w);
+  w.PutBytes(payload.data(), payload.size());
+  return w.Release();
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+                          uint32_t max_payload) {
+  BitReader r(data, size);
+  Frame frame;
+  LPLOW_ASSIGN_OR_RETURN(frame.header, DecodeFrameHeader(&r, max_payload));
+  if (r.remaining() < frame.header.payload_size) {
+    return Status::OutOfRange("truncated frame payload");
+  }
+  frame.payload.resize(frame.header.payload_size);
+  LPLOW_RETURN_IF_ERROR(
+      r.GetBytes(frame.payload.data(), frame.payload.size()));
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  return frame;
+}
+
+// ------------------------------------------------------- control payloads
+
+std::vector<uint8_t> EncodeHelloPayload(const Hello& hello) {
+  BitWriter w;
+  w.PutVarU64(hello.num_shards);
+  w.PutVarU64(hello.max_inflight);
+  return w.Release();
+}
+
+Result<Hello> DecodeHelloPayload(const std::vector<uint8_t>& payload) {
+  BitReader r(payload);
+  Hello hello;
+  LPLOW_ASSIGN_OR_RETURN(hello.num_shards, r.GetVarU64());
+  LPLOW_ASSIGN_OR_RETURN(hello.max_inflight, r.GetVarU64());
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in hello");
+  }
+  return hello;
+}
+
+std::vector<uint8_t> EncodeErrorPayload(const Status& status) {
+  BitWriter w;
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Release();
+}
+
+Status DecodeErrorPayload(const std::vector<uint8_t>& payload) {
+  BitReader r(payload);
+  auto code = r.GetU8();
+  if (!code.ok()) return code.status();
+  auto message = r.GetString();
+  if (!message.ok()) return message.status();
+  if (*code == 0 || *code > static_cast<uint8_t>(StatusCode::kSamplingFailed)) {
+    return Status::InvalidArgument("error payload carries unknown status");
+  }
+  return Status(static_cast<StatusCode>(*code), *std::move(message));
+}
+
+// --------------------------------------------------------- solve payloads
+
+Result<SolveRequestHead> PeekSolveRequestHead(
+    const std::vector<uint8_t>& payload) {
+  BitReader r(payload);
+  SolveRequestHead head;
+  LPLOW_ASSIGN_OR_RETURN(head.job_id, r.GetU64());
+  LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind < static_cast<uint8_t>(ProblemKind::kLinearProgram) ||
+      kind > static_cast<uint8_t>(ProblemKind::kMinEnclosingBall)) {
+    return Status::InvalidArgument("unknown problem kind " +
+                                   std::to_string(kind));
+  }
+  head.problem = static_cast<ProblemKind>(kind);
+  return head;
+}
+
+Result<SolveResponseHead> PeekSolveResponseHead(
+    const std::vector<uint8_t>& payload) {
+  BitReader r(payload);
+  SolveResponseHead head;
+  LPLOW_ASSIGN_OR_RETURN(head.job_id, r.GetU64());
+  LPLOW_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  LPLOW_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  if (code > static_cast<uint8_t>(StatusCode::kSamplingFailed)) {
+    return Status::InvalidArgument("solve response carries unknown status");
+  }
+  head.status = code == 0
+                    ? Status::OK()
+                    : Status(static_cast<StatusCode>(code), std::move(message));
+  return head;
+}
+
+std::vector<uint8_t> EncodeSolveErrorResponsePayload(uint64_t job_id,
+                                                     const Status& status) {
+  BitWriter w;
+  w.PutU64(job_id);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Release();
+}
+
+// ---------------------------------------------------------- problem codecs
+
+void ProblemCodec<LinearProgram>::EncodeProblem(const LinearProgram& p,
+                                                BitWriter* w) {
+  EncodeVec(p.objective(), w);
+  const SolverConfig& c = p.solver_config();
+  w->PutDouble(c.feas_tol);
+  w->PutDouble(c.tight_tol);
+  w->PutDouble(c.lex_slack);
+  w->PutDouble(c.pivot_tol);
+  w->PutDouble(c.violation_tol);
+  w->PutDouble(c.compare_tol);
+  w->PutDouble(c.box_bound);
+  w->PutU64(c.seed);
+}
+
+Result<LinearProgram> ProblemCodec<LinearProgram>::DecodeProblem(
+    BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(Vec objective, DecodeVec(r));
+  if (objective.dim() < 1 || objective.dim() > kMaxWireDim) {
+    return Status::InvalidArgument("problem dimension out of range");
+  }
+  SolverConfig c;
+  LPLOW_ASSIGN_OR_RETURN(c.feas_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.tight_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.lex_slack, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.pivot_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.violation_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.compare_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.box_bound, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.seed, r->GetU64());
+  return LinearProgram(std::move(objective), c);
+}
+
+void ProblemCodec<LinearProgram>::EncodeValue(const LinearProgram::Value& v,
+                                              BitWriter* w) {
+  w->PutU8(v.feasible ? 1 : 0);
+  EncodeVec(v.point, w);
+  w->PutDouble(v.objective);
+}
+
+Result<LinearProgram::Value> ProblemCodec<LinearProgram>::DecodeValue(
+    BitReader* r) {
+  LinearProgram::Value v;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t feasible, r->GetU8());
+  v.feasible = feasible != 0;
+  LPLOW_ASSIGN_OR_RETURN(v.point, DecodeVec(r));
+  LPLOW_ASSIGN_OR_RETURN(v.objective, r->GetDouble());
+  return v;
+}
+
+void ProblemCodec<LinearSvm>::EncodeProblem(const LinearSvm& p,
+                                            BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(p.dim()));
+  const LinearSvm::Config& c = p.config();
+  w->PutDouble(c.solver.kkt_tol);
+  w->PutVarU64(c.solver.max_epochs);
+  w->PutDouble(c.solver.infeasible_norm_cap);
+  w->PutDouble(c.solver.active_tol);
+  w->PutDouble(c.margin_tol);
+  w->PutDouble(c.value_tol);
+}
+
+Result<LinearSvm> ProblemCodec<LinearSvm>::DecodeProblem(BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, DecodeProblemDim(r));
+  LinearSvm::Config c;
+  LPLOW_ASSIGN_OR_RETURN(c.solver.kkt_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(uint64_t max_epochs, r->GetVarU64());
+  c.solver.max_epochs = static_cast<size_t>(max_epochs);
+  LPLOW_ASSIGN_OR_RETURN(c.solver.infeasible_norm_cap, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.solver.active_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.margin_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.value_tol, r->GetDouble());
+  return LinearSvm(dim, c);
+}
+
+void ProblemCodec<LinearSvm>::EncodeValue(const LinearSvm::Value& v,
+                                          BitWriter* w) {
+  w->PutU8(v.separable ? 1 : 0);
+  w->PutDouble(v.norm_squared);
+  EncodeVec(v.u, w);
+}
+
+Result<LinearSvm::Value> ProblemCodec<LinearSvm>::DecodeValue(BitReader* r) {
+  LinearSvm::Value v;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t separable, r->GetU8());
+  v.separable = separable != 0;
+  LPLOW_ASSIGN_OR_RETURN(v.norm_squared, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(v.u, DecodeVec(r));
+  return v;
+}
+
+void ProblemCodec<MinEnclosingBall>::EncodeProblem(const MinEnclosingBall& p,
+                                                   BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(p.dim()));
+  const MinEnclosingBall::Config& c = p.config();
+  w->PutDouble(c.solver.tol);
+  w->PutU64(c.solver.seed);
+  w->PutDouble(c.contain_tol);
+  w->PutDouble(c.value_tol);
+}
+
+Result<MinEnclosingBall> ProblemCodec<MinEnclosingBall>::DecodeProblem(
+    BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, DecodeProblemDim(r));
+  MinEnclosingBall::Config c;
+  LPLOW_ASSIGN_OR_RETURN(c.solver.tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.solver.seed, r->GetU64());
+  LPLOW_ASSIGN_OR_RETURN(c.contain_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.value_tol, r->GetDouble());
+  return MinEnclosingBall(dim, c);
+}
+
+void ProblemCodec<MinEnclosingBall>::EncodeValue(
+    const MinEnclosingBall::Value& v, BitWriter* w) {
+  EncodeVec(v.ball.center, w);
+  w->PutDouble(v.ball.radius);
+}
+
+Result<MinEnclosingBall::Value> ProblemCodec<MinEnclosingBall>::DecodeValue(
+    BitReader* r) {
+  MinEnclosingBall::Value v;
+  LPLOW_ASSIGN_OR_RETURN(v.ball.center, DecodeVec(r));
+  LPLOW_ASSIGN_OR_RETURN(v.ball.radius, r->GetDouble());
+  return v;
+}
+
+// ------------------------------------------------------------ daemon path
+
+namespace {
+
+/// Decodes problem + constraints from `r` (positioned after the request
+/// head), solves, and encodes the response. The one template the daemon's
+/// per-kind switch instantiates for each ProblemKind.
+template <WireSolvable P>
+Result<std::vector<uint8_t>> ServeTyped(BitReader* r, uint64_t job_id) {
+  LPLOW_ASSIGN_OR_RETURN(P problem, ProblemCodec<P>::DecodeProblem(r));
+  LPLOW_ASSIGN_OR_RETURN(uint64_t count, r->GetVarU64());
+  // Every serialized constraint is at least one byte, so a count beyond the
+  // remaining bytes cannot be honest — reject before reserving.
+  if (count > r->remaining()) {
+    return Status::OutOfRange("constraint count exceeds payload");
+  }
+  std::vector<typename P::Constraint> constraints;
+  constraints.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    LPLOW_ASSIGN_OR_RETURN(auto c, problem.DeserializeConstraint(r));
+    constraints.push_back(std::move(c));
+  }
+  if (!r->exhausted()) {
+    return Status::InvalidArgument("trailing bytes in solve request");
+  }
+  auto result = problem.SolveBasis(
+      std::span<const typename P::Constraint>(constraints));
+  return EncodeSolveResponsePayload(job_id, problem, result);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> ServeSolveRequestPayload(
+    const std::vector<uint8_t>& payload) {
+  LPLOW_ASSIGN_OR_RETURN(SolveRequestHead head,
+                         PeekSolveRequestHead(payload));
+  BitReader r(payload);
+  (void)r.GetU64();  // job id — validated by the peek above.
+  (void)r.GetU8();   // problem kind.
+  switch (head.problem) {
+    case ProblemKind::kLinearProgram:
+      return ServeTyped<LinearProgram>(&r, head.job_id);
+    case ProblemKind::kLinearSvm:
+      return ServeTyped<LinearSvm>(&r, head.job_id);
+    case ProblemKind::kMinEnclosingBall:
+      return ServeTyped<MinEnclosingBall>(&r, head.job_id);
+  }
+  return Status::InvalidArgument("unknown problem kind");
+}
+
+}  // namespace wire
+}  // namespace runtime
+}  // namespace lplow

@@ -28,6 +28,7 @@ void BitWriter::PutDouble(double v) {
 }
 
 void BitWriter::PutBytes(const void* data, size_t size) {
+  if (size == 0) return;  // data may be null for an empty span (vector.data()).
   const uint8_t* p = static_cast<const uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + size);
 }
@@ -37,20 +38,25 @@ void BitWriter::PutString(const std::string& s) {
   PutBytes(s.data(), s.size());
 }
 
+// Bounds checks are written as `size > size_ - pos_` (never `pos_ + size >
+// size_`): pos_ <= size_ is an invariant, so the subtraction cannot wrap,
+// whereas the addition wraps for attacker-controlled sizes near UINT64_MAX
+// and would let a huge read pass the check.
+
 Result<uint8_t> BitReader::GetU8() {
-  if (pos_ + 1 > size_) return Status::OutOfRange("GetU8 past end");
+  if (size_ - pos_ < 1) return Status::OutOfRange("GetU8 past end");
   return data_[pos_++];
 }
 
 Result<uint32_t> BitReader::GetU32() {
-  if (pos_ + 4 > size_) return Status::OutOfRange("GetU32 past end");
+  if (size_ - pos_ < 4) return Status::OutOfRange("GetU32 past end");
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
   return v;
 }
 
 Result<uint64_t> BitReader::GetU64() {
-  if (pos_ + 8 > size_) return Status::OutOfRange("GetU64 past end");
+  if (size_ - pos_ < 8) return Status::OutOfRange("GetU64 past end");
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
   return v;
@@ -69,7 +75,16 @@ Result<uint64_t> BitReader::GetVarU64() {
     if (pos_ >= size_) return Status::OutOfRange("GetVarU64 past end");
     if (shift >= 64) return Status::OutOfRange("GetVarU64 overlong encoding");
     uint8_t byte = data_[pos_++];
-    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    const uint64_t payload = byte & 0x7f;
+    // A payload bit that would land at position >= 64 corresponds to no
+    // uint64: reject instead of silently truncating (on the 10th byte,
+    // shift is 63 and only the low payload bit fits). Wire peers must
+    // agree byte-for-byte, so an overflowing encoding is an error, not a
+    // wrong value.
+    if (shift > 0 && (payload >> (64 - shift)) != 0) {
+      return Status::OutOfRange("GetVarU64 value overflows 64 bits");
+    }
+    v |= payload << shift;
     if (!(byte & 0x80)) break;
     shift += 7;
   }
@@ -86,7 +101,8 @@ Result<double> BitReader::GetDouble() {
 }
 
 Status BitReader::GetBytes(void* out, size_t size) {
-  if (pos_ + size > size_) return Status::OutOfRange("GetBytes past end");
+  if (size > size_ - pos_) return Status::OutOfRange("GetBytes past end");
+  if (size == 0) return Status::OK();  // out may be null for an empty span.
   std::memcpy(out, data_ + pos_, size);
   pos_ += size;
   return Status::OK();
@@ -95,9 +111,15 @@ Status BitReader::GetBytes(void* out, size_t size) {
 Result<std::string> BitReader::GetString() {
   auto len = GetVarU64();
   if (!len.ok()) return len.status();
-  if (pos_ + *len > size_) return Status::OutOfRange("GetString past end");
-  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
-  pos_ += *len;
+  // Compare in 64 bits before narrowing the declared length to size_t: on a
+  // 32-bit size_t a truncating cast would alias a huge length onto a small
+  // one and pass the bounds check.
+  if (*len > static_cast<uint64_t>(size_ - pos_)) {
+    return Status::OutOfRange("GetString past end");
+  }
+  const size_t n = static_cast<size_t>(*len);  // In range: bounded above.
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
   return s;
 }
 

@@ -48,11 +48,16 @@ class BitWriter {
 };
 
 /// Sequential decoder over a byte buffer. All getters fail with
-/// Status::OutOfRange on truncated input (never read past the end).
+/// Status::OutOfRange on truncated input (never read past the end). Safe on
+/// untrusted input: declared lengths are validated against the remaining
+/// bytes in 64-bit arithmetic before any allocation or copy.
 class BitReader {
  public:
   explicit BitReader(const std::vector<uint8_t>& buf)
       : data_(buf.data()), size_(buf.size()) {}
+  /// A reader only borrows the buffer; binding one to a temporary
+  /// (`BitReader r(writer.Release());`) would dangle immediately.
+  explicit BitReader(std::vector<uint8_t>&&) = delete;
   BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   Result<uint8_t> GetU8();

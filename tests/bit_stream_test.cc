@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
 #include "src/util/rng.h"
 
 namespace lplow {
@@ -86,6 +91,84 @@ TEST(BitStreamTest, RandomizedDoubleRoundTrip) {
   BitReader r(w.buffer());
   for (double v : values) EXPECT_EQ(*r.GetDouble(), v);
 }
+
+// --------------------------------------------------- adversarial decoding
+//
+// Regressions for the pre-hardening checks, which computed
+// `pos_ + size > size_` and wrapped for attacker-sized lengths: each of
+// these inputs used to pass the bounds check and read far out of bounds.
+
+TEST(BitStreamTest, GetStringRejectsHugeDeclaredLength) {
+  // Varint length near UINT64_MAX followed by no payload. The wrapped check
+  // `pos_ + len > size_` used to accept this and construct a ~2^64-byte
+  // string from out-of-bounds memory.
+  BitWriter w;
+  w.PutVarU64(std::numeric_limits<uint64_t>::max() - 1);
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, GetStringRejectsLengthJustPastEnd) {
+  BitWriter w;
+  w.PutVarU64(6);
+  w.PutBytes("hello", 5);  // One byte short of the declared length.
+  BitReader r(w.buffer());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, GetBytesRejectsWrappingSize) {
+  std::vector<uint8_t> buf = {1, 2, 3, 4};
+  uint8_t out[4];
+  BitReader r(buf);
+  ASSERT_TRUE(r.GetBytes(out, 2).ok());
+  // pos_ + SIZE_MAX wraps to pos_ - 1 and used to pass the check.
+  EXPECT_EQ(r.GetBytes(out, std::numeric_limits<size_t>::max()).code(),
+            StatusCode::kOutOfRange);
+  // The reader must still be usable at its old position afterwards.
+  EXPECT_EQ(r.remaining(), 2u);
+  ASSERT_TRUE(r.GetBytes(out, 2).ok());
+  EXPECT_EQ(out[1], 4);
+}
+
+TEST(BitStreamTest, VarintOverflowingTenthByteRejected) {
+  // Ten bytes whose 10th payload exceeds the single remaining bit: the old
+  // decoder silently dropped the bits above bit 63 and returned a wrong
+  // value instead of erroring.
+  std::vector<uint8_t> buf(10, 0xFF);
+  buf[9] = 0x7F;
+  BitReader r(buf);
+  EXPECT_EQ(r.GetVarU64().status().code(), StatusCode::kOutOfRange);
+
+  std::vector<uint8_t> two = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                              0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  BitReader r2(two);
+  EXPECT_EQ(r2.GetVarU64().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, VarintMaxCanonicalEncodingStillDecodes) {
+  // UINT64_MAX is exactly ten bytes with 0x01 last — the largest encoding
+  // that fits, and it must keep round-tripping.
+  std::vector<uint8_t> buf(10, 0xFF);
+  buf[9] = 0x01;
+  BitReader r(buf);
+  auto v = r.GetVarU64();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStreamTest, VarintElevenByteEncodingRejected) {
+  std::vector<uint8_t> buf(11, 0x80);
+  buf[10] = 0x01;
+  BitReader r(buf);
+  EXPECT_EQ(r.GetVarU64().status().code(), StatusCode::kOutOfRange);
+}
+
+// BitReader borrows its buffer, so binding to a temporary
+// (`BitReader r(writer.Release());`) would dangle — the rvalue overload is
+// deleted.
+static_assert(!std::is_constructible_v<BitReader, std::vector<uint8_t>&&>);
+static_assert(std::is_constructible_v<BitReader, const std::vector<uint8_t>&>);
 
 TEST(BitStreamTest, BytesRoundTrip) {
   BitWriter w;

@@ -1,0 +1,504 @@
+// lp_served daemon + SocketSolveBackend over loopback Unix sockets (label
+// `slow`; also in the TSan CI matrix). Pins the ISSUE's acceptance
+// contract: engine transcripts (deterministic counters + basis hashes) are
+// bit-identical between the serial path, the in-process
+// ShardedSolverService, and the socket-served backend across shard counts
+// {1,2,4} — plus the failure ladder: failover off a dead endpoint, local
+// fallback when every endpoint is dead, and clean handling of busy, mute
+// (timeout), and garbage-speaking servers.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/models/coordinator/coordinator_solver.h"
+#include "src/models/deterministic/deterministic_solver.h"
+#include "src/models/mpc/mpc_solver.h"
+#include "src/models/streaming/streaming_solver.h"
+#include "src/problems/linear_program.h"
+#include "src/runtime/lp_client.h"
+#include "src/runtime/lp_served.h"
+#include "src/runtime/net_io.h"
+#include "src/runtime/sharded_solver_service.h"
+#include "src/runtime/wire.h"
+#include "src/util/rng.h"
+#include "src/workload/generators.h"
+#include "tests/testing_util.h"
+
+namespace lplow {
+namespace {
+
+namespace wire = runtime::wire;
+namespace net = runtime::net;
+using runtime::MetricsRegistry;
+using runtime::ShardedSolverService;
+using runtime::SocketSolveBackend;
+using runtime::SolveDaemon;
+using testing_util::BasisHash;
+
+std::string TestSocketPath(const std::string& name) {
+  return "/tmp/lplow_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+// ------------------------------------------------ transcript fingerprints
+// Same fingerprint the in-process backend sweep pins
+// (sharded_service_test.cc): basis bytes + every deterministic counter.
+
+struct Transcript {
+  uint64_t basis_hash = 0;
+  uint64_t iterations = 0;
+  uint64_t successful = 0;
+  uint64_t rounds_or_passes = 0;
+  uint64_t bytes = 0;
+  uint64_t sample_bytes = 0;
+
+  bool operator==(const Transcript&) const = default;
+};
+
+struct ModelTranscripts {
+  Transcript coordinator;
+  Transcript mpc;
+  Transcript streaming;
+  Transcript deterministic;
+
+  bool operator==(const ModelTranscripts&) const = default;
+};
+
+template <LpTypeProblem P>
+ModelTranscripts RunAllModels(
+    const P& problem,
+    const std::vector<std::vector<typename P::Constraint>>& parts,
+    const std::vector<typename P::Constraint>& input,
+    const runtime::RuntimeOptions& runtime) {
+  ModelTranscripts out;
+  {
+    coord::CoordinatorOptions opt;
+    opt.net.scale = 0.1;
+    opt.seed = 0x5A4DED01ULL;
+    opt.runtime = runtime;
+    coord::CoordinatorStats stats;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) {
+      out.coordinator =
+          Transcript{BasisHash(problem, *result), stats.iterations,
+                     stats.successful_iterations, stats.rounds,
+                     stats.total_bytes, stats.sample_bytes};
+    }
+  }
+  {
+    mpc::MpcOptions opt;
+    opt.delta = 0.5;
+    opt.net.scale = 0.1;
+    opt.seed = 0x5A4DED02ULL;
+    opt.runtime = runtime;
+    mpc::MpcStats stats;
+    auto result = mpc::SolveMpc(problem, parts, opt, &stats);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) {
+      out.mpc = Transcript{BasisHash(problem, *result), stats.iterations,
+                           stats.successful_iterations, stats.rounds,
+                           stats.total_bytes, stats.sample_bytes};
+    }
+  }
+  {
+    stream::VectorStream<typename P::Constraint> vs(input);
+    stream::StreamingOptions opt;
+    opt.net.scale = 0.1;
+    opt.seed = 0x5A4DED03ULL;
+    opt.runtime = runtime;
+    stream::StreamingStats stats;
+    auto result = stream::SolveStreaming(problem, vs, opt, &stats);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) {
+      out.streaming =
+          Transcript{BasisHash(problem, *result), stats.iterations,
+                     stats.successful_iterations, stats.passes,
+                     stats.peak_bytes, stats.sample_bytes};
+    }
+  }
+  {
+    det::DeterministicOptions opt;
+    opt.net.scale = 0.1;
+    opt.runtime = runtime;
+    det::DeterministicStats stats;
+    auto result = det::SolveDeterministic(problem, parts, opt, &stats);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) {
+      out.deterministic =
+          Transcript{BasisHash(problem, *result), stats.iterations,
+                     stats.successful_iterations, stats.merge_rounds,
+                     stats.candidate_bytes, stats.sample_bytes};
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------- transcript identity
+
+TEST(SocketBackendTest, TranscriptsBitIdenticalOverLoopbackAcrossShards) {
+  auto c = testing_util::MakeFeasibleLpCase(1500, 2, 71);
+  Rng rng(0xD15C1ULL);
+  auto parts = workload::Partition(c.constraints, 8, true, &rng);
+
+  // Reference: the serial path, no backend.
+  ModelTranscripts want =
+      RunAllModels(c.problem, parts, c.constraints, runtime::RuntimeOptions{});
+  ASSERT_NE(want.coordinator, Transcript{});
+
+  // Cross-check: the in-process sharded backend reproduces it (so the
+  // loopback comparison below is a three-way identity).
+  {
+    MetricsRegistry reg;
+    ShardedSolverService::Options sopt;
+    sopt.num_shards = 2;
+    sopt.threads_per_shard = 2;
+    sopt.metrics = &reg;
+    ShardedSolverService service(sopt);
+    runtime::RuntimeOptions ropt;
+    ropt.num_threads = 2;
+    ropt.solver_backend = &service;
+    ropt.oversized_basis_threshold = 1;
+    EXPECT_EQ(RunAllModels(c.problem, parts, c.constraints, ropt), want)
+        << "in-process sharded transcript drifted";
+  }
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    MetricsRegistry reg;
+    SolveDaemon::Options dopt;
+    dopt.socket_path = TestSocketPath("loopback" + std::to_string(shards));
+    dopt.num_shards = shards;
+    dopt.threads_per_shard = 2;
+    dopt.metrics = &reg;
+    auto daemon = SolveDaemon::Start(dopt);
+    ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+    SocketSolveBackend::Options copt;
+    copt.endpoints = {dopt.socket_path};
+    copt.metrics = &reg;
+    auto client = SocketSolveBackend::Create(copt);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    runtime::RuntimeOptions ropt;
+    ropt.num_threads = 2;
+    ropt.solver_backend = client->get();
+    ropt.oversized_basis_threshold = 1;  // Route every basis solve.
+    ModelTranscripts got = RunAllModels(c.problem, parts, c.constraints, ropt);
+    EXPECT_EQ(got, want) << "loopback transcript drifted at shards=" << shards;
+
+    // The solves really crossed the socket: no local fallback ran, and the
+    // daemon solved exactly what the client counts as remote successes.
+    auto cstats = (*client)->stats();
+    EXPECT_GT(cstats.remote_success, 0u);
+    EXPECT_EQ(cstats.local_fallbacks, 0u);
+    EXPECT_EQ(cstats.remote_errors, 0u);
+    auto dstats = (*daemon)->stats();
+    EXPECT_EQ(dstats.solved, cstats.remote_success);
+    EXPECT_EQ(dstats.malformed, 0u);
+    EXPECT_GT((*daemon)->service().total_stats().solves, 0u);
+
+    (*daemon)->Shutdown();
+  }
+}
+
+// ------------------------------------------------------------- failover
+
+TEST(SocketBackendTest, FailsOverFromADeadEndpoint) {
+  auto c = testing_util::MakeFeasibleLpCase(64, 2, 5);
+
+  MetricsRegistry reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("failover_live");
+  dopt.num_shards = 2;
+  dopt.metrics = &reg;
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  SocketSolveBackend::Options copt;
+  // Endpoint 0 never existed; jobs homed there must fail over to 1.
+  copt.endpoints = {TestSocketPath("failover_dead"), dopt.socket_path};
+  copt.failover_threshold = 3;
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  size_t homed_dead = 0;
+  for (uint64_t job_id = 0; job_id < 24; ++job_id) {
+    if (runtime::StableJobHash(job_id) % 2 == 0) ++homed_dead;
+    auto request = wire::EncodeSolveRequestPayload(
+        job_id, c.problem,
+        std::span<const Halfspace>(c.constraints.data(),
+                                   c.constraints.size()));
+    std::vector<uint8_t> response;
+    ASSERT_TRUE(
+        (*client)->ExecuteSerialized(job_id, "test", request, &response))
+        << "job " << job_id << " was not served";
+    auto decoded =
+        wire::DecodeSolveResponsePayload(c.problem, response, job_id);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  }
+  ASSERT_GT(homed_dead, 0u);  // The hash really homed some jobs on the dead end.
+
+  auto stats = (*client)->stats();
+  EXPECT_EQ(stats.remote_success, 24u);
+  EXPECT_GT(stats.failovers, 0u);
+  auto dead = (*client)->endpoint_stats(0);
+  EXPECT_GT(dead.failures, 0u);
+  EXPECT_FALSE(dead.healthy);  // Threshold consecutive dial failures.
+  EXPECT_TRUE((*client)->endpoint_stats(1).healthy);
+  (*daemon)->Shutdown();
+}
+
+TEST(SocketBackendTest, AllEndpointsDeadFallsBackToIdenticalLocalSolve) {
+  auto c = testing_util::MakeFeasibleLpCase(400, 2, 9);
+  Rng rng(0xD15C1ULL);
+  auto parts = workload::Partition(c.constraints, 4, true, &rng);
+
+  ModelTranscripts want =
+      RunAllModels(c.problem, parts, c.constraints, runtime::RuntimeOptions{});
+
+  MetricsRegistry reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {TestSocketPath("dead0"), TestSocketPath("dead1")};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  runtime::RuntimeOptions ropt;
+  ropt.solver_backend = client->get();
+  ropt.oversized_basis_threshold = 1;
+  ModelTranscripts got = RunAllModels(c.problem, parts, c.constraints, ropt);
+  EXPECT_EQ(got, want)
+      << "local fallback transcript differs from the serial path";
+
+  auto stats = (*client)->stats();
+  EXPECT_EQ(stats.remote_success, 0u);
+  EXPECT_GT(stats.local_fallbacks, 0u);
+  EXPECT_EQ(stats.local_fallbacks, stats.requests);
+}
+
+// ----------------------------------------------------- hostile servers
+
+/// A scripted one-connection server: sends `hello_bytes` on accept, then
+/// answers every request frame with `reply` (empty = stay mute).
+class FakeServer {
+ public:
+  FakeServer(const std::string& path, std::vector<uint8_t> hello_bytes,
+             std::vector<uint8_t> reply)
+      : path_(path) {
+    auto listen = net::ListenUnix(path, 4);
+    EXPECT_TRUE(listen.ok()) << listen.status().ToString();
+    listen_fd_ = *listen;
+    thread_ = std::thread([this, hello = std::move(hello_bytes),
+                           reply = std::move(reply)] {
+      while (true) {
+        auto accepted = net::AcceptConnection(listen_fd_);
+        if (!accepted.ok()) return;  // Listen fd closed: shutting down.
+        int fd = *accepted;
+        if (!hello.empty()) {
+          (void)net::WriteAll(fd, hello.data(), hello.size());
+        }
+        // Serve request frames until the peer hangs up.
+        while (true) {
+          auto frame = net::ReadFrame(fd, /*timeout_ms=*/2000);
+          if (!frame.ok()) break;
+          if (reply.empty()) continue;  // Mute server: never answer.
+          if (!net::WriteAll(fd, reply.data(), reply.size()).ok()) break;
+        }
+        net::CloseFd(fd);
+      }
+    });
+  }
+
+  ~FakeServer() {
+    // shutdown() is what wakes a thread blocked in accept(2); close alone
+    // would leave it hanging.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    net::CloseFd(listen_fd_);
+    thread_.join();
+    ::unlink(path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+std::vector<uint8_t> ValidHelloBytes() {
+  wire::Hello hello;
+  hello.num_shards = 1;
+  return wire::EncodeFrame(wire::FrameKind::kHello,
+                           wire::EncodeHelloPayload(hello));
+}
+
+std::vector<uint8_t> SmallLpRequest(uint64_t job_id,
+                                    const testing_util::LpCase& c) {
+  return wire::EncodeSolveRequestPayload(
+      job_id, c.problem,
+      std::span<const Halfspace>(c.constraints.data(), c.constraints.size()));
+}
+
+TEST(SocketBackendTest, BusyServerMeansLocalFallbackNotAnError) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  const std::string path = TestSocketPath("busy");
+  FakeServer server(path, ValidHelloBytes(),
+                    wire::EncodeFrame(wire::FrameKind::kBusy, {}));
+
+  MetricsRegistry reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {path};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<uint8_t> response;
+  EXPECT_FALSE(
+      (*client)->ExecuteSerialized(1, "test", SmallLpRequest(1, c), &response));
+  auto stats = (*client)->stats();
+  EXPECT_GE(stats.busy, 1u);
+  // Busy is saturation, not breakage: the endpoint stays healthy.
+  EXPECT_TRUE((*client)->endpoint_stats(0).healthy);
+}
+
+TEST(SocketBackendTest, MuteServerTimesOutCleanly) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  const std::string path = TestSocketPath("mute");
+  FakeServer server(path, ValidHelloBytes(), /*reply=*/{});
+
+  MetricsRegistry reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {path};
+  copt.request_timeout_ms = 150;
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<uint8_t> response;
+  EXPECT_FALSE(
+      (*client)->ExecuteSerialized(2, "test", SmallLpRequest(2, c), &response));
+  EXPECT_GE((*client)->stats().timeouts, 1u);
+}
+
+TEST(SocketBackendTest, GarbageServerResponseHandledCleanly) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  const std::string path = TestSocketPath("garbage");
+  // 32 bytes that are not a frame (wrong magic).
+  FakeServer server(path, ValidHelloBytes(),
+                    std::vector<uint8_t>(32, uint8_t{0xAB}));
+
+  MetricsRegistry reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {path};
+  copt.request_timeout_ms = 1000;
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<uint8_t> response;
+  EXPECT_FALSE(
+      (*client)->ExecuteSerialized(3, "test", SmallLpRequest(3, c), &response));
+}
+
+// ------------------------------------------------- daemon-side protocol
+
+TEST(SocketBackendTest, PingPongAndRemoteShutdown) {
+  MetricsRegistry reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("shutdown");
+  dopt.num_shards = 1;
+  dopt.allow_remote_shutdown = true;
+  dopt.metrics = &reg;
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  EXPECT_TRUE((*client)->Ping(0).ok());
+  EXPECT_GE((*daemon)->stats().pings, 1u);
+
+  Status st = (*client)->RequestServerShutdown(0);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  (*daemon)->WaitForShutdownRequest();  // Returns promptly: flag is set.
+  (*daemon)->Shutdown();
+
+  // The daemon is gone: fresh connections fail.
+  (*client)->CloseIdleConnections();
+  EXPECT_FALSE((*client)->Ping(0).ok());
+}
+
+TEST(SocketBackendTest, RemoteShutdownRefusedWhenNotAllowed) {
+  MetricsRegistry reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("no_shutdown");
+  dopt.num_shards = 1;
+  dopt.metrics = &reg;  // allow_remote_shutdown defaults to false.
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok());
+
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  Status st = (*client)->RequestServerShutdown(0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // The daemon kept running.
+  EXPECT_TRUE((*client)->Ping(0).ok());
+  (*daemon)->Shutdown();
+}
+
+TEST(SocketBackendTest, DaemonSurvivesMalformedClient) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  MetricsRegistry reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("malformed");
+  dopt.num_shards = 1;
+  dopt.metrics = &reg;
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok());
+
+  {
+    // A peer speaking garbage: the daemon answers kError and cuts it off.
+    auto fd = net::DialUnix(dopt.socket_path);
+    ASSERT_TRUE(fd.ok());
+    auto hello = net::ReadFrame(*fd, 2000);
+    ASSERT_TRUE(hello.ok());
+    ASSERT_EQ(hello->header.kind, wire::FrameKind::kHello);
+    std::vector<uint8_t> garbage(wire::kFrameHeaderBytes, uint8_t{0xEE});
+    ASSERT_TRUE(net::WriteAll(*fd, garbage.data(), garbage.size()).ok());
+    auto reply = net::ReadFrame(*fd, 2000);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->header.kind, wire::FrameKind::kError);
+    net::CloseFd(*fd);
+  }
+  EXPECT_GE((*daemon)->stats().malformed, 1u);
+
+  // And a well-formed client is still served afterwards.
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+  std::vector<uint8_t> response;
+  EXPECT_TRUE(
+      (*client)->ExecuteSerialized(9, "test", SmallLpRequest(9, c), &response));
+  auto decoded = wire::DecodeSolveResponsePayload(c.problem, response, 9);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  (*daemon)->Shutdown();
+}
+
+}  // namespace
+}  // namespace lplow

@@ -1,0 +1,336 @@
+// Wire protocol (label `quick`, so the whole file also runs under the
+// ASan/UBSan CI lane): frame and payload round trips, the served-solve
+// response matching a direct SolveBasis byte-for-byte, and the adversarial
+// decode sweep — truncation at EVERY byte boundary, bad magic/version/kind,
+// and hostile declared lengths (dims, counts, frame sizes) that must fail
+// with a clean Status before any allocation, never UB.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/runtime/wire.h"
+#include "src/util/bit_stream.h"
+#include "src/util/status.h"
+#include "tests/testing_util.h"
+
+namespace lplow {
+namespace {
+
+namespace wire = runtime::wire;
+
+// ----------------------------------------------------------------- frames
+
+TEST(WireFrameTest, RoundTripsHeaderAndPayload) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 7};
+  auto bytes = wire::EncodeFrame(
+      wire::FrameKind::kSolveRequest,
+      std::span<const uint8_t>(payload.data(), payload.size()));
+  ASSERT_EQ(bytes.size(), wire::kFrameHeaderBytes + payload.size());
+
+  auto frame = wire::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->header.kind, wire::FrameKind::kSolveRequest);
+  EXPECT_EQ(frame->header.version, wire::kWireVersion);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(WireFrameTest, RoundTripsEmptyPayload) {
+  for (auto kind : {wire::FrameKind::kPing, wire::FrameKind::kPong,
+                    wire::FrameKind::kBusy, wire::FrameKind::kShutdown}) {
+    auto bytes = wire::EncodeFrame(kind, {});
+    ASSERT_EQ(bytes.size(), wire::kFrameHeaderBytes);
+    auto frame = wire::DecodeFrame(bytes.data(), bytes.size());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->header.kind, kind);
+    EXPECT_TRUE(frame->payload.empty());
+  }
+}
+
+TEST(WireFrameTest, RejectsBadMagic) {
+  auto bytes = wire::EncodeFrame(wire::FrameKind::kPing, {});
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
+}
+
+TEST(WireFrameTest, RejectsWrongVersion) {
+  auto bytes = wire::EncodeFrame(wire::FrameKind::kPing, {});
+  bytes[4] = wire::kWireVersion + 1;
+  auto frame = wire::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(WireFrameTest, RejectsUnknownKind) {
+  for (uint8_t kind : {uint8_t{0}, uint8_t{9}, uint8_t{255}}) {
+    auto bytes = wire::EncodeFrame(wire::FrameKind::kPing, {});
+    bytes[5] = kind;
+    EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok())
+        << "kind " << int{kind} << " accepted";
+  }
+}
+
+TEST(WireFrameTest, RejectsOversizedDeclaredPayload) {
+  // A header declaring 4 GiB of payload must be rejected from the 10 header
+  // bytes alone — before anything is allocated or read.
+  BitWriter w;
+  wire::EncodeFrameHeader(wire::FrameKind::kSolveRequest, 0xFFFFFFFFu, &w);
+  auto bytes = w.Release();
+  BitReader r(bytes);
+  auto header = wire::DecodeFrameHeader(&r);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kResourceExhausted);
+
+  // A tighter caller-chosen limit binds the same way.
+  BitReader r2(bytes);
+  bytes[6] = 200;  // payload_size = 200 little-endian...
+  bytes[7] = bytes[8] = bytes[9] = 0;
+  EXPECT_FALSE(wire::DecodeFrameHeader(&r2, /*max_payload=*/100).ok());
+}
+
+TEST(WireFrameTest, RejectsTruncationAtEveryByte) {
+  const std::vector<uint8_t> payload = {42, 43, 44, 45};
+  auto bytes = wire::EncodeFrame(
+      wire::FrameKind::kError,
+      std::span<const uint8_t>(payload.data(), payload.size()));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeFrame(bytes.data(), len).ok())
+        << "prefix of " << len << " bytes decoded as a whole frame";
+  }
+}
+
+TEST(WireFrameTest, RejectsTrailingBytes) {
+  auto bytes = wire::EncodeFrame(wire::FrameKind::kPong, {});
+  bytes.push_back(0);
+  EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
+}
+
+// ------------------------------------------------------- control payloads
+
+TEST(WireControlTest, HelloRoundTrips) {
+  wire::Hello hello;
+  hello.num_shards = 4;
+  hello.max_inflight = 1'000'000;
+  auto payload = wire::EncodeHelloPayload(hello);
+  auto decoded = wire::DecodeHelloPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_shards, hello.num_shards);
+  EXPECT_EQ(decoded->max_inflight, hello.max_inflight);
+
+  payload.push_back(1);
+  EXPECT_FALSE(wire::DecodeHelloPayload(payload).ok());
+}
+
+TEST(WireControlTest, ErrorPayloadRoundTrips) {
+  Status in = Status::Infeasible("no point satisfies the sample");
+  auto payload = wire::EncodeErrorPayload(in);
+  Status out = wire::DecodeErrorPayload(payload);
+  EXPECT_EQ(out.code(), in.code());
+  EXPECT_EQ(out.message(), in.message());
+}
+
+TEST(WireControlTest, ErrorPayloadRejectsOkAndUnknownCodes) {
+  {
+    BitWriter w;
+    w.PutU8(0);  // kOk carried as an error is a protocol violation.
+    w.PutString("fine");
+    EXPECT_EQ(wire::DecodeErrorPayload(w.Release()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    BitWriter w;
+    w.PutU8(200);  // Out of the StatusCode range.
+    w.PutString("???");
+    EXPECT_EQ(wire::DecodeErrorPayload(w.Release()).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// ------------------------------------------------- solve request/response
+
+/// Shared round-trip check: served response bytes must equal the bytes of a
+/// direct local SolveBasis encoded the same way — bit-identity, the
+/// determinism contract the socket backend rests on.
+template <wire::WireSolvable P>
+void CheckServedSolveMatchesLocal(
+    const P& problem, const std::vector<typename P::Constraint>& sample) {
+  const uint64_t job_id = 0xAB5501DULL;
+  auto request = wire::EncodeSolveRequestPayload(
+      job_id, problem,
+      std::span<const typename P::Constraint>(sample.data(), sample.size()));
+
+  auto head = wire::PeekSolveRequestHead(request);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->job_id, job_id);
+  EXPECT_EQ(head->problem, wire::ProblemCodec<P>::kKind);
+
+  auto served = wire::ServeSolveRequestPayload(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  auto local = problem.SolveBasis(
+      std::span<const typename P::Constraint>(sample.data(), sample.size()));
+  auto local_bytes = wire::EncodeSolveResponsePayload(job_id, problem, local);
+  EXPECT_EQ(*served, local_bytes)
+      << "served response bytes differ from the local solve";
+
+  // The decoded result round-trips back to the same bytes, and its basis
+  // hashes identically to the local one.
+  auto decoded = wire::DecodeSolveResponsePayload(problem, *served, job_id);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(wire::EncodeSolveResponsePayload(job_id, problem, *decoded),
+            local_bytes);
+  EXPECT_EQ(testing_util::BasisHash(problem, *decoded),
+            testing_util::BasisHash(problem, local));
+  EXPECT_EQ(problem.CompareValues(decoded->value, local.value), 0);
+
+  // Adversarial sweep over the REQUEST: every proper prefix must fail with
+  // a clean Status (truncation can land inside any field).
+  for (size_t len = 0; len < request.size(); ++len) {
+    std::vector<uint8_t> prefix(request.begin(), request.begin() + len);
+    EXPECT_FALSE(wire::ServeSolveRequestPayload(prefix).ok())
+        << "request prefix of " << len << " bytes was served";
+  }
+  // And over the RESPONSE: same rule on the client side.
+  for (size_t len = 0; len < served->size(); ++len) {
+    std::vector<uint8_t> prefix(served->begin(), served->begin() + len);
+    EXPECT_FALSE(
+        wire::DecodeSolveResponsePayload(problem, prefix, job_id).ok())
+        << "response prefix of " << len << " bytes decoded";
+  }
+
+  // Trailing bytes are rejected on both sides.
+  auto padded_request = request;
+  padded_request.push_back(0);
+  EXPECT_FALSE(wire::ServeSolveRequestPayload(padded_request).ok());
+  auto padded_response = *served;
+  padded_response.push_back(0);
+  EXPECT_FALSE(
+      wire::DecodeSolveResponsePayload(problem, padded_response, job_id).ok());
+
+  // A response echoing some other job id is not this job's answer.
+  EXPECT_FALSE(
+      wire::DecodeSolveResponsePayload(problem, *served, job_id + 1).ok());
+}
+
+TEST(WireSolveTest, LinearProgramServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeFeasibleLpCase(40, 2, 7);
+  CheckServedSolveMatchesLocal(c.problem, c.constraints);
+}
+
+TEST(WireSolveTest, LinearSvmServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeSeparableSvmCase(40, 2, 0.5, 11);
+  CheckServedSolveMatchesLocal(c.problem, c.points);
+}
+
+TEST(WireSolveTest, MinEnclosingBallServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeGaussianMebCase(40, 3, 13);
+  CheckServedSolveMatchesLocal(c.problem, c.points);
+}
+
+TEST(WireSolveTest, ErrorResponseCarriesTheStatusBack) {
+  auto c = testing_util::MakeFeasibleLpCase(8, 2, 3);
+  const uint64_t job_id = 77;
+  auto payload = wire::EncodeSolveErrorResponsePayload(
+      job_id, Status::Infeasible("empty region"));
+  auto head = wire::PeekSolveResponseHead(payload);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->job_id, job_id);
+  EXPECT_EQ(head->status.code(), StatusCode::kInfeasible);
+
+  auto decoded = wire::DecodeSolveResponsePayload(c.problem, payload, job_id);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(decoded.status().message(), "empty region");
+}
+
+// ------------------------------------------------------ adversarial input
+
+TEST(WireAdversarialTest, RejectsUnknownProblemKind) {
+  BitWriter w;
+  w.PutU64(1);
+  w.PutU8(99);  // No such ProblemKind.
+  auto payload = w.Release();
+  EXPECT_FALSE(wire::PeekSolveRequestHead(payload).ok());
+  EXPECT_FALSE(wire::ServeSolveRequestPayload(payload).ok());
+}
+
+TEST(WireAdversarialTest, RejectsHostileConstraintCount) {
+  // A count of 2^60 with zero constraint bytes behind it: the decoder must
+  // refuse before reserving, not allocate 2^60 slots.
+  auto c = testing_util::MakeFeasibleLpCase(8, 2, 3);
+  BitWriter w;
+  w.PutU64(1);
+  w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kLinearProgram));
+  wire::ProblemCodec<LinearProgram>::EncodeProblem(c.problem, &w);
+  w.PutVarU64(uint64_t{1} << 60);
+  auto served = wire::ServeSolveRequestPayload(w.Release());
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireAdversarialTest, RejectsHostileVectorDimension) {
+  // Objective vector declaring 2^32-1 coordinates backed by nothing: the
+  // dim-vs-remaining guard fires before the Vec is built.
+  BitWriter w;
+  w.PutU64(1);
+  w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kLinearProgram));
+  w.PutU32(0xFFFFFFFFu);
+  auto served = wire::ServeSolveRequestPayload(w.Release());
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireAdversarialTest, RejectsZeroAndOversizedProblemDimension) {
+  // The problem ctors CHECK-fail below dim 1; the decoder must return a
+  // clean Status instead of tripping that assert on hostile input.
+  for (uint32_t dim : {0u, wire::kMaxWireDim + 1}) {
+    BitWriter w;
+    w.PutU64(1);
+    w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kMinEnclosingBall));
+    w.PutU32(dim);
+    for (int i = 0; i < 4 + 2 * (1 << 17); ++i) w.PutU8(0);  // Plenty of bytes.
+    EXPECT_FALSE(wire::ServeSolveRequestPayload(w.Release()).ok())
+        << "dim " << dim << " was accepted";
+  }
+}
+
+TEST(WireAdversarialTest, RejectsHostileBasisCountInResponse) {
+  auto c = testing_util::MakeFeasibleLpCase(8, 2, 3);
+  auto local = c.problem.SolveBasis(
+      std::span<const Halfspace>(c.constraints.data(), c.constraints.size()));
+  const uint64_t job_id = 5;
+
+  BitWriter w;
+  w.PutU64(job_id);
+  w.PutU8(0);
+  w.PutString("");
+  wire::ProblemCodec<LinearProgram>::EncodeValue(local.value, &w);
+  w.PutVarU64(uint64_t{1} << 59);  // Hostile basis count, no bytes behind it.
+  auto decoded =
+      wire::DecodeSolveResponsePayload(c.problem, w.Release(), job_id);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireAdversarialTest, RejectsUnknownStatusCodeInResponse) {
+  BitWriter w;
+  w.PutU64(5);
+  w.PutU8(250);  // Not a StatusCode.
+  w.PutString("");
+  auto c = testing_util::MakeFeasibleLpCase(8, 2, 3);
+  EXPECT_FALSE(
+      wire::DecodeSolveResponsePayload(c.problem, w.Release(), 5).ok());
+  auto head_bytes = wire::EncodeSolveErrorResponsePayload(
+      5, Status::Internal("x"));
+  head_bytes[8] = 250;  // Corrupt the code byte behind the u64 job id.
+  EXPECT_FALSE(wire::PeekSolveResponseHead(head_bytes).ok());
+}
+
+}  // namespace
+}  // namespace lplow
