@@ -21,6 +21,7 @@
 #include "src/problems/linear_program.h"
 #include "src/runtime/lp_client.h"
 #include "src/runtime/lp_served.h"
+#include "src/runtime/metrics.h"
 #include "src/runtime/sharded_solver_service.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -132,11 +133,13 @@ void BM_SolveBackendShardSweep(benchmark::State& state) {
   auto parts = workload::Partition(inst.constraints, 64, true, &rng);
 
   coord::CoordinatorStats stats;
+  runtime::MetricsRegistry registry;
   uint64_t routed = 0;
   for (auto _ : state) {
     runtime::ShardedSolverService::Options sopt;
     sopt.num_shards = shards;
     sopt.threads_per_shard = 2;
+    sopt.metrics = &registry;
     runtime::ShardedSolverService service(sopt);
     coord::CoordinatorOptions opt;
     opt.r = 3;
@@ -154,6 +157,13 @@ void BM_SolveBackendShardSweep(benchmark::State& state) {
   state.counters["rounds"] = static_cast<double>(stats.rounds);
   state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
   state.counters["routed_solves"] = static_cast<double>(routed);
+  // Shard latency distribution (docs/runtime.md §"Tracing and histograms").
+  // The _p99 suffix marks these report-only for scripts/bench_compare.py —
+  // wall-time-derived, machine-dependent, never gated.
+  state.counters["queue_wait_p99"] =
+      registry.GetHistogram("service.shard.queue_wait_seconds")->Quantile(0.99);
+  state.counters["execute_p99"] =
+      registry.GetHistogram("service.shard.execute_seconds")->Quantile(0.99);
 }
 
 BENCHMARK(BM_SolveBackendShardSweep)
@@ -182,12 +192,15 @@ void BM_LoopbackSolveBackendShardSweep(benchmark::State& state) {
                                   std::to_string(::getpid()) + "_" +
                                   std::to_string(shards) + ".sock";
   coord::CoordinatorStats stats;
+  runtime::MetricsRegistry daemon_registry;
+  runtime::MetricsRegistry client_registry;
   uint64_t remote = 0, fallbacks = 0;
   for (auto _ : state) {
     runtime::SolveDaemon::Options dopt;
     dopt.socket_path = socket_path;
     dopt.num_shards = shards;
     dopt.threads_per_shard = 2;
+    dopt.metrics = &daemon_registry;
     auto daemon = runtime::SolveDaemon::Start(dopt);
     if (!daemon.ok()) {
       state.SkipWithError("daemon start failed");
@@ -195,6 +208,7 @@ void BM_LoopbackSolveBackendShardSweep(benchmark::State& state) {
     }
     runtime::SocketSolveBackend::Options copt;
     copt.endpoints = {socket_path};
+    copt.metrics = &client_registry;
     auto client = runtime::SocketSolveBackend::Create(copt);
     if (!client.ok()) {
       state.SkipWithError("client create failed");
@@ -219,6 +233,15 @@ void BM_LoopbackSolveBackendShardSweep(benchmark::State& state) {
   state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
   state.counters["remote_solves"] = static_cast<double>(remote);
   state.counters["local_fallbacks"] = static_cast<double>(fallbacks);
+  // Request bytes are deterministic under the fixed seeds (count and sum
+  // are strict-comparable); the RTT percentile is wall-time, so its _p99
+  // suffix keeps it report-only for scripts/bench_compare.py.
+  auto* req_bytes = daemon_registry.GetHistogram("wire.daemon.request_bytes");
+  state.counters["request_KB"] = req_bytes->sum() / 1024.0;
+  state.counters["requests_histogrammed"] =
+      static_cast<double>(req_bytes->count());
+  state.counters["rtt_p99"] =
+      client_registry.GetHistogram("wire.client.rtt_seconds")->Quantile(0.99);
 }
 
 BENCHMARK(BM_LoopbackSolveBackendShardSweep)

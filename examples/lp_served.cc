@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/runtime/lp_served.h"
+#include "src/runtime/trace.h"
 
 namespace {
 
@@ -57,6 +58,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Always-on recorder: a client scraping stats (lp_client_demo --trace)
+  // gets the daemon-side spans stitched under its own trace ids. Declared
+  // before the daemon so it outlives it.
+  runtime::trace::TraceRecorder recorder(/*enabled=*/true);
+  recorder.SetProcessLabel("lp_served");
+  options.trace = &recorder;
 
   auto daemon = runtime::SolveDaemon::Start(options);
   if (!daemon.ok()) {

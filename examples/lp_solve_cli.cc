@@ -1,11 +1,15 @@
 // Command-line LP solver over instance files (src/workload/lp_io.h format):
 //
 //   lp_solve_cli FILE [--model=direct|stream|coord|mpc|det] [--r=N] [--k=N]
-//                     [--delta=X] [--scale=X] [--seed=N]
+//                     [--delta=X] [--scale=X] [--seed=N] [--dump-metrics]
+//   lp_solve_cli --scrape=SOCKET
 //
 // Solves min c.x subject to the file's constraints in the chosen model and
 // prints the optimum plus the model's cost accounting. With no FILE, reads
-// the instance from stdin.
+// the instance from stdin. --dump-metrics prints the process-global
+// MetricsRegistry JSON on exit; --scrape=SOCKET instead asks a live
+// lp_served daemon for ITS registry JSON over the wire (kStatsRequest) and
+// prints that — no instance needed.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +21,8 @@
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
 #include "src/problems/linear_program.h"
+#include "src/runtime/lp_client.h"
+#include "src/runtime/metrics.h"
 #include "src/util/rng.h"
 #include "src/workload/lp_io.h"
 
@@ -32,6 +38,8 @@ struct CliArgs {
   double delta = 0.5;
   double scale = 0.3;
   uint64_t seed = 1;
+  bool dump_metrics = false;
+  std::string scrape_socket;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -53,6 +61,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->scale = std::atof(v);
     } else if (const char* v = value_of("--seed=")) {
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of("--scrape=")) {
+      args->scrape_socket = v;
+    } else if (arg == "--dump-metrics") {
+      args->dump_metrics = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -76,9 +88,34 @@ void PrintValue(const LinearProgram& problem,
 
 }  // namespace
 
+// Prints the process-global registry JSON at scope exit when enabled, so
+// every model branch's early return still dumps.
+struct MetricsDump {
+  bool enabled = false;
+  ~MetricsDump() {
+    if (!enabled) return;
+    std::printf("%s\n",
+                lplow::runtime::MetricsRegistry::Global().ToJson().c_str());
+  }
+};
+
 int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+
+  if (!args.scrape_socket.empty()) {
+    auto stats = runtime::ScrapeDaemonStats(args.scrape_socket);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "scrape failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", stats->metrics_json.c_str());
+    return 0;
+  }
+
+  MetricsDump dump;
+  dump.enabled = args.dump_metrics;
 
   Result<workload::LpInstance> inst =
       args.file.empty() ? workload::ReadLpInstance(std::cin)

@@ -9,6 +9,11 @@ Two kinds of comparison, matching what the lplow benches report:
 * real_time: machine-dependent, so it is compared as a ratio and only
   flagged beyond --max-regression (default 1.5x slower).
 
+Counters whose name ends in _p50/_p90/_p99/_mean are latency-derived
+(histogram percentiles, timer means — see docs/runtime.md §"Tracing and
+histograms"): machine-dependent like real_time, so they are printed as
+`report` lines and never count as drift, even under --strict.
+
 Exit status is 0 unless a gating mode is given:
 
 * --strict fails on counter drift OR a flagged time regression (local use);
@@ -61,6 +66,10 @@ def load_results(paths):
     return results
 
 
+# Exported counters with these suffixes carry wall-time-derived values
+# (histogram percentiles / timer means): report-only, never gated.
+REPORT_ONLY_SUFFIXES = ("_p50", "_p90", "_p99", "_mean")
+
 # Keys every distilled record (baseline entry or load_results output) must
 # carry for compare() to work.
 REQUIRED_RECORD_KEYS = ("real_time", "time_unit", "counters")
@@ -110,6 +119,10 @@ def compare(baseline, current, max_regression, counter_rel_tol):
         for key in sorted(set(base["counters"]) | set(cur["counters"])):
             b = base["counters"].get(key)
             c = cur["counters"].get(key)
+            if key.endswith(REPORT_ONLY_SUFFIXES):
+                if b is not None and c is not None and b != c:
+                    lines.append(f"report   {name} [{key}]: {b:g} -> {c:g}")
+                continue
             if b is None or c is None:
                 lines.append(f"DRIFT    {name} [{key}]: {b} -> {c}")
                 drift += 1

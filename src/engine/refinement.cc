@@ -11,6 +11,7 @@ EngineMetrics& GlobalEngineMetrics() {
         registry.GetCounter("engine.basis_solves"),
         registry.GetCounter("engine.oversized_basis_solves"),
         registry.GetCounter("engine.resample_bytes"),
+        registry.GetHistogram("engine.sample_bytes"),
         registry.GetTimer("engine.violator_scan_seconds"),
         registry.GetTimer("engine.basis_solve_seconds"),
     };

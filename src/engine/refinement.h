@@ -41,6 +41,7 @@
 #include "src/runtime/metrics.h"
 #include "src/runtime/solve_backend.h"
 #include "src/runtime/thread_pool.h"
+#include "src/runtime/trace.h"
 #include "src/runtime/wire.h"
 #include "src/util/logging.h"
 #include "src/util/status.h"
@@ -77,6 +78,12 @@ struct RefinementPolicy {
   /// solvers use their seed). Each dispatch derives its own key from this
   /// plus its sequence number (runtime::DeriveJobId).
   uint64_t job_id = 0;
+  /// Span recorder for engine.run / engine.iteration / engine.violator_scan
+  /// / engine.basis_solve spans; null or disabled = no tracing (free on the
+  /// hot path). Observability only: spans read timestamps and counters but
+  /// never touch solver state, so transcripts and deterministic counters
+  /// are identical with tracing on or off.
+  runtime::trace::TraceRecorder* trace = nullptr;
 };
 
 /// Computes the Algorithm 1 parameters for problem size n and rate
@@ -115,6 +122,7 @@ inline void ApplyRuntimeOptions(RefinementPolicy& policy,
   if (runtime.oversized_basis_threshold > 0) {
     policy.oversized_basis_threshold = runtime.oversized_basis_threshold;
   }
+  policy.trace = runtime.trace;
 }
 
 /// What one violator scan reports back to the engine. `total_weight` is
@@ -141,6 +149,10 @@ struct EngineMetrics {
   runtime::Counter* basis_solves;
   runtime::Counter* oversized_basis_solves;
   runtime::Counter* resample_bytes;
+  /// Distribution of per-iteration serialized sample sizes. Byte-valued,
+  /// so its bucket counts are deterministic for a fixed seed — the
+  /// strict-gateable kind of histogram (docs/runtime.md).
+  runtime::Histogram* sample_bytes;
   runtime::Timer* violator_scan_seconds;
   runtime::Timer* basis_solve_seconds;
 };
@@ -209,6 +221,9 @@ BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
   auto& metrics = GlobalEngineMetrics();
   metrics.basis_solves->Increment();
   runtime::ScopedTimer timer(metrics.basis_solve_seconds);
+  runtime::trace::TraceSpan span(policy.trace, "engine.basis_solve");
+  span.Arg("iteration", solve_seq);
+  span.Arg("constraints", sample.size());
   BasisResult<typename P::Value, typename P::Constraint> out;
   auto solve = [&] {
     out = problem.SolveBasis(
@@ -226,10 +241,15 @@ BasisResult<typename P::Value, typename P::Constraint> SolveSampleBasis(
     const uint64_t dispatch_id = runtime::DeriveJobId(policy.job_id, solve_seq);
     if constexpr (runtime::wire::WireSolvable<P>) {
       if (backend->WantsSerialized()) {
+        // The basis-solve span's identity rides inside the request, so a
+        // remote daemon's decode/solve/encode spans stitch under this
+        // trace (all-zero — absent on the wire — when tracing is off).
+        const runtime::trace::SpanContext ctx = span.context();
         auto request = runtime::wire::EncodeSolveRequestPayload(
             dispatch_id, problem,
             std::span<const typename P::Constraint>(sample.data(),
-                                                    sample.size()));
+                                                    sample.size()),
+            runtime::wire::TraceContext{ctx.trace_id, ctx.span_id});
         std::vector<uint8_t> response;
         if (backend->ExecuteSerialized(dispatch_id, policy.name, request,
                                        &response)) {
@@ -257,10 +277,15 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
     const P& problem, T& transport, const RefinementPolicy& policy,
     const IterationCounters& counters) {
   auto& metrics = GlobalEngineMetrics();
+  runtime::trace::TraceSpan run_span(policy.trace, "engine.run");
+  run_span.Arg("job_id", policy.job_id);
+  run_span.Arg("max_iterations", policy.max_iterations);
 
   for (size_t iter = 0; iter < policy.max_iterations; ++iter) {
     ++*counters.iterations;
     metrics.iterations->Increment();
+    runtime::trace::TraceSpan iter_span(policy.trace, "engine.iteration");
+    iter_span.Arg("iteration", iter);
 
     // --- weighted eps-net sample (model-transported).
     auto sample = transport.NextSample();
@@ -270,6 +295,8 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
       for (const auto& c : *sample) bytes += problem.ConstraintBytes(c);
       if (counters.sample_bytes != nullptr) *counters.sample_bytes += bytes;
       metrics.resample_bytes->Increment(bytes);
+      metrics.sample_bytes->Record(static_cast<double>(bytes));
+      iter_span.Arg("bytes", bytes);
     }
 
     // --- basis of the sample (backend/pool-routed when oversized).
@@ -279,7 +306,11 @@ Result<BasisResult<typename P::Value, typename P::Constraint>> RunRefinement(
     ViolatorScan scan;
     {
       runtime::ScopedTimer timer(metrics.violator_scan_seconds);
+      runtime::trace::TraceSpan scan_span(policy.trace,
+                                          "engine.violator_scan");
+      scan_span.Arg("iteration", iter);
       scan = transport.ScanViolators(basis);
+      scan_span.Arg("violators", scan.violator_count);
     }
 
     if (scan.violator_count == 0) {

@@ -63,6 +63,9 @@ SocketSolveBackend::SocketSolveBackend(const Options& options)
   remote_success_counter_ = metrics->GetCounter("wire.client.remote_success");
   local_fallback_counter_ = metrics->GetCounter("wire.client.local_fallbacks");
   failover_counter_ = metrics->GetCounter("wire.client.failovers");
+  retries_counter_ = metrics->GetCounter("wire.client.retries");
+  rtt_hist_ = metrics->GetHistogram("wire.client.rtt_seconds");
+  trace_ = options.trace;
 }
 
 Result<std::unique_ptr<SocketSolveBackend>> SocketSolveBackend::Create(
@@ -173,19 +176,37 @@ Status SocketSolveBackend::TryEndpoint(Endpoint& ep,
   Status last = Status::Internal("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts_per_endpoint;
        ++attempt) {
+    if (attempt > 0) retries_counter_->Increment();
     bool reused = false;
-    Result<int> leased = LeaseConnection(ep, &reused);
+    Result<int> leased = [&]() -> Result<int> {
+      trace::TraceSpan pool_span(trace_, "client.pool_wait");
+      pool_span.Arg("job_id", job_id);
+      pool_span.Arg("attempt", static_cast<uint64_t>(attempt));
+      return LeaseConnection(ep, &reused);
+    }();
     if (!leased.ok()) {
       // Dialing failed; another immediate dial would fail the same way.
       NoteResult(ep, /*success=*/false);
       return leased.status();
     }
     const int fd = *leased;
+    const uint64_t rtt_start = trace::TraceRecorder::NowMicros();
     Status st = net::WriteFrame(fd, wire::FrameKind::kSolveRequest, request);
     if (st.ok()) {
       Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
                                                  options_.max_frame_payload);
       if (frame.ok()) {
+        // A completed round trip (any frame kind): histogram always, span
+        // only when a recorder is attached. Timeouts are not round trips.
+        const uint64_t rtt_end = trace::TraceRecorder::NowMicros();
+        rtt_hist_->Record(static_cast<double>(rtt_end - rtt_start) * 1e-6);
+        if (trace_ != nullptr) {
+          trace_->RecordComplete("client.rtt", rtt_start, rtt_end,
+                                 trace_->CurrentContext(),
+                                 {{"job_id", job_id},
+                                  {"attempt", static_cast<uint64_t>(attempt)},
+                                  {"bytes", request.size()}});
+        }
         switch (frame->header.kind) {
           case wire::FrameKind::kSolveResponse: {
             Result<wire::SolveResponseHead> head =
@@ -258,6 +279,9 @@ bool SocketSolveBackend::ExecuteSerialized(uint64_t job_id, const char* kind,
   (void)kind;
   AdmissionSlot slot(&admission_mu_, &admission_cv_, &inflight_,
                      options_.max_inflight);
+  trace::TraceSpan span(trace_, "client.solve");
+  span.Arg("job_id", job_id);
+  span.Arg("bytes", request.size());
   requests_counter_->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -346,6 +370,46 @@ Status SocketSolveBackend::Ping(size_t endpoint) {
   return st;
 }
 
+Result<wire::StatsResponse> SocketSolveBackend::ScrapeStats(
+    size_t endpoint, bool include_trace) {
+  if (endpoint >= endpoints_.size()) {
+    return Status::InvalidArgument("endpoint index out of range");
+  }
+  Endpoint& ep = *endpoints_[endpoint];
+  bool reused = false;
+  LPLOW_ASSIGN_OR_RETURN(int fd, LeaseConnection(ep, &reused));
+  wire::StatsRequest request;
+  request.include_metrics = true;
+  request.include_trace = include_trace;
+  Status st = net::WriteFrame(fd, wire::FrameKind::kStatsRequest,
+                              wire::EncodeStatsRequestPayload(request));
+  if (st.ok()) {
+    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
+                                               options_.max_frame_payload);
+    if (frame.ok() && frame->header.kind == wire::FrameKind::kStatsResponse) {
+      Result<wire::StatsResponse> stats =
+          wire::DecodeStatsResponsePayload(frame->payload);
+      if (stats.ok()) {
+        ReturnConnection(ep, fd);
+        NoteResult(ep, /*success=*/true);
+        return stats;
+      }
+      st = stats.status();
+    } else if (frame.ok() && frame->header.kind == wire::FrameKind::kError) {
+      // A v1 daemon rejects the unknown frame kind with kError; surface its
+      // message (rather than a garbled-stream guess) to the scraper.
+      st = wire::DecodeErrorPayload(frame->payload);
+    } else if (frame.ok()) {
+      st = Status::InvalidArgument("unexpected reply to stats request");
+    } else {
+      st = frame.status();
+    }
+  }
+  net::CloseFd(fd);
+  NoteResult(ep, /*success=*/false);
+  return st;
+}
+
 Status SocketSolveBackend::RequestServerShutdown(size_t endpoint) {
   if (endpoint >= endpoints_.size()) {
     return Status::InvalidArgument("endpoint index out of range");
@@ -370,6 +434,18 @@ Status SocketSolveBackend::RequestServerShutdown(size_t endpoint) {
   // The daemon is exiting (or refused); either way this connection is done.
   net::CloseFd(fd);
   return st;
+}
+
+Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& socket_path,
+                                              bool include_trace,
+                                              int timeout_ms) {
+  SocketSolveBackend::Options options;
+  options.endpoints = {socket_path};
+  options.request_timeout_ms = timeout_ms;
+  options.hello_timeout_ms = timeout_ms;
+  LPLOW_ASSIGN_OR_RETURN(std::unique_ptr<SocketSolveBackend> backend,
+                         SocketSolveBackend::Create(options));
+  return backend->ScrapeStats(0, include_trace);
 }
 
 }  // namespace runtime

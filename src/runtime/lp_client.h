@@ -34,6 +34,8 @@
 
 #include "src/runtime/metrics.h"
 #include "src/runtime/solve_backend.h"
+#include "src/runtime/trace.h"
+#include "src/runtime/wire.h"
 #include "src/util/status.h"
 
 namespace lplow {
@@ -64,6 +66,10 @@ class SocketSolveBackend final : public SolveBackend {
     uint32_t max_frame_payload = 64u << 20;
     /// Registry for wire.client.* metrics; null = MetricsRegistry::Global().
     MetricsRegistry* metrics = nullptr;
+    /// Span recorder for the client's solve / pool-wait / RTT spans and the
+    /// wire trace context stamped into v2 requests. Observability only —
+    /// never changes routing, retries, or results. Must outlive the backend.
+    trace::TraceRecorder* trace = nullptr;
   };
 
   /// Cross-endpoint accounting (per-endpoint detail in endpoint_stats()).
@@ -110,6 +116,12 @@ class SocketSolveBackend final : public SolveBackend {
   /// Liveness probe: one kPing/kPong exchange with `endpoint`.
   Status Ping(size_t endpoint);
 
+  /// Scrapes `endpoint`'s live observability state: one kStatsRequest /
+  /// kStatsResponse exchange returning the daemon's MetricsRegistry JSON
+  /// (plus its Chrome trace JSON when `include_trace`).
+  Result<wire::StatsResponse> ScrapeStats(size_t endpoint,
+                                          bool include_trace = false);
+
   /// Asks `endpoint`'s daemon to drain and exit (it must have been started
   /// with allow_remote_shutdown).
   Status RequestServerShutdown(size_t endpoint);
@@ -147,6 +159,9 @@ class SocketSolveBackend final : public SolveBackend {
   Counter* remote_success_counter_;
   Counter* local_fallback_counter_;
   Counter* failover_counter_;
+  Counter* retries_counter_;
+  Histogram* rtt_hist_;
+  trace::TraceRecorder* trace_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;
@@ -155,6 +170,14 @@ class SocketSolveBackend final : public SolveBackend {
   std::condition_variable admission_cv_;
   size_t inflight_ = 0;
 };
+
+/// One-shot remote scrape without building a backend: dials `socket_path`,
+/// consumes the daemon's hello, and exchanges kStatsRequest/kStatsResponse.
+/// This is what `lp_client_demo --stats` and `lp_solve_cli --dump-metrics`
+/// use against a live daemon.
+Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& socket_path,
+                                              bool include_trace = false,
+                                              int timeout_ms = 5'000);
 
 }  // namespace runtime
 }  // namespace lplow

@@ -11,18 +11,25 @@
 namespace lplow {
 namespace runtime {
 
-SolveDaemon::SolveDaemon(const Options& options) : options_(options) {
+SolveDaemon::SolveDaemon(const Options& options)
+    : options_(options), trace_(options.trace) {
   ShardedSolverService::Options service_options;
   service_options.num_shards = options.num_shards;
   service_options.threads_per_shard = options.threads_per_shard;
   service_options.metrics = options.metrics;
+  service_options.trace = options.trace;
   service_ = std::make_unique<ShardedSolverService>(service_options);
-  MetricsRegistry* metrics =
+  metrics_ =
       options.metrics != nullptr ? options.metrics : &MetricsRegistry::Global();
-  connections_counter_ = metrics->GetCounter("wire.daemon.connections");
-  requests_counter_ = metrics->GetCounter("wire.daemon.requests");
-  busy_counter_ = metrics->GetCounter("wire.daemon.busy_rejected");
-  malformed_counter_ = metrics->GetCounter("wire.daemon.malformed");
+  connections_counter_ = metrics_->GetCounter("wire.daemon.connections");
+  requests_counter_ = metrics_->GetCounter("wire.daemon.requests");
+  solved_counter_ = metrics_->GetCounter("wire.daemon.solved");
+  solve_errors_counter_ = metrics_->GetCounter("wire.daemon.solve_errors");
+  busy_counter_ = metrics_->GetCounter("wire.daemon.busy_rejected");
+  malformed_counter_ = metrics_->GetCounter("wire.daemon.malformed");
+  pings_counter_ = metrics_->GetCounter("wire.daemon.pings");
+  stats_requests_counter_ = metrics_->GetCounter("wire.daemon.stats_requests");
+  request_bytes_hist_ = metrics_->GetHistogram("wire.daemon.request_bytes");
 }
 
 Result<std::unique_ptr<SolveDaemon>> SolveDaemon::Start(
@@ -149,11 +156,17 @@ void SolveDaemon::HandleConnection(int fd) {
           std::lock_guard<std::mutex> lock(mu_);
           stats_.pings++;
         }
-        st = net::WriteFrame(fd, wire::FrameKind::kPong, {});
+        pings_counter_->Increment();
+        st = net::WriteFrame(fd, wire::FrameKind::kPong, {},
+                             frame->header.version);
         break;
       }
       case wire::FrameKind::kSolveRequest: {
-        ServeRequest(fd, frame->payload);
+        ServeRequest(fd, frame->payload, frame->header.version);
+        break;
+      }
+      case wire::FrameKind::kStatsRequest: {
+        st = ServeStats(fd, frame->payload, frame->header.version);
         break;
       }
       case wire::FrameKind::kShutdown: {
@@ -194,7 +207,8 @@ void SolveDaemon::HandleConnection(int fd) {
   net::CloseFd(fd);
 }
 
-void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
+void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload,
+                               uint8_t version) {
   if (options_.max_inflight > 0) {
     if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
         options_.max_inflight) {
@@ -204,11 +218,12 @@ void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
         stats_.busy_rejected++;
         busy_counter_->Increment();
       }
-      net::WriteFrame(fd, wire::FrameKind::kBusy, {});
+      net::WriteFrame(fd, wire::FrameKind::kBusy, {}, version);
       return;
     }
   }
-  Result<wire::SolveRequestHead> head = wire::PeekSolveRequestHead(payload);
+  Result<wire::SolveRequestHead> head =
+      wire::PeekSolveRequestHead(payload, version);
   if (!head.ok()) {
     if (options_.max_inflight > 0) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -217,7 +232,7 @@ void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
     stats_.malformed++;
     malformed_counter_->Increment();
     net::WriteFrame(fd, wire::FrameKind::kError,
-                    wire::EncodeErrorPayload(head.status()));
+                    wire::EncodeErrorPayload(head.status()), version);
     return;
   }
   {
@@ -225,13 +240,27 @@ void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
     stats_.requests++;
   }
   requests_counter_->Increment();
+  request_bytes_hist_->Record(static_cast<double>(payload.size()));
+  // The daemon-side root span: parented on the client's wire context when
+  // the v2 request carried one, so the client's solve span and this
+  // request's decode/solve/encode children share one trace id.
+  trace::TraceSpan req_span(
+      trace_, "daemon.request",
+      trace::SpanContext{head->trace.trace_id, head->trace.parent_span});
+  req_span.Arg("job_id", head->job_id);
+  req_span.Arg("bytes", payload.size());
   // Route through the sharded service exactly like the in-process backend:
   // same StableJobHash(job_id) % shards shard, same per-shard accounting,
   // so a served cluster's stats line up with the local ones.
   Result<std::vector<uint8_t>> response =
       Status::Internal("solve did not run");
-  service_->Execute(head->job_id, "WireSolve", [&payload, &response] {
-    response = wire::ServeSolveRequestPayload(payload);
+  wire::ServeOptions serve_options;
+  serve_options.version = version;
+  serve_options.trace = trace_;
+  serve_options.parent = req_span.context();
+  service_->Execute(head->job_id, "WireSolve",
+                    [&payload, &response, &serve_options] {
+    response = wire::ServeSolveRequestPayload(payload, serve_options);
   });
   if (options_.max_inflight > 0) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -241,7 +270,8 @@ void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.solved++;
     }
-    net::WriteFrame(fd, wire::FrameKind::kSolveResponse, *response);
+    solved_counter_->Increment();
+    net::WriteFrame(fd, wire::FrameKind::kSolveResponse, *response, version);
     return;
   }
   // The job decoded far enough to know its id but could not be served
@@ -252,9 +282,39 @@ void SolveDaemon::ServeRequest(int fd, const std::vector<uint8_t>& payload) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.solve_errors++;
   }
+  solve_errors_counter_->Increment();
   net::WriteFrame(
       fd, wire::FrameKind::kSolveResponse,
-      wire::EncodeSolveErrorResponsePayload(head->job_id, response.status()));
+      wire::EncodeSolveErrorResponsePayload(head->job_id, response.status()),
+      version);
+}
+
+Status SolveDaemon::ServeStats(int fd, const std::vector<uint8_t>& payload,
+                               uint8_t version) {
+  Result<wire::StatsRequest> request =
+      wire::DecodeStatsRequestPayload(payload);
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.malformed++;
+      malformed_counter_->Increment();
+    }
+    net::WriteFrame(fd, wire::FrameKind::kError,
+                    wire::EncodeErrorPayload(request.status()), version);
+    return Status::OutOfRange("connection done");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.stats_requests++;
+  }
+  stats_requests_counter_->Increment();
+  wire::StatsResponse response;
+  if (request->include_metrics) response.metrics_json = metrics_->ToJson();
+  if (request->include_trace && trace_ != nullptr) {
+    response.trace_json = trace_->ToChromeJson();
+  }
+  return net::WriteFrame(fd, wire::FrameKind::kStatsResponse,
+                         wire::EncodeStatsResponsePayload(response), version);
 }
 
 }  // namespace runtime

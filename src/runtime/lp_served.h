@@ -31,6 +31,7 @@
 
 #include "src/runtime/metrics.h"
 #include "src/runtime/sharded_solver_service.h"
+#include "src/runtime/trace.h"
 #include "src/util/status.h"
 
 namespace lplow {
@@ -54,6 +55,11 @@ class SolveDaemon {
     bool allow_remote_shutdown = false;
     /// Registry for wire.daemon.* metrics; null = MetricsRegistry::Global().
     MetricsRegistry* metrics = nullptr;
+    /// Span recorder for the daemon's per-request decode/solve/encode spans
+    /// (parented on the client's v2 wire context when present) and the
+    /// trace JSON served to kStatsRequest scrapers. Observability only.
+    /// Must outlive the daemon.
+    trace::TraceRecorder* trace = nullptr;
   };
 
   struct Stats {
@@ -64,6 +70,7 @@ class SolveDaemon {
     uint64_t busy_rejected = 0;  // kBusy answers (admission control).
     uint64_t malformed = 0;      // Frames that failed protocol decode.
     uint64_t pings = 0;
+    uint64_t stats_requests = 0; // kStatsRequest scrapes answered.
   };
 
   /// Starts listening and accepting. Fails (with no daemon) when the
@@ -101,16 +108,30 @@ class SolveDaemon {
   void AcceptLoop();
   void HandleConnection(int fd);
   /// One solve request end-to-end: admission, routing, solve, response.
-  void ServeRequest(int fd, const std::vector<uint8_t>& payload);
+  /// `version` is the request frame's header version — it selects the
+  /// payload dialect (v1 has no trace block) and is echoed on the response.
+  void ServeRequest(int fd, const std::vector<uint8_t>& payload,
+                    uint8_t version);
+  /// One kStatsRequest: serves the registry JSON (and the recorder's trace
+  /// JSON when asked and available) back as a kStatsResponse.
+  Status ServeStats(int fd, const std::vector<uint8_t>& payload,
+                    uint8_t version);
 
   Options options_;
   std::unique_ptr<ShardedSolverService> service_;
+  MetricsRegistry* metrics_;
+  trace::TraceRecorder* trace_;
   int listen_fd_ = -1;
 
   Counter* connections_counter_;
   Counter* requests_counter_;
+  Counter* solved_counter_;
+  Counter* solve_errors_counter_;
   Counter* busy_counter_;
   Counter* malformed_counter_;
+  Counter* pings_counter_;
+  Counter* stats_requests_counter_;
+  Histogram* request_bytes_hist_;
 
   std::atomic<uint64_t> inflight_{0};
   std::atomic<bool> stopping_{false};

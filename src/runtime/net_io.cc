@@ -127,9 +127,10 @@ Status ReadExact(int fd, uint8_t* out, size_t size, int timeout_ms) {
 }
 
 Status WriteFrame(int fd, wire::FrameKind kind,
-                  const std::vector<uint8_t>& payload) {
+                  const std::vector<uint8_t>& payload, uint8_t version) {
   auto frame = wire::EncodeFrame(
-      kind, std::span<const uint8_t>(payload.data(), payload.size()));
+      kind, std::span<const uint8_t>(payload.data(), payload.size()),
+      version);
   return WriteAll(fd, frame.data(), frame.size());
 }
 

@@ -7,10 +7,14 @@ namespace runtime {
 
 ShardedSolverService::ShardedSolverService(const Options& options)
     : metrics_(options.metrics ? options.metrics
-                               : &MetricsRegistry::Global()) {
+                               : &MetricsRegistry::Global()),
+      trace_(options.trace) {
   const size_t num_shards = std::max<size_t>(options.num_shards, 1);
   const size_t threads = std::max<size_t>(options.threads_per_shard, 1);
   batch_jobs_counter_ = metrics_->GetCounter("service.shard.batch_jobs");
+  queue_wait_hist_ =
+      metrics_->GetHistogram("service.shard.queue_wait_seconds");
+  execute_hist_ = metrics_->GetHistogram("service.shard.execute_seconds");
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -37,12 +41,36 @@ ShardedSolverService::~ShardedSolverService() {
 
 void ShardedSolverService::Execute(uint64_t job_id, const char* kind,
                                    const std::function<void()>& task) {
-  Shard& shard = *shards_[ShardFor(job_id)];
+  const size_t shard_index = ShardFor(job_id);
+  Shard& shard = *shards_[shard_index];
   shard.solves.fetch_add(1, std::memory_order_relaxed);
   shard.solves_counter->Increment();
   SolveKindCounter(kind)->Increment();
+  // The caller's span context is captured here, on the submitting thread;
+  // the worker re-installs it so the queue-wait / execute pair lands under
+  // the caller's span even though it runs elsewhere.
+  const trace::SpanContext parent =
+      trace_ != nullptr ? trace_->CurrentContext() : trace::SpanContext{};
+  const uint64_t enqueue_us = trace::TraceRecorder::NowMicros();
   TaskGroup group(shard.service->pool());
-  group.Run(task);
+  group.Run([&] {
+    const uint64_t start_us = trace::TraceRecorder::NowMicros();
+    queue_wait_hist_->Record(static_cast<double>(start_us - enqueue_us) *
+                             1e-6);
+    if (trace_ != nullptr) {
+      trace_->RecordComplete("service.queue_wait", enqueue_us, start_us,
+                             parent,
+                             {{"shard", shard_index}, {"job_id", job_id}});
+    }
+    trace::ContextScope scope(trace_, parent);
+    trace::TraceSpan span(trace_, "service.execute");
+    span.Arg("shard", shard_index);
+    span.Arg("job_id", job_id);
+    task();
+    execute_hist_->Record(
+        static_cast<double>(trace::TraceRecorder::NowMicros() - start_us) *
+        1e-6);
+  });
   try {
     group.Wait();  // Helping wait; rethrows what the task threw.
   } catch (...) {
@@ -96,6 +124,15 @@ ShardedSolverService::ShardStats ShardedSolverService::total_stats() const {
 }
 
 Counter* ShardedSolverService::SolveKindCounter(const char* kind) {
+  // Fast path: callers pass string literals, so after the first sighting
+  // the same pointer comes back every time — a short lock-free scan
+  // replaces the per-solve mutex + string compare (hot on the wire-serve
+  // path, where every request is one Execute of kind "WireSolve").
+  for (KindSlot& slot : kind_fast_) {
+    const char* seen = slot.kind.load(std::memory_order_acquire);
+    if (seen == kind) return slot.counter;
+    if (seen == nullptr) break;  // Slots fill front-to-back.
+  }
   std::lock_guard<std::mutex> lock(solve_kind_mu_);
   auto it = solve_kind_counters_.find(std::string_view(kind));
   if (it == solve_kind_counters_.end()) {
@@ -104,6 +141,19 @@ Counter* ShardedSolverService::SolveKindCounter(const char* kind) {
              .emplace(kind, metrics_->GetCounter(
                                 std::string("service.shard.solves.") + kind))
              .first;
+  }
+  // Publish into the first free fast slot (publishers serialize on the
+  // mutex; `counter` is written before the release store of `kind`, which
+  // is what readers acquire). A full table or an aliased name just stays
+  // on the slow path.
+  for (KindSlot& slot : kind_fast_) {
+    const char* seen = slot.kind.load(std::memory_order_relaxed);
+    if (seen == kind) break;
+    if (seen == nullptr) {
+      slot.counter = it->second;
+      slot.kind.store(kind, std::memory_order_release);
+      break;
+    }
   }
   return it->second;
 }

@@ -27,6 +27,7 @@
 #ifndef LPLOW_RUNTIME_SHARDED_SOLVER_SERVICE_H_
 #define LPLOW_RUNTIME_SHARDED_SOLVER_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -43,6 +44,7 @@
 #include "src/runtime/solve_backend.h"
 #include "src/runtime/solver_service.h"
 #include "src/runtime/thread_pool.h"
+#include "src/runtime/trace.h"
 
 namespace lplow {
 namespace runtime {
@@ -57,6 +59,10 @@ class ShardedSolverService final : public SolveBackend {
     size_t threads_per_shard = 1;
     /// Registry for service.shard.* metrics; null = MetricsRegistry::Global().
     MetricsRegistry* metrics = nullptr;
+    /// Span recorder for the queue-wait / execute split on Execute
+    /// dispatches; null or disabled = no spans (the queue-wait and execute
+    /// histograms record regardless). Must outlive the service.
+    trace::TraceRecorder* trace = nullptr;
   };
 
   /// Job-level accounting for one shard. `submitted`/`completed`/`failed`
@@ -215,12 +221,26 @@ class ShardedSolverService final : public SolveBackend {
   Counter* SolveKindCounter(const char* kind);
 
   MetricsRegistry* metrics_;
+  trace::TraceRecorder* trace_;
   Counter* batch_jobs_counter_;  // service.shard.batch_jobs (all shards).
+  // Queue-wait (enqueue -> worker pickup) and execute (task body) latency
+  // distributions across all shards; timing-valued, so report-only.
+  Histogram* queue_wait_hist_;  // service.shard.queue_wait_seconds.
+  Histogram* execute_hist_;     // service.shard.execute_seconds.
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Per-kind solve counter cache: Execute is the engine's per-iteration
   // dispatch path and must not pay a string concat plus the registry-wide
-  // mutex per solve (metrics.h: look up once, keep the pointer).
+  // mutex per solve (metrics.h: look up once, keep the pointer). Callers
+  // pass string literals, so a lock-free pointer-identity table serves the
+  // steady state; the mutex-protected map handles first sightings and
+  // non-literal (distinct-pointer) names.
+  static constexpr size_t kKindFastSlots = 8;
+  struct KindSlot {
+    std::atomic<const char*> kind{nullptr};
+    Counter* counter = nullptr;  // Written before `kind` publishes (release).
+  };
+  std::array<KindSlot, kKindFastSlots> kind_fast_;
   std::mutex solve_kind_mu_;
   std::map<std::string, Counter*, std::less<>> solve_kind_counters_;
 };

@@ -101,6 +101,9 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 
 class SolveBackend;  // solve_backend.h
+namespace trace {
+class TraceRecorder;  // trace.h
+}
 
 /// Threading knob shared by the model solvers (CoordinatorOptions::runtime,
 /// MpcOptions::runtime). The default is the serial reference path; results
@@ -120,6 +123,11 @@ struct RuntimeOptions {
   /// Sample sizes at or above this route through the backend/pool instead
   /// of solving inline; 0 = the engine default (4096).
   size_t oversized_basis_threshold = 0;
+  /// Span recorder for the engine's iteration / violator-scan / basis-solve
+  /// spans (docs/runtime.md §"Tracing and histograms"); null or disabled =
+  /// no tracing. Observability only — enabling it never changes results,
+  /// transcripts, or deterministic counters. Must outlive the solve.
+  trace::TraceRecorder* trace = nullptr;
 };
 
 /// Resolves RuntimeOptions to the pool a solver should use: the external

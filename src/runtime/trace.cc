@@ -1,0 +1,320 @@
+#include "src/runtime/trace.h"
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/util/stopwatch.h"
+
+namespace lplow {
+namespace runtime {
+namespace trace {
+
+namespace {
+
+// Recorders are keyed in thread-local state by a process-unique id (never a
+// raw pointer: ids are never reused, so a destroyed recorder's cache entries
+// can never be mistaken for a new recorder at the same address).
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+struct ShardCacheEntry {
+  uint64_t recorder_id;
+  void* shard;  // TraceRecorder::ThreadShard*, typed at the use site.
+};
+
+struct ContextEntry {
+  uint64_t recorder_id;
+  SpanContext ctx;
+};
+
+// Per-thread shard cache and span-context stack. Both are small vectors:
+// a thread typically touches one or two recorders, and the context stack
+// depth is the span nesting depth.
+thread_local std::vector<ShardCacheEntry> tls_shard_cache;
+thread_local std::vector<ContextEntry> tls_context_stack;
+
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << *s;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(bool enabled)
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      enabled_(enabled) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::SetProcessLabel(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_label_ = std::move(label);
+}
+
+uint64_t TraceRecorder::NowMicros() { return Stopwatch::NowMicros(); }
+
+SpanContext TraceRecorder::CurrentContext() const {
+  for (auto it = tls_context_stack.rbegin(); it != tls_context_stack.rend();
+       ++it) {
+    if (it->recorder_id == id_) return it->ctx;
+  }
+  return SpanContext{};
+}
+
+void TraceRecorder::PushContext(SpanContext ctx) {
+  tls_context_stack.push_back(ContextEntry{id_, ctx});
+}
+
+void TraceRecorder::PopContext(SpanContext ctx) {
+  // Scopes are strictly nested per thread, so the entry is at (or, with
+  // interleaved recorders, near) the top.
+  for (auto it = tls_context_stack.rbegin(); it != tls_context_stack.rend();
+       ++it) {
+    if (it->recorder_id == id_ && it->ctx.span_id == ctx.span_id &&
+        it->ctx.trace_id == ctx.trace_id) {
+      tls_context_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+TraceRecorder::ThreadShard* TraceRecorder::GetShard() {
+  for (const ShardCacheEntry& entry : tls_shard_cache) {
+    if (entry.recorder_id == id_) {
+      return static_cast<ThreadShard*>(entry.shard);
+    }
+  }
+  ThreadShard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shard_by_thread_.find(std::this_thread::get_id());
+    if (it != shard_by_thread_.end()) {
+      shard = it->second;
+    } else {
+      shards_.push_back(std::make_unique<ThreadShard>());
+      shard = shards_.back().get();
+      shard->tid = static_cast<uint32_t>(shards_.size() - 1);
+      shard_by_thread_.emplace(std::this_thread::get_id(), shard);
+    }
+  }
+  // Cap the cache so a long-lived thread touching many short-lived
+  // recorders (tests) cannot grow it without bound; evicted entries just
+  // re-register through the slow path above.
+  if (tls_shard_cache.size() >= 64) {
+    tls_shard_cache.erase(tls_shard_cache.begin(),
+                          tls_shard_cache.begin() + 32);
+  }
+  tls_shard_cache.push_back(ShardCacheEntry{id_, shard});
+  return shard;
+}
+
+void TraceRecorder::Append(EventRecord ev) {
+  ThreadShard* shard = GetShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  ev.tid = shard->tid;
+  shard->events.push_back(ev);
+}
+
+SpanContext TraceRecorder::RecordComplete(const char* name, uint64_t start_us,
+                                          uint64_t end_us, SpanContext parent,
+                                          std::initializer_list<Arg> args) {
+  if (!enabled()) return SpanContext{};
+  EventRecord ev;
+  ev.name = name;
+  ev.ts_us = start_us;
+  ev.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  ev.trace_id = parent.trace_id != 0 ? parent.trace_id : NewTraceId();
+  ev.span_id = NextId();
+  ev.parent_span_id = parent.span_id;
+  for (const Arg& a : args) {
+    if (ev.num_args >= kMaxArgs) break;
+    ev.args[ev.num_args++] = a;
+  }
+  Append(ev);
+  return SpanContext{ev.trace_id, ev.span_id};
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+std::vector<TraceRecorder::EventRecord> TraceRecorder::Snapshot() const {
+  std::vector<EventRecord> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      events.insert(events.end(), shard->events.begin(), shard->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->events.clear();
+  }
+}
+
+void TraceRecorder::WriteChromeJson(std::ostream& os) const {
+  const std::vector<EventRecord> events = Snapshot();
+  std::string label;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    label = process_label_;
+  }
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  if (!label.empty()) {
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    WriteJsonString(os, label.c_str());
+    os << "}}";
+    first = false;
+  }
+  for (const EventRecord& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":";
+    WriteJsonString(os, ev.name);
+    os << ",\"cat\":\"lplow\",\"ph\":\"X\",\"ts\":" << ev.ts_us
+       << ",\"dur\":" << ev.dur_us << ",\"pid\":" << pid
+       << ",\"tid\":" << ev.tid << ",\"args\":{\"trace_id\":" << ev.trace_id
+       << ",\"span_id\":" << ev.span_id
+       << ",\"parent_span_id\":" << ev.parent_span_id;
+    for (uint8_t i = 0; i < ev.num_args; ++i) {
+      os << ',';
+      WriteJsonString(os, ev.args[i].key);
+      os << ':' << ev.args[i].value;
+    }
+    os << "}}";
+  }
+  os << "\n]}";
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::ostringstream os;
+  WriteChromeJson(os);
+  return os.str();
+}
+
+void TraceSpan::Init(TraceRecorder* recorder, const char* name,
+                     SpanContext parent) {
+  // The inert path: no clock, no lock, no allocation (trace_test pins it).
+  if (recorder == nullptr || !recorder->enabled()) return;
+  recorder_ = recorder;
+  name_ = name;
+  ctx_.trace_id =
+      parent.trace_id != 0 ? parent.trace_id : recorder->NewTraceId();
+  ctx_.span_id = recorder->NextId();
+  parent_span_ = parent.span_id;
+  recorder->PushContext(ctx_);
+  start_us_ = TraceRecorder::NowMicros();
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name) {
+  Init(recorder, name,
+       recorder != nullptr ? recorder->CurrentContext() : SpanContext{});
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name,
+                     SpanContext parent) {
+  Init(recorder, name, parent);
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  const uint64_t end_us = TraceRecorder::NowMicros();
+  recorder_->PopContext(ctx_);
+  TraceRecorder::EventRecord ev;
+  ev.name = name_;
+  ev.ts_us = start_us_;
+  ev.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  ev.trace_id = ctx_.trace_id;
+  ev.span_id = ctx_.span_id;
+  ev.parent_span_id = parent_span_;
+  ev.num_args = num_args_;
+  ev.args = args_;
+  recorder_->Append(ev);
+}
+
+void TraceSpan::Arg(const char* key, uint64_t value) {
+  if (recorder_ == nullptr || num_args_ >= TraceRecorder::kMaxArgs) return;
+  args_[num_args_++] = TraceRecorder::Arg{key, value};
+}
+
+ContextScope::ContextScope(TraceRecorder* recorder, SpanContext ctx) {
+  if (recorder == nullptr || !recorder->enabled()) return;
+  recorder_ = recorder;
+  ctx_ = ctx;
+  recorder_->PushContext(ctx_);
+}
+
+ContextScope::~ContextScope() {
+  if (recorder_ != nullptr) recorder_->PopContext(ctx_);
+}
+
+std::string MergeChromeTraces(std::span<const std::string> traces) {
+  // Inputs are WriteChromeJson documents: {"traceEvents":[ <events> ]} —
+  // splice the event lists textually. Not a general JSON merge; it relies
+  // on the exporter's own shape (no nested arrays outside the event list).
+  std::string merged = "{\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& doc : traces) {
+    const size_t open = doc.find('[');
+    const size_t close = doc.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open) {
+      continue;
+    }
+    std::string body = doc.substr(open + 1, close - open - 1);
+    const size_t begin = body.find_first_not_of(" \t\n\r");
+    if (begin == std::string::npos) continue;  // Empty event list.
+    const size_t end = body.find_last_not_of(" \t\n\r");
+    body = body.substr(begin, end - begin + 1);
+    if (!first) merged += ',';
+    first = false;
+    merged += '\n';
+    merged += body;
+  }
+  merged += "\n]}";
+  return merged;
+}
+
+}  // namespace trace
+}  // namespace runtime
+}  // namespace lplow

@@ -43,9 +43,16 @@ Result<uint32_t> DecodeProblemDim(BitReader* r) {
 
 // ----------------------------------------------------------------- frames
 
-void EncodeFrameHeader(FrameKind kind, uint32_t payload_size, BitWriter* w) {
+FrameKind MaxFrameKindForVersion(uint8_t version) {
+  // v1 predates the stats pair; a v1 peer sending kind 9 or 10 is broken,
+  // not early.
+  return version >= 2 ? FrameKind::kStatsResponse : FrameKind::kShutdown;
+}
+
+void EncodeFrameHeader(FrameKind kind, uint32_t payload_size, BitWriter* w,
+                       uint8_t version) {
   w->PutU32(kMagic);
-  w->PutU8(kWireVersion);
+  w->PutU8(version);
   w->PutU8(static_cast<uint8_t>(kind));
   w->PutU32(payload_size);
 }
@@ -55,14 +62,15 @@ Result<FrameHeader> DecodeFrameHeader(BitReader* r, uint32_t max_payload) {
   if (magic != kMagic) return Status::InvalidArgument("bad frame magic");
   FrameHeader header;
   LPLOW_ASSIGN_OR_RETURN(header.version, r->GetU8());
-  if (header.version != kWireVersion) {
+  if (header.version < kMinWireVersion || header.version > kWireVersion) {
     return Status::InvalidArgument(
         "unsupported wire version " + std::to_string(header.version) +
-        " (this peer speaks " + std::to_string(kWireVersion) + ")");
+        " (this peer speaks " + std::to_string(kMinWireVersion) + ".." +
+        std::to_string(kWireVersion) + ")");
   }
   LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
   if (kind < static_cast<uint8_t>(FrameKind::kHello) ||
-      kind > static_cast<uint8_t>(FrameKind::kShutdown)) {
+      kind > static_cast<uint8_t>(MaxFrameKindForVersion(header.version))) {
     return Status::InvalidArgument("unknown frame kind " +
                                    std::to_string(kind));
   }
@@ -77,9 +85,10 @@ Result<FrameHeader> DecodeFrameHeader(BitReader* r, uint32_t max_payload) {
 }
 
 std::vector<uint8_t> EncodeFrame(FrameKind kind,
-                                 std::span<const uint8_t> payload) {
+                                 std::span<const uint8_t> payload,
+                                 uint8_t version) {
   BitWriter w;
-  EncodeFrameHeader(kind, static_cast<uint32_t>(payload.size()), &w);
+  EncodeFrameHeader(kind, static_cast<uint32_t>(payload.size()), &w, version);
   w.PutBytes(payload.data(), payload.size());
   return w.Release();
 }
@@ -140,21 +149,91 @@ Status DecodeErrorPayload(const std::vector<uint8_t>& payload) {
   return Status(static_cast<StatusCode>(*code), *std::move(message));
 }
 
-// --------------------------------------------------------- solve payloads
+std::vector<uint8_t> EncodeStatsRequestPayload(const StatsRequest& request) {
+  BitWriter w;
+  uint8_t flags = 0;
+  if (request.include_metrics) flags |= 0x01;
+  if (request.include_trace) flags |= 0x02;
+  w.PutU8(flags);
+  return w.Release();
+}
 
-Result<SolveRequestHead> PeekSolveRequestHead(
+Result<StatsRequest> DecodeStatsRequestPayload(
     const std::vector<uint8_t>& payload) {
   BitReader r(payload);
+  LPLOW_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  if ((flags & ~uint8_t{0x03}) != 0) {
+    return Status::InvalidArgument("stats request carries unknown flags");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in stats request");
+  }
+  StatsRequest request;
+  request.include_metrics = (flags & 0x01) != 0;
+  request.include_trace = (flags & 0x02) != 0;
+  return request;
+}
+
+std::vector<uint8_t> EncodeStatsResponsePayload(const StatsResponse& response) {
+  BitWriter w;
+  w.PutString(response.metrics_json);
+  w.PutString(response.trace_json);
+  return w.Release();
+}
+
+Result<StatsResponse> DecodeStatsResponsePayload(
+    const std::vector<uint8_t>& payload) {
+  BitReader r(payload);
+  StatsResponse response;
+  LPLOW_ASSIGN_OR_RETURN(response.metrics_json, r.GetString());
+  LPLOW_ASSIGN_OR_RETURN(response.trace_json, r.GetString());
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in stats response");
+  }
+  return response;
+}
+
+// --------------------------------------------------------- solve payloads
+
+namespace {
+
+// Reads the shared request prefix — job id, problem kind, and (v2+) the
+// trace block — leaving `r` positioned at the problem config. Both the
+// daemon's peek and the full serve go through here so they cannot disagree
+// on the layout.
+Result<SolveRequestHead> ReadSolveRequestPrefix(BitReader* r,
+                                                uint8_t version) {
   SolveRequestHead head;
-  LPLOW_ASSIGN_OR_RETURN(head.job_id, r.GetU64());
-  LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  LPLOW_ASSIGN_OR_RETURN(head.job_id, r->GetU64());
+  LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
   if (kind < static_cast<uint8_t>(ProblemKind::kLinearProgram) ||
       kind > static_cast<uint8_t>(ProblemKind::kMinEnclosingBall)) {
     return Status::InvalidArgument("unknown problem kind " +
                                    std::to_string(kind));
   }
   head.problem = static_cast<ProblemKind>(kind);
+  if (version >= 2) {
+    LPLOW_ASSIGN_OR_RETURN(uint8_t flags, r->GetU8());
+    if ((flags & ~kRequestFlagTraceContext) != 0) {
+      return Status::InvalidArgument("solve request carries unknown flags");
+    }
+    if ((flags & kRequestFlagTraceContext) != 0) {
+      LPLOW_ASSIGN_OR_RETURN(head.trace.trace_id, r->GetU64());
+      LPLOW_ASSIGN_OR_RETURN(head.trace.parent_span, r->GetU64());
+      if (!head.trace.present()) {
+        return Status::InvalidArgument("solve request trace id is zero");
+      }
+    }
+  }
   return head;
+}
+
+}  // namespace
+
+Result<SolveRequestHead> PeekSolveRequestHead(
+    const std::vector<uint8_t>& payload, uint8_t version) {
+  BitReader r(payload);
+  return ReadSolveRequestPrefix(&r, version);
 }
 
 Result<SolveResponseHead> PeekSolveResponseHead(
@@ -314,47 +393,65 @@ Result<MinEnclosingBall::Value> ProblemCodec<MinEnclosingBall>::DecodeValue(
 namespace {
 
 /// Decodes problem + constraints from `r` (positioned after the request
-/// head), solves, and encodes the response. The one template the daemon's
+/// prefix), solves, and encodes the response — each stage under its own
+/// daemon span when a recorder is attached. The one template the daemon's
 /// per-kind switch instantiates for each ProblemKind.
 template <WireSolvable P>
-Result<std::vector<uint8_t>> ServeTyped(BitReader* r, uint64_t job_id) {
-  LPLOW_ASSIGN_OR_RETURN(P problem, ProblemCodec<P>::DecodeProblem(r));
-  LPLOW_ASSIGN_OR_RETURN(uint64_t count, r->GetVarU64());
-  // Every serialized constraint is at least one byte, so a count beyond the
-  // remaining bytes cannot be honest — reject before reserving.
-  if (count > r->remaining()) {
-    return Status::OutOfRange("constraint count exceeds payload");
-  }
+Result<std::vector<uint8_t>> ServeTyped(BitReader* r, uint64_t job_id,
+                                        const ServeOptions& options) {
   std::vector<typename P::Constraint> constraints;
-  constraints.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    LPLOW_ASSIGN_OR_RETURN(auto c, problem.DeserializeConstraint(r));
-    constraints.push_back(std::move(c));
+  Result<P> problem = Status::Internal("decode did not run");
+  {
+    trace::TraceSpan span(options.trace, "daemon.decode", options.parent);
+    span.Arg("job_id", job_id);
+    problem = ProblemCodec<P>::DecodeProblem(r);
+    if (!problem.ok()) return problem.status();
+    LPLOW_ASSIGN_OR_RETURN(uint64_t count, r->GetVarU64());
+    // Every serialized constraint is at least one byte, so a count beyond
+    // the remaining bytes cannot be honest — reject before reserving.
+    if (count > r->remaining()) {
+      return Status::OutOfRange("constraint count exceeds payload");
+    }
+    constraints.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      LPLOW_ASSIGN_OR_RETURN(auto c, problem->DeserializeConstraint(r));
+      constraints.push_back(std::move(c));
+    }
+    if (!r->exhausted()) {
+      return Status::InvalidArgument("trailing bytes in solve request");
+    }
+    span.Arg("constraints", constraints.size());
   }
-  if (!r->exhausted()) {
-    return Status::InvalidArgument("trailing bytes in solve request");
+  BasisResult<typename P::Value, typename P::Constraint> result;
+  {
+    trace::TraceSpan span(options.trace, "daemon.solve", options.parent);
+    span.Arg("job_id", job_id);
+    span.Arg("constraints", constraints.size());
+    result = problem->SolveBasis(
+        std::span<const typename P::Constraint>(constraints));
   }
-  auto result = problem.SolveBasis(
-      std::span<const typename P::Constraint>(constraints));
-  return EncodeSolveResponsePayload(job_id, problem, result);
+  trace::TraceSpan span(options.trace, "daemon.encode", options.parent);
+  span.Arg("job_id", job_id);
+  std::vector<uint8_t> response =
+      EncodeSolveResponsePayload(job_id, *problem, result);
+  span.Arg("bytes", response.size());
+  return response;
 }
 
 }  // namespace
 
 Result<std::vector<uint8_t>> ServeSolveRequestPayload(
-    const std::vector<uint8_t>& payload) {
-  LPLOW_ASSIGN_OR_RETURN(SolveRequestHead head,
-                         PeekSolveRequestHead(payload));
+    const std::vector<uint8_t>& payload, const ServeOptions& options) {
   BitReader r(payload);
-  (void)r.GetU64();  // job id — validated by the peek above.
-  (void)r.GetU8();   // problem kind.
+  LPLOW_ASSIGN_OR_RETURN(SolveRequestHead head,
+                         ReadSolveRequestPrefix(&r, options.version));
   switch (head.problem) {
     case ProblemKind::kLinearProgram:
-      return ServeTyped<LinearProgram>(&r, head.job_id);
+      return ServeTyped<LinearProgram>(&r, head.job_id, options);
     case ProblemKind::kLinearSvm:
-      return ServeTyped<LinearSvm>(&r, head.job_id);
+      return ServeTyped<LinearSvm>(&r, head.job_id, options);
     case ProblemKind::kMinEnclosingBall:
-      return ServeTyped<MinEnclosingBall>(&r, head.job_id);
+      return ServeTyped<MinEnclosingBall>(&r, head.job_id, options);
   }
   return Status::InvalidArgument("unknown problem kind");
 }

@@ -20,6 +20,17 @@ class Stopwatch {
   /// Milliseconds elapsed.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microseconds since the steady-clock epoch. Comparable across threads
+  /// and — because the steady clock's epoch is machine-wide — across
+  /// processes on the same host, which is what lets daemon trace spans line
+  /// up under a client trace (src/runtime/trace.h).
+  static uint64_t NowMicros() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

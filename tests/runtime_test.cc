@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/models/coordinator/coordinator_solver.h"
@@ -154,7 +156,80 @@ TEST(MetricsTest, CounterGaugeTimerRoundTrip) {
   reg.GetTimer("t")->Record(1.5);
   EXPECT_EQ(reg.GetTimer("t")->count(), 2u);
   EXPECT_DOUBLE_EQ(reg.GetTimer("t")->total_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.GetTimer("t")->mean_seconds(), 1.0);
   EXPECT_DOUBLE_EQ(reg.GetTimer("t")->max_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(reg.GetTimer("empty")->mean_seconds(), 0.0);
+}
+
+TEST(MetricsTest, ScopedTimerCancelDismissesTheRecording) {
+  MetricsRegistry reg;
+  auto* t = reg.GetTimer("t");
+  { runtime::ScopedTimer timer(t); }
+  EXPECT_EQ(t->count(), 1u);
+  {
+    runtime::ScopedTimer timer(t);
+    timer.Cancel();  // The error path: the aborted interval never lands.
+  }
+  EXPECT_EQ(t->count(), 1u);
+}
+
+TEST(MetricsTest, HistogramRecordsIntoLog2Buckets) {
+  using runtime::Histogram;
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // Empty.
+
+  // 3.0 lands in (2, 4] = exponent 2; 1024.0 exactly on a bound lands in
+  // (512, 1024] = exponent 10.
+  h.Record(3.0);
+  h.Record(3.5);
+  h.Record(1024.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0 + 3.5 + 1024.0);
+  auto nonzero = h.NonzeroBuckets();
+  ASSERT_EQ(nonzero.size(), 2u);
+  EXPECT_EQ(nonzero[0], (std::pair<int, uint64_t>{2, 2}));
+  EXPECT_EQ(nonzero[1], (std::pair<int, uint64_t>{10, 1}));
+
+  // Deterministic quantiles: the upper bound of the bucket holding the
+  // rank, never an interpolation.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1024.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.NonzeroBuckets().empty());
+}
+
+TEST(MetricsTest, HistogramExtremesGoToEdgeBuckets) {
+  using runtime::Histogram;
+  Histogram h;
+  h.Record(0.0);    // Below every bound: the first bucket.
+  h.Record(1e-12);  // Sub-nanosecond timing: also under 2^-30.
+  h.Record(1e18);   // Beyond 2^34: the overflow bucket.
+  EXPECT_EQ(h.count(), 3u);
+  auto nonzero = h.NonzeroBuckets();
+  ASSERT_EQ(nonzero.size(), 2u);
+  EXPECT_EQ(nonzero.front(),
+            (std::pair<int, uint64_t>{Histogram::kMinExponent, 2}));
+  EXPECT_EQ(nonzero.back(),
+            (std::pair<int, uint64_t>{Histogram::kMaxExponent + 1, 1}));
+  // The overflow bucket's quantile reports the table's top bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), std::pow(2.0, Histogram::kMaxExponent));
+}
+
+TEST(MetricsTest, HistogramBucketBoundsAreOneSharedAscendingTable) {
+  auto bounds = runtime::Histogram::BucketBounds();
+  ASSERT_EQ(bounds.size(), runtime::Histogram::kNumBuckets - 1);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(),
+                   std::pow(2.0, runtime::Histogram::kMinExponent));
+  EXPECT_DOUBLE_EQ(bounds.back(),
+                   std::pow(2.0, runtime::Histogram::kMaxExponent));
+  // Same table object for every call — the process-wide sharing contract.
+  EXPECT_EQ(bounds.data(), runtime::Histogram::BucketBounds().data());
 }
 
 TEST(MetricsTest, PointersAreStableAndShared) {
@@ -170,21 +245,31 @@ TEST(MetricsTest, JsonExportIsSortedAndWellFormed) {
   reg.GetCounter("a.count")->Increment(3);
   reg.GetGauge("load")->Set(1.0);
   reg.GetTimer("solve")->Record(0.25);
+  reg.GetHistogram("bytes")->Record(3.0);
+  reg.GetHistogram("bytes")->Record(3.0);
+  reg.GetHistogram("bytes")->Record(1024.0);
   std::string json = reg.ToJson();
   EXPECT_EQ(json,
             "{\"counters\":{\"a.count\":3,\"b.count\":7},"
             "\"gauges\":{\"load\":1},"
+            "\"histograms\":{\"bytes\":{\"count\":3,\"sum\":1030,"
+            "\"p50\":4,\"p90\":1024,\"p99\":1024,"
+            "\"buckets\":{\"2^2\":2,\"2^10\":1}}},"
             "\"timers\":{\"solve\":{\"count\":1,\"total_seconds\":0.25,"
-            "\"max_seconds\":0.25}}}");
+            "\"mean_seconds\":0.25,\"max_seconds\":0.25}}}");
 }
 
 TEST(MetricsTest, ResetZeroesButKeepsRegistrations) {
   MetricsRegistry reg;
   auto* c = reg.GetCounter("c");
   c->Increment(5);
+  auto* h = reg.GetHistogram("h");
+  h->Record(7.0);
   reg.Reset();
   EXPECT_EQ(c->value(), 0u);
   EXPECT_EQ(reg.GetCounter("c"), c);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetHistogram("h"), h);
 }
 
 TEST(MetricsTest, ConcurrentIncrementsDoNotLoseCounts) {

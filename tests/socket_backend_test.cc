@@ -26,6 +26,7 @@
 #include "src/runtime/lp_served.h"
 #include "src/runtime/net_io.h"
 #include "src/runtime/sharded_solver_service.h"
+#include "src/runtime/trace.h"
 #include "src/runtime/wire.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -497,6 +498,112 @@ TEST(SocketBackendTest, DaemonSurvivesMalformedClient) {
       (*client)->ExecuteSerialized(9, "test", SmallLpRequest(9, c), &response));
   auto decoded = wire::DecodeSolveResponsePayload(c.problem, response, 9);
   EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  (*daemon)->Shutdown();
+}
+
+TEST(SocketBackendTest, StatsScrapeReturnsTheDaemonsLiveRegistryJson) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  MetricsRegistry daemon_reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("scrape");
+  dopt.num_shards = 1;
+  dopt.metrics = &daemon_reg;
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  MetricsRegistry client_reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &client_reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  // Put one real solve on the books so the scraped registry is populated.
+  std::vector<uint8_t> response;
+  ASSERT_TRUE(
+      (*client)->ExecuteSerialized(5, "test", SmallLpRequest(5, c), &response));
+
+  auto stats = (*client)->ScrapeStats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The daemon's registry, not the client's: wire.daemon.* counters with a
+  // populated request-bytes histogram.
+  EXPECT_NE(stats->metrics_json.find("\"wire.daemon.requests\":"),
+            std::string::npos)
+      << stats->metrics_json;
+  EXPECT_NE(stats->metrics_json.find(
+                "\"wire.daemon.request_bytes\":{\"count\":1"),
+            std::string::npos)
+      << stats->metrics_json;
+  EXPECT_TRUE(stats->trace_json.empty());  // Not asked for.
+  EXPECT_EQ(daemon_reg.ToJson(), stats->metrics_json);
+  EXPECT_GE((*daemon)->stats().stats_requests, 1u);
+
+  // The one-shot convenience wrapper sees the same registry.
+  auto oneshot = runtime::ScrapeDaemonStats(dopt.socket_path);
+  ASSERT_TRUE(oneshot.ok()) << oneshot.status().ToString();
+  EXPECT_NE(oneshot->metrics_json.find("\"wire.daemon.solved\":"),
+            std::string::npos);
+  (*daemon)->Shutdown();
+}
+
+TEST(SocketBackendTest, TraceContextStitchesAcrossTheSocketBoundary) {
+  auto c = testing_util::MakeFeasibleLpCase(600, 2, 17);
+  Rng rng(0x57D7C4ULL);
+  auto parts = workload::Partition(c.constraints, 4, true, &rng);
+
+  MetricsRegistry daemon_reg;
+  runtime::trace::TraceRecorder daemon_recorder(true);
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("stitch");
+  dopt.num_shards = 1;
+  dopt.metrics = &daemon_reg;
+  dopt.trace = &daemon_recorder;
+  auto daemon = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  MetricsRegistry client_reg;
+  runtime::trace::TraceRecorder client_recorder(true);
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &client_reg;
+  copt.trace = &client_recorder;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  coord::CoordinatorOptions opt;
+  opt.net.scale = 0.1;
+  opt.seed = 0x57D7C4ULL;
+  opt.runtime.trace = &client_recorder;
+  opt.runtime.solver_backend = client->get();
+  opt.runtime.oversized_basis_threshold = 1;  // Route every basis solve.
+  auto result = coord::SolveCoordinator(c.problem, parts, opt, nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT((*client)->stats().remote_success, 0u);
+
+  // Some client basis-solve span's trace id crossed inside the v2 frames
+  // and must come back verbatim in the daemon's exported spans.
+  uint64_t basis_trace_id = 0;
+  for (const auto& event : client_recorder.Snapshot()) {
+    if (std::string(event.name) == "engine.basis_solve" &&
+        event.trace_id != 0) {
+      basis_trace_id = event.trace_id;
+      break;
+    }
+  }
+  ASSERT_NE(basis_trace_id, 0u);
+
+  auto stats = (*client)->ScrapeStats(0, /*include_trace=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->trace_json.empty());
+  const std::string needle = "\"trace_id\":" + std::to_string(basis_trace_id);
+  EXPECT_NE(stats->trace_json.find(needle), std::string::npos);
+  for (const char* span : {"daemon.request", "daemon.decode", "daemon.solve",
+                           "daemon.encode"}) {
+    EXPECT_NE(stats->trace_json.find(span), std::string::npos) << span;
+  }
+  // And the daemon recorded queue-wait/execute histograms while serving.
+  EXPECT_NE(stats->metrics_json.find("service.shard.execute_seconds"),
+            std::string::npos);
   (*daemon)->Shutdown();
 }
 

@@ -1,12 +1,15 @@
 // Wire protocol (label `quick`, so the whole file also runs under the
 // ASan/UBSan CI lane): frame and payload round trips, the served-solve
-// response matching a direct SolveBasis byte-for-byte, and the adversarial
-// decode sweep — truncation at EVERY byte boundary, bad magic/version/kind,
-// and hostile declared lengths (dims, counts, frame sizes) that must fail
-// with a clean Status before any allocation, never UB.
+// response matching a direct SolveBasis byte-for-byte, the v1/v2 version
+// gate (trace context + stats frames are v2-only and additive), and the
+// adversarial decode sweep — truncation at EVERY byte boundary, bad
+// magic/version/kind, hostile declared lengths (dims, counts, frame sizes)
+// and hostile trace flags, all failing with a clean Status before any
+// allocation, never UB.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -68,12 +71,36 @@ TEST(WireFrameTest, RejectsWrongVersion) {
 }
 
 TEST(WireFrameTest, RejectsUnknownKind) {
-  for (uint8_t kind : {uint8_t{0}, uint8_t{9}, uint8_t{255}}) {
+  for (uint8_t kind : {uint8_t{0}, uint8_t{11}, uint8_t{255}}) {
     auto bytes = wire::EncodeFrame(wire::FrameKind::kPing, {});
     bytes[5] = kind;
     EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok())
         << "kind " << int{kind} << " accepted";
   }
+}
+
+TEST(WireFrameTest, AcceptsOldVersionRejectsVersionZero) {
+  // A v1 frame still decodes (a v2 daemon serves v1 clients)...
+  auto bytes = wire::EncodeFrame(wire::FrameKind::kPing, {}, /*version=*/1);
+  auto frame = wire::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->header.version, 1);
+  // ...but version 0 predates the protocol.
+  bytes[4] = 0;
+  EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
+}
+
+TEST(WireFrameTest, StatsKindsAreVersionGated) {
+  // The valid kind range depends on the frame's own version: the stats
+  // kinds decode cleanly under a v2 header and are unknown under v1.
+  wire::StatsRequest request;
+  auto payload = wire::EncodeStatsRequestPayload(request);
+  auto bytes = wire::EncodeFrame(
+      wire::FrameKind::kStatsRequest,
+      std::span<const uint8_t>(payload.data(), payload.size()));
+  EXPECT_TRUE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
+  bytes[4] = 1;  // Same frame relabeled v1: kind 9 does not exist there.
+  EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
 }
 
 TEST(WireFrameTest, RejectsOversizedDeclaredPayload) {
@@ -249,7 +276,144 @@ TEST(WireSolveTest, ErrorResponseCarriesTheStatusBack) {
   EXPECT_EQ(decoded.status().message(), "empty region");
 }
 
+// -------------------------------------------- v2 trace context and stats
+
+TEST(WireSolveTest, V2RequestWithoutContextServesIdenticallyToV1) {
+  auto c = testing_util::MakeFeasibleLpCase(24, 2, 5);
+  const uint64_t job_id = 99;
+  std::span<const Halfspace> sample(c.constraints.data(),
+                                    c.constraints.size());
+  auto v1 = wire::EncodeSolveRequestPayload(job_id, c.problem, sample, {},
+                                            /*version=*/1);
+  auto v2 = wire::EncodeSolveRequestPayload(job_id, c.problem, sample);
+
+  // A context-free v2 request is the v1 bytes with one zero flags byte
+  // spliced after the job_id + kind prefix; everything after is identical.
+  ASSERT_EQ(v2.size(), v1.size() + 1);
+  EXPECT_EQ(v2[9], 0u);
+  EXPECT_TRUE(std::equal(v1.begin(), v1.begin() + 9, v2.begin()));
+  EXPECT_TRUE(std::equal(v1.begin() + 9, v1.end(), v2.begin() + 10));
+
+  auto head1 = wire::PeekSolveRequestHead(v1, /*version=*/1);
+  ASSERT_TRUE(head1.ok()) << head1.status().ToString();
+  EXPECT_EQ(head1->job_id, job_id);
+  EXPECT_FALSE(head1->trace.present());
+  auto head2 = wire::PeekSolveRequestHead(v2);
+  ASSERT_TRUE(head2.ok()) << head2.status().ToString();
+  EXPECT_FALSE(head2->trace.present());
+
+  // Served under their own versions, the response bytes are identical.
+  wire::ServeOptions v1_options;
+  v1_options.version = 1;
+  auto served_v1 = wire::ServeSolveRequestPayload(v1, v1_options);
+  auto served_v2 = wire::ServeSolveRequestPayload(v2);
+  ASSERT_TRUE(served_v1.ok()) << served_v1.status().ToString();
+  ASSERT_TRUE(served_v2.ok()) << served_v2.status().ToString();
+  EXPECT_EQ(*served_v1, *served_v2);
+}
+
+TEST(WireSolveTest, TraceContextRoundTripsAndNeverChangesTheResponse) {
+  auto c = testing_util::MakeFeasibleLpCase(24, 2, 5);
+  const uint64_t job_id = 7;
+  std::span<const Halfspace> sample(c.constraints.data(),
+                                    c.constraints.size());
+  wire::TraceContext ctx;
+  ctx.trace_id = 0xDEADBEEFCAFEULL;
+  ctx.parent_span = 0x1234;
+  auto with = wire::EncodeSolveRequestPayload(job_id, c.problem, sample, ctx);
+  auto without = wire::EncodeSolveRequestPayload(job_id, c.problem, sample);
+  ASSERT_EQ(with.size(), without.size() + 16);  // Two u64s behind the flag.
+
+  auto head = wire::PeekSolveRequestHead(with);
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_TRUE(head->trace.present());
+  EXPECT_EQ(head->trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(head->trace.parent_span, ctx.parent_span);
+
+  // The context is observability-only: response bytes are bit-identical
+  // with and without it (the determinism acceptance for tracing).
+  auto served_with = wire::ServeSolveRequestPayload(with);
+  auto served_without = wire::ServeSolveRequestPayload(without);
+  ASSERT_TRUE(served_with.ok()) << served_with.status().ToString();
+  ASSERT_TRUE(served_without.ok());
+  EXPECT_EQ(*served_with, *served_without);
+
+  // The request truncation sweep covers the trace block too.
+  for (size_t len = 0; len < with.size(); ++len) {
+    std::vector<uint8_t> prefix(with.begin(), with.begin() + len);
+    EXPECT_FALSE(wire::ServeSolveRequestPayload(prefix).ok())
+        << "request prefix of " << len << " bytes was served";
+  }
+}
+
+TEST(WireStatsTest, StatsRequestRoundTripsAndRejectsTruncation) {
+  for (bool metrics : {false, true}) {
+    for (bool trace : {false, true}) {
+      wire::StatsRequest in;
+      in.include_metrics = metrics;
+      in.include_trace = trace;
+      auto payload = wire::EncodeStatsRequestPayload(in);
+      auto out = wire::DecodeStatsRequestPayload(payload);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      EXPECT_EQ(out->include_metrics, metrics);
+      EXPECT_EQ(out->include_trace, trace);
+      for (size_t len = 0; len < payload.size(); ++len) {
+        std::vector<uint8_t> prefix(payload.begin(), payload.begin() + len);
+        EXPECT_FALSE(wire::DecodeStatsRequestPayload(prefix).ok());
+      }
+      auto padded = payload;
+      padded.push_back(0);
+      EXPECT_FALSE(wire::DecodeStatsRequestPayload(padded).ok());
+    }
+  }
+  // Unknown flag bits are a protocol violation, not a silent ignore.
+  BitWriter w;
+  w.PutU8(0x04);
+  EXPECT_FALSE(wire::DecodeStatsRequestPayload(w.Release()).ok());
+}
+
+TEST(WireStatsTest, StatsResponseRoundTripsAndRejectsTruncation) {
+  wire::StatsResponse in;
+  in.metrics_json = "{\"counters\":{\"wire.daemon.requests\":3}}";
+  in.trace_json = "{\"traceEvents\":[]}";
+  auto payload = wire::EncodeStatsResponsePayload(in);
+  auto out = wire::DecodeStatsResponsePayload(payload);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->metrics_json, in.metrics_json);
+  EXPECT_EQ(out->trace_json, in.trace_json);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> prefix(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(wire::DecodeStatsResponsePayload(prefix).ok())
+        << "response prefix of " << len << " bytes decoded";
+  }
+  auto padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(wire::DecodeStatsResponsePayload(padded).ok());
+}
+
 // ------------------------------------------------------ adversarial input
+
+TEST(WireAdversarialTest, RejectsHostileTraceFlags) {
+  auto make = [](uint8_t flags, bool with_ids, uint64_t trace_id) {
+    BitWriter w;
+    w.PutU64(1);
+    w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kLinearProgram));
+    w.PutU8(flags);
+    if (with_ids) {
+      w.PutU64(trace_id);
+      w.PutU64(5);
+    }
+    return w.Release();
+  };
+  // Unknown flag bits.
+  auto unknown = make(0x02, /*with_ids=*/false, 0);
+  EXPECT_FALSE(wire::PeekSolveRequestHead(unknown).ok());
+  EXPECT_FALSE(wire::ServeSolveRequestPayload(unknown).ok());
+  // Flagged context with a zero (= "absent") trace id is self-contradictory.
+  auto zero_id = make(wire::kRequestFlagTraceContext, /*with_ids=*/true, 0);
+  EXPECT_FALSE(wire::PeekSolveRequestHead(zero_id).ok());
+  EXPECT_FALSE(wire::ServeSolveRequestPayload(zero_id).ok());
+}
 
 TEST(WireAdversarialTest, RejectsUnknownProblemKind) {
   BitWriter w;
@@ -267,6 +431,7 @@ TEST(WireAdversarialTest, RejectsHostileConstraintCount) {
   BitWriter w;
   w.PutU64(1);
   w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kLinearProgram));
+  w.PutU8(0);  // v2 trace flags: none.
   wire::ProblemCodec<LinearProgram>::EncodeProblem(c.problem, &w);
   w.PutVarU64(uint64_t{1} << 60);
   auto served = wire::ServeSolveRequestPayload(w.Release());
@@ -280,6 +445,7 @@ TEST(WireAdversarialTest, RejectsHostileVectorDimension) {
   BitWriter w;
   w.PutU64(1);
   w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kLinearProgram));
+  w.PutU8(0);  // v2 trace flags: none.
   w.PutU32(0xFFFFFFFFu);
   auto served = wire::ServeSolveRequestPayload(w.Release());
   ASSERT_FALSE(served.ok());
@@ -293,6 +459,7 @@ TEST(WireAdversarialTest, RejectsZeroAndOversizedProblemDimension) {
     BitWriter w;
     w.PutU64(1);
     w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kMinEnclosingBall));
+    w.PutU8(0);  // v2 trace flags: none.
     w.PutU32(dim);
     for (int i = 0; i < 4 + 2 * (1 << 17); ++i) w.PutU8(0);  // Plenty of bytes.
     EXPECT_FALSE(wire::ServeSolveRequestPayload(w.Release()).ok())
