@@ -11,8 +11,9 @@ Two kinds of comparison, matching what the lplow benches report:
 
 Counters whose name ends in _p50/_p90/_p99/_mean are latency-derived
 (histogram percentiles, timer means — see docs/runtime.md §"Tracing and
-histograms"): machine-dependent like real_time, so they are printed as
-`report` lines and never count as drift, even under --strict.
+histograms"), and _rpt marks other machine-dependent exports (e.g. which
+scan-kernel variant CPU dispatch picked): like real_time they are printed
+as `report` lines and never count as drift, even under --strict.
 
 Exit status is 0 unless a gating mode is given:
 
@@ -66,9 +67,12 @@ def load_results(paths):
     return results
 
 
-# Exported counters with these suffixes carry wall-time-derived values
-# (histogram percentiles / timer means): report-only, never gated.
-REPORT_ONLY_SUFFIXES = ("_p50", "_p90", "_p99", "_mean")
+# Exported counters with these suffixes carry machine-dependent values:
+# wall-time-derived (_p50/_p90/_p99/_mean: histogram percentiles, timer
+# means) or hardware-dispatch-dependent (_rpt: e.g. the violator-scan
+# vector-block/scalar-lane tallies, which vary with CPU features and
+# LPLOW_FORCE_SCALAR_SCAN). Report-only, never gated.
+REPORT_ONLY_SUFFIXES = ("_p50", "_p90", "_p99", "_mean", "_rpt")
 
 # Keys every distilled record (baseline entry or load_results output) must
 # carry for compare() to work.
@@ -166,11 +170,25 @@ def main():
     parser.add_argument("--strict-counters", action="store_true",
                         help="exit 1 on counter drift only (timings stay "
                              "report-only); the CI gating mode")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="fail unless some result benchmark name "
+                             "contains SUBSTRING (repeatable); guards CI "
+                             "against a bench silently dropping out of the "
+                             "run matrix")
     args = parser.parse_args()
 
     current = load_results(args.results)
     if not current:
         print("bench_compare: no benchmark records in results", file=sys.stderr)
+        return 1
+
+    missing = [req for req in args.require
+               if not any(req in name for name in current)]
+    if missing:
+        for req in missing:
+            print(f"bench_compare: --require '{req}' matched no result "
+                  f"benchmark name", file=sys.stderr)
         return 1
 
     if args.update:

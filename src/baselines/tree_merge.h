@@ -78,10 +78,16 @@ IteratedTreeMerge(const P& problem,
   st = TreeMergeStats{};
   st.k = partitions.size();
 
+  // Per-site scan workspaces give the sites the engine's SIMD collection
+  // path (identical violator sets either way; the repair loop re-collects
+  // against a new value every round, so the SoA mirror is the win here,
+  // not bitmap fusion).
+  std::vector<engine::ScanWorkspace> workspaces(partitions.size());
   std::vector<engine::ConstraintView<Constraint>> sites;
   sites.reserve(partitions.size());
-  for (const auto& part : partitions) {
-    sites.emplace_back(std::span<const Constraint>(part));
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    sites.emplace_back(std::span<const Constraint>(partitions[i]),
+                       &workspaces[i]);
   }
 
   std::vector<Constraint> working;
@@ -97,8 +103,8 @@ IteratedTreeMerge(const P& problem,
     // Sites reply with a local basis over their violated constraints.
     std::vector<Constraint> additions;
     for (const auto& site : sites) {
-      std::vector<Constraint> violated = site.CollectViolators(
-          [&](const Constraint& c) { return problem.Violates(current.value, c); });
+      std::vector<Constraint> violated =
+          site.CollectViolators(problem, current.value, engine::ScanOptions{});
       if (violated.empty()) continue;
       auto local_basis =
           problem.SolveBasis(std::span<const Constraint>(violated));

@@ -84,6 +84,15 @@ struct RefinementPolicy {
   /// never touch solver state, so transcripts and deterministic counters
   /// are identical with tracing on or off.
   runtime::trace::TraceRecorder* trace = nullptr;
+  /// How the transports execute their violator scans (the SIMD / fusion
+  /// seam of constraint_store.h). Pure execution policy: bitmaps, weights,
+  /// transcripts, and deterministic counters are bit-identical for every
+  /// setting (docs/engine.md §"SIMD violator scan").
+  runtime::ScanStrategy scan_strategy = runtime::ScanStrategy::kAuto;
+
+  /// The scan-execution knobs the transports hand to ConstraintView's
+  /// problem-aware entry points.
+  ScanOptions scan_options() const { return {pool, scan_strategy}; }
 };
 
 /// Computes the Algorithm 1 parameters for problem size n and rate
@@ -123,6 +132,7 @@ inline void ApplyRuntimeOptions(RefinementPolicy& policy,
     policy.oversized_basis_threshold = runtime.oversized_basis_threshold;
   }
   policy.trace = runtime.trace;
+  policy.scan_strategy = runtime.scan_strategy;
 }
 
 /// What one violator scan reports back to the engine. `total_weight` is

@@ -1,0 +1,348 @@
+// Kernel implementations + runtime dispatch for scan_kernel.h.
+//
+// This translation unit builds with -ffp-contract=off (src/engine/
+// CMakeLists.txt): the bit-equality contract between the scalar reference
+// and the vector lanes dies the moment a compiler silently fuses one side's
+// a*b+c into an fma, so contraction is forbidden here outright.
+
+#include "src/engine/scan_kernel.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define LPLOW_SCAN_HAVE_AVX2 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define LPLOW_SCAN_HAVE_NEON 1
+#endif
+
+namespace lplow {
+namespace engine {
+
+bool ScanQuery::SamePredicate(const ScanQuery& other) const {
+  if (mode != other.mode || op != other.op) return false;
+  if (std::memcmp(&t0, &other.t0, sizeof(t0)) != 0) return false;
+  if (q.size() != other.q.size()) return false;
+  return q.empty() ||
+         std::memcmp(q.data(), other.q.data(), q.size() * sizeof(double)) == 0;
+}
+
+ScanMetrics& GlobalScanMetrics() {
+  static ScanMetrics metrics = [] {
+    auto& registry = runtime::MetricsRegistry::Global();
+    return ScanMetrics{
+        registry.GetCounter("engine.scan.simd_blocks"),
+        registry.GetCounter("engine.scan.scalar_tail"),
+        registry.GetCounter("engine.scan.fused_reweights"),
+        registry.GetCounter("engine.scan.soa_rows"),
+        registry.GetCounter("engine.scan.requests"),
+    };
+  }();
+  return metrics;
+}
+
+namespace {
+
+// ------------------------------------------------------------------ scalar
+// The normative reference: one lane at a time, dimensions ascending, in
+// exactly the operation order of the per-constraint scalar predicates
+// (Halfspace::Slack/Contains, SvmPoint Z().Dot, Ball::Contains).
+
+void ScanScalar(const SoaBlock& b, const ScanQuery& query, uint8_t* bitmap,
+                size_t begin, size_t end) {
+  const size_t dim = b.dim();
+  const double* q = query.q.data();
+  switch (query.op) {
+    case ScanOp::kHalfspace: {
+      const double* off = b.AuxColumn(0);
+      const double* scale = b.AuxColumn(1);
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0;
+        for (size_t d = 0; d < dim; ++d) acc += b.Column(d)[i] * q[d];
+        const double slack = off[i] - acc;
+        const double tol = query.t0 * scale[i];
+        // Violated = !(slack >= -tol); NaN slack therefore violates.
+        bitmap[i] = slack >= -tol ? 0 : 1;
+      }
+      break;
+    }
+    case ScanOp::kDotBelowThreshold: {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0;
+        for (size_t d = 0; d < dim; ++d) acc += b.Column(d)[i] * q[d];
+        bitmap[i] = acc < query.t0 ? 1 : 0;  // NaN: not violated.
+      }
+      break;
+    }
+    case ScanOp::kDistanceOutside: {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = b.Column(d)[i] - q[d];
+          acc += diff * diff;
+        }
+        const double dist = std::sqrt(acc);
+        bitmap[i] = dist <= query.t0 ? 0 : 1;  // NaN distance violates.
+      }
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- AVX2
+// 4 lanes per step. Same per-lane operation order as the scalar reference:
+// mul + add (never fma), compare with the ordered predicates so NaN falls
+// on the same side, movemask to bytes.
+
+#if LPLOW_SCAN_HAVE_AVX2
+
+__attribute__((target("avx2"))) inline void StoreMask4(uint8_t* bitmap,
+                                                       size_t i, int mask) {
+  bitmap[i + 0] = static_cast<uint8_t>(mask & 1);
+  bitmap[i + 1] = static_cast<uint8_t>((mask >> 1) & 1);
+  bitmap[i + 2] = static_cast<uint8_t>((mask >> 2) & 1);
+  bitmap[i + 3] = static_cast<uint8_t>((mask >> 3) & 1);
+}
+
+__attribute__((target("avx2"))) void ScanAvx2(const SoaBlock& b,
+                                              const ScanQuery& query,
+                                              uint8_t* bitmap, size_t begin,
+                                              size_t end,
+                                              uint64_t* vector_blocks) {
+  const size_t dim = b.dim();
+  const double* q = query.q.data();
+  uint64_t blocks = 0;
+  switch (query.op) {
+    case ScanOp::kHalfspace: {
+      const double* off = b.AuxColumn(0);
+      const double* scale = b.AuxColumn(1);
+      const __m256d t0 = _mm256_set1_pd(query.t0);
+      const __m256d signbit = _mm256_set1_pd(-0.0);
+      for (size_t i = begin; i < end; i += 4, ++blocks) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d col = _mm256_loadu_pd(b.Column(d) + i);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(col, _mm256_set1_pd(q[d])));
+        }
+        const __m256d slack = _mm256_sub_pd(_mm256_loadu_pd(off + i), acc);
+        const __m256d tol = _mm256_mul_pd(t0, _mm256_loadu_pd(scale + i));
+        const __m256d neg_tol = _mm256_xor_pd(tol, signbit);
+        // Satisfied = slack >= -tol (ordered: false on NaN); violated is
+        // the complement, so NaN slack violates — the scalar semantics.
+        const __m256d sat = _mm256_cmp_pd(slack, neg_tol, _CMP_GE_OQ);
+        StoreMask4(bitmap, i, ~_mm256_movemask_pd(sat) & 0xF);
+      }
+      break;
+    }
+    case ScanOp::kDotBelowThreshold: {
+      const __m256d t0 = _mm256_set1_pd(query.t0);
+      for (size_t i = begin; i < end; i += 4, ++blocks) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d col = _mm256_loadu_pd(b.Column(d) + i);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(col, _mm256_set1_pd(q[d])));
+        }
+        // Violated = acc < t0 (ordered: false on NaN) — scalar semantics.
+        const __m256d viol = _mm256_cmp_pd(acc, t0, _CMP_LT_OQ);
+        StoreMask4(bitmap, i, _mm256_movemask_pd(viol));
+      }
+      break;
+    }
+    case ScanOp::kDistanceOutside: {
+      const __m256d t0 = _mm256_set1_pd(query.t0);
+      for (size_t i = begin; i < end; i += 4, ++blocks) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(b.Column(d) + i),
+                                             _mm256_set1_pd(q[d]));
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+        }
+        // _mm256_sqrt_pd is IEEE correctly-rounded: bitwise std::sqrt.
+        const __m256d dist = _mm256_sqrt_pd(acc);
+        // Contained = dist <= t0 (ordered); violated is the complement, so
+        // NaN distance violates — the scalar semantics.
+        const __m256d inside = _mm256_cmp_pd(dist, t0, _CMP_LE_OQ);
+        StoreMask4(bitmap, i, ~_mm256_movemask_pd(inside) & 0xF);
+      }
+      break;
+    }
+  }
+  if (vector_blocks != nullptr) *vector_blocks += blocks;
+}
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // LPLOW_SCAN_HAVE_AVX2
+
+// ------------------------------------------------------------------- NEON
+// 2 lanes per step; aarch64 baseline, so no runtime feature check. Same
+// mul + add discipline (the TU's -ffp-contract=off keeps the compiler from
+// fusing the intrinsics), same ordered-compare NaN semantics.
+
+#if LPLOW_SCAN_HAVE_NEON
+
+inline void StoreMask2(uint8_t* bitmap, size_t i, uint64x2_t violated) {
+  bitmap[i + 0] = vgetq_lane_u64(violated, 0) != 0 ? 1 : 0;
+  bitmap[i + 1] = vgetq_lane_u64(violated, 1) != 0 ? 1 : 0;
+}
+
+void ScanNeon(const SoaBlock& b, const ScanQuery& query, uint8_t* bitmap,
+              size_t begin, size_t end, uint64_t* vector_blocks) {
+  const size_t dim = b.dim();
+  const double* q = query.q.data();
+  uint64_t blocks = 0;
+  switch (query.op) {
+    case ScanOp::kHalfspace: {
+      const double* off = b.AuxColumn(0);
+      const double* scale = b.AuxColumn(1);
+      const float64x2_t t0 = vdupq_n_f64(query.t0);
+      for (size_t i = begin; i < end; i += 2, ++blocks) {
+        float64x2_t acc = vdupq_n_f64(0.0);
+        for (size_t d = 0; d < dim; ++d) {
+          acc = vaddq_f64(acc,
+                          vmulq_f64(vld1q_f64(b.Column(d) + i),
+                                    vdupq_n_f64(q[d])));
+        }
+        const float64x2_t slack = vsubq_f64(vld1q_f64(off + i), acc);
+        const float64x2_t neg_tol =
+            vnegq_f64(vmulq_f64(t0, vld1q_f64(scale + i)));
+        // vcgeq is false on NaN; the complement makes NaN slack violate.
+        const uint64x2_t sat = vcgeq_f64(slack, neg_tol);
+        StoreMask2(bitmap, i,
+                   veorq_u64(sat, vdupq_n_u64(~uint64_t{0})));
+      }
+      break;
+    }
+    case ScanOp::kDotBelowThreshold: {
+      const float64x2_t t0 = vdupq_n_f64(query.t0);
+      for (size_t i = begin; i < end; i += 2, ++blocks) {
+        float64x2_t acc = vdupq_n_f64(0.0);
+        for (size_t d = 0; d < dim; ++d) {
+          acc = vaddq_f64(acc,
+                          vmulq_f64(vld1q_f64(b.Column(d) + i),
+                                    vdupq_n_f64(q[d])));
+        }
+        StoreMask2(bitmap, i, vcltq_f64(acc, t0));  // False on NaN.
+      }
+      break;
+    }
+    case ScanOp::kDistanceOutside: {
+      const float64x2_t t0 = vdupq_n_f64(query.t0);
+      for (size_t i = begin; i < end; i += 2, ++blocks) {
+        float64x2_t acc = vdupq_n_f64(0.0);
+        for (size_t d = 0; d < dim; ++d) {
+          const float64x2_t diff =
+              vsubq_f64(vld1q_f64(b.Column(d) + i), vdupq_n_f64(q[d]));
+          acc = vaddq_f64(acc, vmulq_f64(diff, diff));
+        }
+        const float64x2_t dist = vsqrtq_f64(acc);  // Correctly rounded.
+        const uint64x2_t inside = vcleq_f64(dist, t0);
+        StoreMask2(bitmap, i,
+                   veorq_u64(inside, vdupq_n_u64(~uint64_t{0})));
+      }
+      break;
+    }
+  }
+  if (vector_blocks != nullptr) *vector_blocks += blocks;
+}
+
+#endif  // LPLOW_SCAN_HAVE_NEON
+
+// --------------------------------------------------------------- dispatch
+
+bool ForcedScalar() {
+  static const bool forced = [] {
+    const char* env = std::getenv("LPLOW_FORCE_SCALAR_SCAN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return forced;
+}
+
+enum class Variant { kScalar, kAvx2, kNeon };
+
+Variant ActiveVariant() {
+  static const Variant variant = [] {
+    if (ForcedScalar()) return Variant::kScalar;
+#if LPLOW_SCAN_HAVE_AVX2
+    if (Avx2Supported()) return Variant::kAvx2;
+#endif
+#if LPLOW_SCAN_HAVE_NEON
+    return Variant::kNeon;
+#endif
+    return Variant::kScalar;
+  }();
+  return variant;
+}
+
+bool RunVector(const SoaBlock& block, const ScanQuery& query, uint8_t* bitmap,
+               size_t begin, size_t end, uint64_t* vector_blocks) {
+#if LPLOW_SCAN_HAVE_AVX2
+  if (Avx2Supported()) {
+    ScanAvx2(block, query, bitmap, begin, end, vector_blocks);
+    return true;
+  }
+#endif
+#if LPLOW_SCAN_HAVE_NEON
+  ScanNeon(block, query, bitmap, begin, end, vector_blocks);
+  return true;
+#endif
+  (void)block;
+  (void)query;
+  (void)bitmap;
+  (void)begin;
+  (void)end;
+  (void)vector_blocks;
+  return false;
+}
+
+}  // namespace
+
+bool VectorScanActive() { return ActiveVariant() != Variant::kScalar; }
+
+const char* ScanKernelName() {
+  switch (ActiveVariant()) {
+    case Variant::kAvx2:
+      return "avx2";
+    case Variant::kNeon:
+      return "neon";
+    case Variant::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+void RunScanKernel(const SoaBlock& block, const ScanQuery& query,
+                   uint8_t* bitmap, size_t begin, size_t end,
+                   uint64_t* vector_blocks, uint64_t* scalar_lanes) {
+  if (end <= begin) return;
+  LPLOW_CHECK_EQ(begin % kSoaBlockWidth, 0u);
+  LPLOW_CHECK(query.mode == ScanQuery::Mode::kKernel);
+  if (VectorScanActive() &&
+      RunVector(block, query, bitmap, begin, end, vector_blocks)) {
+    return;
+  }
+  ScanScalar(block, query, bitmap, begin, end);
+  if (scalar_lanes != nullptr) *scalar_lanes += end - begin;
+}
+
+bool RunScanKernelVariant(const SoaBlock& block, const ScanQuery& query,
+                          uint8_t* bitmap, size_t begin, size_t end,
+                          bool use_vector) {
+  if (end <= begin) return true;
+  LPLOW_CHECK_EQ(begin % kSoaBlockWidth, 0u);
+  LPLOW_CHECK(query.mode == ScanQuery::Mode::kKernel);
+  if (!use_vector) {
+    ScanScalar(block, query, bitmap, begin, end);
+    return true;
+  }
+  return RunVector(block, query, bitmap, begin, end, nullptr);
+}
+
+}  // namespace engine
+}  // namespace lplow

@@ -1,0 +1,25 @@
+#include "src/engine/soa_block.h"
+
+#include "src/util/logging.h"
+
+namespace lplow {
+namespace engine {
+
+void SoaBlock::Reset(size_t dim, size_t aux) {
+  shaped_ = true;
+  n_ = 0;
+  dim_ = dim;
+  aux_ = aux;
+  cols_.assign(dim + aux, {});
+}
+
+size_t SoaBlock::AppendLane() {
+  LPLOW_CHECK(shaped_);
+  if (n_ == padded()) {
+    for (auto& col : cols_) col.resize(col.size() + kSoaBlockWidth, 0.0);
+  }
+  return n_++;
+}
+
+}  // namespace engine
+}  // namespace lplow

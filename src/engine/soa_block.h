@@ -1,0 +1,77 @@
+// Padded, column-major (structure-of-arrays) mirror of a constraint set —
+// the data layout behind the vectorized violator scan (scan_kernel.h).
+//
+// The row-major constraint vectors the rest of the engine works on are
+// terrible for SIMD: each predicate evaluation chases a Vec's heap pointer
+// and strides across unrelated fields. SoaBlock transposes the scan-relevant
+// numbers once — column d holds coordinate d of every constraint normal,
+// contiguous — so a kernel can evaluate one *lane per constraint*, looping
+// over dimensions, with unit-stride loads.
+//
+// Every column is padded to a multiple of kSoaBlockWidth with zeros so
+// vector loads never read past a column and pool-parallel kernels can split
+// the lane range on block boundaries without overlapping writes. The width
+// is deliberately ISA-independent (wider than any vector register we
+// target), so layouts — and therefore any layout-derived accounting — are
+// identical on every machine.
+
+#ifndef LPLOW_ENGINE_SOA_BLOCK_H_
+#define LPLOW_ENGINE_SOA_BLOCK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lplow {
+namespace engine {
+
+/// Lanes per padded storage block. Pool-chunked kernels split lane ranges
+/// only at multiples of this, and columns are padded to it.
+inline constexpr size_t kSoaBlockWidth = 8;
+
+/// Rounds up to the next multiple of kSoaBlockWidth.
+inline constexpr size_t SoaPaddedSize(size_t n) {
+  return (n + kSoaBlockWidth - 1) / kSoaBlockWidth * kSoaBlockWidth;
+}
+
+/// One mirrored constraint block: `dim` geometry columns (normal / point
+/// coordinates) plus `aux` problem-specific columns (offsets, tolerance
+/// scales). Grows lane by lane in step with ConstraintStore::Append.
+class SoaBlock {
+ public:
+  SoaBlock() = default;
+
+  /// Clears and re-shapes the block. Must be called before the first
+  /// AppendLane; a block stays shaped until the next Reset.
+  void Reset(size_t dim, size_t aux);
+
+  bool shaped() const { return shaped_; }
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+  size_t aux() const { return aux_; }
+  /// Allocated lanes per column (SoaPaddedSize(size()); 0 when empty).
+  size_t padded() const { return cols_.empty() ? 0 : cols_[0].size(); }
+
+  const double* Column(size_t d) const { return cols_[d].data(); }
+  const double* AuxColumn(size_t j) const { return cols_[dim_ + j].data(); }
+
+  /// Appends one (zero-filled) lane and returns its index; the caller fills
+  /// it via Set/SetAux. Extends every column by one padding block when full.
+  size_t AppendLane();
+
+  void Set(size_t d, size_t lane, double v) { cols_[d][lane] = v; }
+  void SetAux(size_t j, size_t lane, double v) { cols_[dim_ + j][lane] = v; }
+
+ private:
+  bool shaped_ = false;
+  size_t n_ = 0;
+  size_t dim_ = 0;
+  size_t aux_ = 0;
+  // dim_ + aux_ columns, each padded() doubles long. Separate vectors keep
+  // AppendLane O(1) amortized without re-laying-out a monolithic buffer.
+  std::vector<std::vector<double>> cols_;
+};
+
+}  // namespace engine
+}  // namespace lplow
+
+#endif  // LPLOW_ENGINE_SOA_BLOCK_H_

@@ -92,23 +92,23 @@ template <LpTypeProblem P>
 class Site {
  public:
   Site(const P* problem, std::vector<typename P::Constraint> constraints,
-       Rng rng, runtime::ThreadPool* scan_pool)
+       Rng rng, engine::ScanOptions scan)
       : problem_(problem),
         store_(std::move(constraints)),
         rng_(std::move(rng)),
-        scan_pool_(scan_pool) {}
+        scan_(scan) {}
 
   /// R1: apply the previous reweighting decision (if any), reply total weight.
+  /// The reweight is against the basis the site just scanned in R3, so the
+  /// fused path reuses that scan's bitmap instead of re-testing every
+  /// constraint (identical weights either way).
   Message HandleWeightRequest(const Message& request) {
     BitReader r(request);
     uint8_t apply = *r.GetU8();
     if (apply) {
       double rate = *r.GetDouble();
       auto basis_value = DeserializeValueMarker(&r);
-      store_.View().ScaleViolators(
-          scan_pool_,
-          [&](const auto& c) { return problem_->Violates(basis_value, c); },
-          rate);
+      store_.View().ScaleViolatorsFused(*problem_, basis_value, rate, scan_);
     }
     BitWriter w;
     w.PutDouble(store_.View().TotalWeight());
@@ -133,9 +133,8 @@ class Site {
   Message HandleViolatorRequest(const Message& request) {
     BitReader r(request);
     last_basis_value_ = DeserializeValueMarker(&r);
-    engine::ViolatorStats stats = store_.View().CountViolators(
-        scan_pool_,
-        [&](const auto& c) { return problem_->Violates(last_basis_value_, c); });
+    engine::ViolatorStats stats =
+        store_.View().ScanViolators(*problem_, last_basis_value_, scan_);
     BitWriter w;
     w.PutDouble(stats.weight);
     w.PutVarU64(stats.count);
@@ -167,7 +166,7 @@ class Site {
   const P* problem_;
   engine::ConstraintStore<typename P::Constraint> store_;
   Rng rng_;
-  runtime::ThreadPool* scan_pool_;
+  engine::ScanOptions scan_;
   typename P::Value last_basis_value_{};
 };
 
@@ -404,7 +403,7 @@ SolveCoordinator(const P& problem,
   sites.reserve(k);
   for (size_t i = 0; i < k; ++i) {
     sites.emplace_back(&problem, std::move(partitions[i]), rng.ForkStream(i),
-                       pool);
+                       policy.scan_options());
   }
 
   internal::CoordinatorTransport<P> transport(problem, sites, ch, exec, rng,

@@ -214,9 +214,8 @@ class DeterministicTransport {
     exec_.RunRound([&](size_t i) {
       auto view = blocks_[i].View();
       total[i] = view.TotalWeight();
-      engine::ViolatorStats local = view.CountViolators(
-          policy_.pool,
-          [&](const Constraint& c) { return problem_.Violates(basis.value, c); });
+      engine::ViolatorStats local =
+          view.ScanViolators(problem_, basis.value, policy_.scan_options());
       violating[i] = local.weight;
       counts[i] = local.count;
     });
@@ -237,11 +236,13 @@ class DeterministicTransport {
     // telemetry here, not a gate. Progress during an f stall comes exactly
     // from this unconditional update (header comment).
     carry_basis_ = basis.basis;
+    // Same value as the scan above, so the fused path reuses each block's
+    // scan bitmap (identical weights either way).
     exec_.RunRound([&](size_t i) {
-      blocks_[i].View().ScaleViolators(
-          policy_.pool,
-          [&](const Constraint& c) { return problem_.Violates(basis.value, c); },
-          policy_.rate, kDeterministicWeightCeiling);
+      blocks_[i].View().ScaleViolatorsFused(problem_, basis.value,
+                                            policy_.rate,
+                                            policy_.scan_options(),
+                                            kDeterministicWeightCeiling);
     });
   }
 

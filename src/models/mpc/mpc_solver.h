@@ -132,13 +132,12 @@ class MpcTransport {
         rt_.EndRound();
         if (st_.tree_depth == 0) break;
       }
+      // Reweight against exactly the value each machine just scanned, so
+      // the fused path reuses the scan bitmap (identical weights either
+      // way).
       exec_.RunRound([&](size_t i) {
-        mach_[i].store.View().ScaleViolators(
-            policy_.pool,
-            [&](const Constraint& c) {
-              return problem_.Violates(pending_value_, c);
-            },
-            policy_.rate);
+        mach_[i].store.View().ScaleViolatorsFused(
+            problem_, pending_value_, policy_.rate, policy_.scan_options());
       });
       pending_update_ = false;
     }
@@ -225,9 +224,8 @@ class MpcTransport {
     std::vector<double> vw(machines, 0);
     std::vector<size_t> vc(machines, 0);
     exec_.RunRound([&](size_t i) {
-      engine::ViolatorStats local = mach_[i].store.View().CountViolators(
-          policy_.pool,
-          [&](const Constraint& c) { return problem_.Violates(basis.value, c); });
+      engine::ViolatorStats local = mach_[i].store.View().ScanViolators(
+          problem_, basis.value, policy_.scan_options());
       vw[i] = local.weight;
       vc[i] = static_cast<size_t>(local.count);
     });

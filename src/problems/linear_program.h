@@ -12,10 +12,12 @@
 #ifndef LPLOW_PROBLEMS_LINEAR_PROGRAM_H_
 #define LPLOW_PROBLEMS_LINEAR_PROGRAM_H_
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/engine/scan_kernel.h"
 #include "src/geometry/halfspace.h"
 #include "src/solvers/lex_lp.h"
 #include "src/solvers/lp_types.h"
@@ -84,6 +86,48 @@ class LinearProgram {
 };
 
 static_assert(LpTypeProblem<LinearProgram>);
+
+namespace engine {
+
+/// SIMD violator scan for LP (docs/engine.md §"SIMD violator scan"): lane i
+/// mirrors halfspace a.x <= b as (columns = a, aux0 = b, aux1 = the
+/// tolerance scale max(1, |b|), precomputed scalar-side — SIMD max has
+/// different NaN semantics than std::max). The kHalfspace kernel then
+/// reproduces Violates operation for operation.
+template <>
+struct SimdScannable<LinearProgram> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kAux = 2;
+
+  static size_t Dim(const LinearProgram&, const Halfspace& c) {
+    return c.dim();
+  }
+
+  static bool Mirror(const LinearProgram&, const Halfspace& c, SoaBlock* soa,
+                     size_t lane) {
+    for (size_t d = 0; d < c.dim(); ++d) soa->Set(d, lane, c.a[d]);
+    soa->SetAux(0, lane, c.b);
+    soa->SetAux(1, lane, std::max(1.0, std::fabs(c.b)));
+    return true;
+  }
+
+  static ScanQuery MakeQuery(const LinearProgram& problem,
+                             const LinearProgram::Value& value, size_t dim) {
+    ScanQuery q;
+    q.op = ScanOp::kHalfspace;
+    if (!value.feasible) {
+      q.mode = ScanQuery::Mode::kNoneViolate;  // Infeasible is maximal.
+      return q;
+    }
+    if (value.point.dim() != dim) return q;  // kUnsupported
+    q.mode = ScanQuery::Mode::kKernel;
+    q.q = value.point.data();
+    q.t0 = problem.solver_config().violation_tol;
+    return q;
+  }
+};
+
+}  // namespace engine
 
 }  // namespace lplow
 

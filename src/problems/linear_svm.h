@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/engine/scan_kernel.h"
 #include "src/solvers/svm_qp.h"
 
 namespace lplow {
@@ -65,6 +66,49 @@ class LinearSvm {
 };
 
 static_assert(LpTypeProblem<LinearSvm>);
+
+namespace engine {
+
+/// SIMD violator scan for SVM: lane i mirrors the signed constraint normal
+/// z = y * x (each coordinate computed exactly as SvmPoint::Z does, sign
+/// flip via * -1.0), and the kDotBelowThreshold kernel reproduces
+/// z.Dot(u) < 1 - margin_tol.
+template <>
+struct SimdScannable<LinearSvm> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kAux = 0;
+
+  static size_t Dim(const LinearSvm&, const SvmPoint& c) { return c.x.dim(); }
+
+  static bool Mirror(const LinearSvm&, const SvmPoint& c, SoaBlock* soa,
+                     size_t lane) {
+    for (size_t d = 0; d < c.x.dim(); ++d) {
+      soa->Set(d, lane, c.label >= 0 ? c.x[d] : c.x[d] * -1.0);
+    }
+    return true;
+  }
+
+  static ScanQuery MakeQuery(const LinearSvm& problem,
+                             const LinearSvm::Value& value, size_t dim) {
+    ScanQuery q;
+    q.op = ScanOp::kDotBelowThreshold;
+    if (!value.separable) {
+      q.mode = ScanQuery::Mode::kNoneViolate;  // Non-separable is maximal.
+      return q;
+    }
+    if (value.u.dim() == 0) {
+      q.mode = ScanQuery::Mode::kAllViolate;  // f(empty): u = 0.
+      return q;
+    }
+    if (value.u.dim() != dim) return q;  // kUnsupported
+    q.mode = ScanQuery::Mode::kKernel;
+    q.q = value.u.data();
+    q.t0 = 1.0 - problem.config().margin_tol;
+    return q;
+  }
+};
+
+}  // namespace engine
 
 }  // namespace lplow
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/engine/scan_kernel.h"
 #include "src/solvers/welzl.h"
 
 namespace lplow {
@@ -60,6 +61,44 @@ class MinEnclosingBall {
 };
 
 static_assert(LpTypeProblem<MinEnclosingBall>);
+
+namespace engine {
+
+/// SIMD violator scan for MEB: lane i mirrors the point coordinates, and
+/// the kDistanceOutside kernel reproduces !Ball::Contains — the same
+/// subtract / square-accumulate / sqrt sequence, against
+/// t0 = radius + contain_tol (the addition precomputed scalar-side).
+template <>
+struct SimdScannable<MinEnclosingBall> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kAux = 0;
+
+  static size_t Dim(const MinEnclosingBall&, const Vec& c) { return c.dim(); }
+
+  static bool Mirror(const MinEnclosingBall&, const Vec& c, SoaBlock* soa,
+                     size_t lane) {
+    for (size_t d = 0; d < c.dim(); ++d) soa->Set(d, lane, c[d]);
+    return true;
+  }
+
+  static ScanQuery MakeQuery(const MinEnclosingBall& problem,
+                             const MinEnclosingBall::Value& value,
+                             size_t dim) {
+    ScanQuery q;
+    q.op = ScanOp::kDistanceOutside;
+    if (value.ball.empty()) {
+      q.mode = ScanQuery::Mode::kAllViolate;  // Any point violates it.
+      return q;
+    }
+    if (value.ball.center.dim() != dim) return q;  // kUnsupported
+    q.mode = ScanQuery::Mode::kKernel;
+    q.q = value.ball.center.data();
+    q.t0 = value.ball.radius + problem.config().contain_tol;
+    return q;
+  }
+};
+
+}  // namespace engine
 
 }  // namespace lplow
 

@@ -105,6 +105,25 @@ namespace trace {
 class TraceRecorder;  // trace.h
 }
 
+/// How the engine's violator scans execute (engine/constraint_store.h).
+/// Pure execution policy: violation bitmaps — and therefore transcripts,
+/// weights, and deterministic counters — are bit-identical for every
+/// setting (docs/engine.md §"SIMD violator scan").
+enum class ScanStrategy : uint8_t {
+  /// SIMD kernel when the problem supports it, pool-chunked when a pool is
+  /// available and the store is large; the default.
+  kAuto,
+  /// The serial predicate-lambda reference path, no SIMD, no fusion.
+  kSerial,
+  /// Predicate-lambda evaluation fanned across the pool into a bitmap
+  /// (the pre-SIMD pool path).
+  kPoolBitmap,
+  /// SIMD kernel, single-threaded even when a pool is available.
+  kSimd,
+  /// SIMD kernel with pool-chunked block ranges.
+  kSimdPool,
+};
+
 /// Threading knob shared by the model solvers (CoordinatorOptions::runtime,
 /// MpcOptions::runtime). The default is the serial reference path; results
 /// are bit-identical for every setting.
@@ -128,6 +147,9 @@ struct RuntimeOptions {
   /// no tracing. Observability only — enabling it never changes results,
   /// transcripts, or deterministic counters. Must outlive the solve.
   trace::TraceRecorder* trace = nullptr;
+  /// Violator-scan execution policy (see ScanStrategy). Results are
+  /// bit-identical for every setting.
+  ScanStrategy scan_strategy = ScanStrategy::kAuto;
 };
 
 /// Resolves RuntimeOptions to the pool a solver should use: the external

@@ -15,6 +15,9 @@
 // Every case runs at num_threads in {1, 2, 8}: the engine's violator scans
 // and oversized basis solves are routed through runtime::ThreadPool /
 // SiteExecutor, and the transcript must not depend on the thread count.
+// The stored-set models additionally re-run with the SIMD violator-scan
+// strategy forced on (kSimd) and off (kSerial): the vector kernels promise
+// bitwise-identical violation bitmaps, so the same goldens must hold.
 //
 // The fourth (sampling-free deterministic) model rides with its own golden
 // per instance, captured when the model shipped: it has no pre-engine
@@ -109,11 +112,13 @@ template <LpTypeProblem P>
 Fingerprint RunCoordinator(
     const P& problem,
     const std::vector<std::vector<typename P::Constraint>>& parts,
-    size_t threads, typename P::Value* value_out) {
+    size_t threads, typename P::Value* value_out,
+    runtime::ScanStrategy scan = runtime::ScanStrategy::kAuto) {
   coord::CoordinatorOptions opt;
   opt.net.scale = 0.1;
   opt.seed = 0xE4A11CE5ULL;
   opt.runtime.num_threads = threads;
+  opt.runtime.scan_strategy = scan;
   coord::CoordinatorStats stats;
   auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
   EXPECT_TRUE(result.ok());
@@ -129,12 +134,14 @@ template <LpTypeProblem P>
 Fingerprint RunMpc(const P& problem,
                    const std::vector<std::vector<typename P::Constraint>>&
                        parts,
-                   size_t threads, typename P::Value* value_out) {
+                   size_t threads, typename P::Value* value_out,
+                   runtime::ScanStrategy scan = runtime::ScanStrategy::kAuto) {
   mpc::MpcOptions opt;
   opt.delta = 0.5;
   opt.net.scale = 0.1;
   opt.seed = 0x3B61DE45ULL;
   opt.runtime.num_threads = threads;
+  opt.runtime.scan_strategy = scan;
   mpc::MpcStats stats;
   auto result = mpc::SolveMpc(problem, parts, opt, &stats);
   EXPECT_TRUE(result.ok());
@@ -170,12 +177,14 @@ template <LpTypeProblem P>
 Fingerprint RunDeterministic(
     const P& problem,
     const std::vector<std::vector<typename P::Constraint>>& parts,
-    size_t threads, typename P::Value* value_out) {
+    size_t threads, typename P::Value* value_out,
+    runtime::ScanStrategy scan = runtime::ScanStrategy::kAuto) {
   det::DeterministicOptions opt;
   opt.net.scale = 0.1;
   // No seed: the model draws zero random bits, so its golden pins the
   // transcript across reruns as well as thread counts.
   opt.runtime.num_threads = threads;
+  opt.runtime.scan_strategy = scan;
   det::DeterministicStats stats;
   auto result = det::SolveDeterministic(problem, parts, opt, &stats);
   EXPECT_TRUE(result.ok());
@@ -223,6 +232,22 @@ void CheckInstance(const char* instance, const P& problem,
                 want.streaming);
     CheckGolden("deterministic", instance, threads,
                 RunDeterministic(problem, parts, threads, &det_value),
+                want.deterministic);
+  }
+
+  // The SIMD scan seam must be transcript-invisible: forcing the kernel
+  // path on (kSimd) and off (kSerial) must reproduce the same goldens the
+  // default (kAuto) just matched. Streaming has no stored constraint set,
+  // so the seam does not apply there.
+  for (runtime::ScanStrategy scan :
+       {runtime::ScanStrategy::kSimd, runtime::ScanStrategy::kSerial}) {
+    CheckGolden("coordinator", instance, 1,
+                RunCoordinator(problem, parts, 1, &coord_value, scan),
+                want.coordinator);
+    CheckGolden("mpc", instance, 1, RunMpc(problem, parts, 1, &mpc_value, scan),
+                want.mpc);
+    CheckGolden("deterministic", instance, 1,
+                RunDeterministic(problem, parts, 1, &det_value, scan),
                 want.deterministic);
   }
 
