@@ -253,5 +253,83 @@ BENCHMARK(BM_LoopbackSolveBackendShardSweep)
     ->UseRealTime()
     ->Iterations(1);
 
+// Transport matrix on top of the loopback lane: Unix vs TCP loopback ×
+// pipeline window {1, 8}. rounds/KB stay identical to both sweeps above
+// (the transcript never moves with the transport); what varies is wall
+// clock and the wire-byte counters, so this lane prices TCP framing and
+// the pipelining win side by side. The tx/rx counters are deterministic
+// under the fixed seeds.
+void BM_LoopbackTransportPipelineSweep(benchmark::State& state) {
+  const bool tcp = state.range(0) != 0;
+  const size_t window = static_cast<size_t>(state.range(1));
+  Rng rng(0xBACE);
+  auto inst = workload::RandomFeasibleLp(300000, 2, &rng);
+  LinearProgram problem(inst.objective);
+  auto parts = workload::Partition(inst.constraints, 64, true, &rng);
+
+  const std::string unix_path = "/tmp/lplow_bench_tp_" +
+                                std::to_string(::getpid()) + "_" +
+                                std::to_string(window) + ".sock";
+  coord::CoordinatorStats stats;
+  runtime::MetricsRegistry daemon_registry;
+  runtime::MetricsRegistry client_registry;
+  uint64_t remote = 0;
+  uint64_t tx = 0, rx = 0;
+  for (auto _ : state) {
+    runtime::SolveDaemon::Options dopt;
+    dopt.socket_path = tcp ? "tcp:127.0.0.1:0" : unix_path;
+    dopt.num_shards = 2;
+    dopt.threads_per_shard = 2;
+    dopt.metrics = &daemon_registry;
+    auto daemon = runtime::SolveDaemon::Start(dopt);
+    if (!daemon.ok()) {
+      state.SkipWithError("daemon start failed");
+      break;
+    }
+    runtime::SocketSolveBackend::Options copt;
+    copt.endpoints = {(*daemon)->bound_endpoint()};
+    copt.pipeline_window = window;
+    copt.metrics = &client_registry;
+    auto client = runtime::SocketSolveBackend::Create(copt);
+    if (!client.ok()) {
+      state.SkipWithError("client create failed");
+      break;
+    }
+    coord::CoordinatorOptions opt;
+    opt.r = 3;
+    opt.net.scale = 0.1;
+    opt.seed = 0xBACE;
+    opt.runtime.num_threads = 2;
+    opt.runtime.solver_backend = client->get();
+    opt.runtime.oversized_basis_threshold = 1;
+    auto result = coord::SolveCoordinator(problem, parts, opt, &stats);
+    if (!result.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(result);
+    remote = (*client)->stats().remote_success;
+    tx = (*client)->endpoint_stats(0).tx_bytes;
+    rx = (*client)->endpoint_stats(0).rx_bytes;
+    (*daemon)->Shutdown();
+  }
+  state.counters["tcp"] = tcp ? 1.0 : 0.0;
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["KB"] = static_cast<double>(stats.total_bytes) / 1024.0;
+  state.counters["remote_solves"] = static_cast<double>(remote);
+  state.counters["wire_tx_KB"] = static_cast<double>(tx) / 1024.0;
+  state.counters["wire_rx_KB"] = static_cast<double>(rx) / 1024.0;
+  state.counters["rtt_p99"] =
+      client_registry.GetHistogram("wire.client.rtt_seconds")->Quantile(0.99);
+}
+
+BENCHMARK(BM_LoopbackTransportPipelineSweep)
+    ->ArgNames({"tcp", "window"})
+    ->Args({0, 1})
+    ->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 }  // namespace
 }  // namespace lplow

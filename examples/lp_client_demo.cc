@@ -16,11 +16,17 @@
 //                  or ui.perfetto.dev) — fails unless a client basis-solve
 //                  span and the daemon's spans share a trace id.
 //
-//   lp_client_demo [--socket=PATH] [--stats] [--trace=FILE] [--shutdown]
+// --socket takes an endpoint spec ("unix:/path", "tcp:host:port", or a
+// bare path); --pipeline=N shares one connection carrying up to N solves
+// in flight instead of leasing a connection per request.
+//
+//   lp_client_demo [--socket=ENDPOINT] [--pipeline=N] [--stats]
+//                  [--trace=FILE] [--shutdown]
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -38,6 +44,7 @@ int main(int argc, char** argv) {
 
   std::string socket_path = "/tmp/lplow_served.sock";
   std::string trace_file;
+  size_t pipeline_window = 1;
   bool want_stats = false;
   bool shutdown_daemon = false;
   for (int i = 1; i < argc; ++i) {
@@ -46,14 +53,17 @@ int main(int argc, char** argv) {
       socket_path = arg.substr(9);
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(8);
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      pipeline_window = static_cast<size_t>(
+          std::strtoul(arg.c_str() + 11, nullptr, 10));
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--shutdown") {
       shutdown_daemon = true;
     } else {
       std::fprintf(stderr,
-                   "usage: lp_client_demo [--socket=PATH] [--stats] "
-                   "[--trace=FILE] [--shutdown]\n");
+                   "usage: lp_client_demo [--socket=ENDPOINT] [--pipeline=N] "
+                   "[--stats] [--trace=FILE] [--shutdown]\n");
       return 2;
     }
   }
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
 
   runtime::SocketSolveBackend::Options options;
   options.endpoints = {socket_path};
+  options.pipeline_window = pipeline_window;
   options.trace = &recorder;
   auto client = runtime::SocketSolveBackend::Create(options);
   if (!client.ok()) {

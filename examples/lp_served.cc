@@ -1,13 +1,19 @@
 // lp_served: the cross-process solver daemon as a command-line program.
-// Listens on a Unix socket, drains wire-framed solve jobs into a
-// ShardedSolverService, and exits cleanly on a client's --shutdown (remote
-// shutdown is enabled here; embedded daemons keep it off).
+// Listens on a Unix socket or TCP port (--socket takes an endpoint spec:
+// "unix:/path", "tcp:host:port" with port 0 for ephemeral, or a bare
+// path), drains wire-framed solve jobs into a ShardedSolverService, and
+// exits cleanly on a client's --shutdown (remote shutdown is enabled here;
+// embedded daemons keep it off).
 //
-//   lp_served [--socket=PATH] [--shards=N] [--threads=N] [--max-inflight=N]
+//   lp_served [--socket=ENDPOINT] [--shards=N] [--threads=N]
+//             [--max-inflight=N]
 //
 // Pair with lp_client_demo:
 //   ./lp_served --socket=/tmp/lp.sock &
 //   ./lp_client_demo --socket=/tmp/lp.sock --shutdown
+// or over TCP (the "listening on" line prints the bound port):
+//   ./lp_served --socket=tcp:127.0.0.1:7070 &
+//   ./lp_client_demo --socket=tcp:127.0.0.1:7070 --shutdown
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +59,7 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: lp_served [--socket=PATH] [--shards=N] "
+                   "usage: lp_served [--socket=ENDPOINT] [--shards=N] "
                    "[--threads=N] [--max-inflight=N]\n");
       return 2;
     }
@@ -72,8 +78,10 @@ int main(int argc, char** argv) {
                  daemon.status().ToString().c_str());
     return 1;
   }
+  // Print the BOUND endpoint: for tcp:...:0 it carries the real port, so
+  // scripts can scrape it and dial back.
   std::printf("lp_served: listening on %s (%zu shards x %zu threads)\n",
-              (*daemon)->socket_path().c_str(), (*daemon)->num_shards(),
+              (*daemon)->bound_endpoint().c_str(), (*daemon)->num_shards(),
               options.threads_per_shard);
   std::fflush(stdout);
 

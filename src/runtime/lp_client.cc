@@ -1,5 +1,9 @@
 #include "src/runtime/lp_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
 #include <utility>
 
 #include "src/runtime/net_io.h"
@@ -9,11 +13,68 @@
 namespace lplow {
 namespace runtime {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline`, floored at 1 so a nearly-expired caller
+/// still makes one poll; the caller's own deadline check decides expiry.
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return std::max<int>(1, static_cast<int>(left.count()));
+}
+
+}  // namespace
+
+/// One caller's slot in a pipelined channel, stack-allocated in
+/// PipelinedExchange and only ever touched under Channel::mu. The reader
+/// fills it in (outcome + status + payload), erases it from the pending
+/// map, and notifies; the owner wakes on `done` and consumes it.
+struct SocketSolveBackend::Pending {
+  bool done = false;
+  RemoteOutcome outcome = RemoteOutcome::kError;
+  Status status;
+  std::vector<uint8_t> payload;
+};
+
+/// The shared pipelined connection of one endpoint (pipeline_window > 1).
+/// There is no background reader thread: whichever waiter arrives first
+/// becomes the reader (leader/follower), reads ONE frame with ch.mu
+/// released, dispatches it under ch.mu, and relinquishes the role — so the
+/// connection is serviced exactly while someone is waiting on it.
+///
+/// `order` records the send order of solve job ids. Responses are matched
+/// by the job id inside the payload; id-less replies (kBusy) are matched
+/// FIFO against the front of `order` — valid because the daemon serves one
+/// connection strictly in order. A timed-out caller erases its pending
+/// entry but LEAVES its order entry: the daemon will still answer that
+/// request, and the FIFO alignment must account for it (the late response
+/// is dropped when no pending owner claims it).
+///
+/// Lock order: ch.mu may be held while taking ep.mu, never the reverse.
+/// `send_mu` serializes frame writes and is only taken with ch.mu free, so
+/// a sender blocked on a full socket buffer never stalls the reader.
+struct SocketSolveBackend::Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::mutex send_mu;
+  int fd = -1;
+  /// Bumped on every teardown; guards a reader that raced a reset.
+  uint64_t generation = 0;
+  /// Registered exchanges not yet collected (window admission counts this).
+  size_t inflight = 0;
+  bool reader_active = false;
+  std::deque<uint64_t> order;
+  std::unordered_map<uint64_t, Pending*> pending;
+};
+
 struct SocketSolveBackend::Endpoint {
-  std::string path;
+  std::string spec;
   std::mutex mu;
   std::vector<int> idle;  // Pooled connections, hello already consumed.
   EndpointStats stats;
+  std::unique_ptr<Channel> channel;
 };
 
 namespace {
@@ -52,9 +113,10 @@ class AdmissionSlot {
 
 SocketSolveBackend::SocketSolveBackend(const Options& options)
     : options_(options) {
-  for (const std::string& path : options.endpoints) {
+  for (const std::string& spec : options.endpoints) {
     auto ep = std::make_unique<Endpoint>();
-    ep->path = path;
+    ep->spec = spec;
+    ep->channel = std::make_unique<Channel>();
     endpoints_.push_back(std::move(ep));
   }
   MetricsRegistry* metrics =
@@ -64,6 +126,20 @@ SocketSolveBackend::SocketSolveBackend(const Options& options)
   local_fallback_counter_ = metrics->GetCounter("wire.client.local_fallbacks");
   failover_counter_ = metrics->GetCounter("wire.client.failovers");
   retries_counter_ = metrics->GetCounter("wire.client.retries");
+  tx_bytes_counter_ = metrics->GetCounter("wire.client.tx_bytes");
+  rx_bytes_counter_ = metrics->GetCounter("wire.client.rx_bytes");
+  const size_t kinds =
+      static_cast<size_t>(wire::FrameKind::kStatsResponse) + 1;
+  tx_bytes_by_kind_.assign(kinds, nullptr);
+  rx_bytes_by_kind_.assign(kinds, nullptr);
+  for (size_t k = static_cast<size_t>(wire::FrameKind::kHello); k < kinds;
+       ++k) {
+    const char* name = wire::FrameKindName(static_cast<wire::FrameKind>(k));
+    tx_bytes_by_kind_[k] =
+        metrics->GetCounter(std::string("wire.client.tx_bytes.") + name);
+    rx_bytes_by_kind_[k] =
+        metrics->GetCounter(std::string("wire.client.rx_bytes.") + name);
+  }
   rtt_hist_ = metrics->GetHistogram("wire.client.rtt_seconds");
   trace_ = options.trace;
 }
@@ -74,9 +150,15 @@ Result<std::unique_ptr<SocketSolveBackend>> SocketSolveBackend::Create(
     return Status::InvalidArgument(
         "SocketSolveBackend requires at least one endpoint");
   }
+  for (const std::string& spec : options.endpoints) {
+    LPLOW_RETURN_IF_ERROR(net::ParseEndpoint(spec).status());
+  }
   if (options.max_attempts_per_endpoint < 1 || options.failover_threshold < 1) {
     return Status::InvalidArgument(
         "max_attempts_per_endpoint and failover_threshold must be >= 1");
+  }
+  if (options.pipeline_window < 1) {
+    return Status::InvalidArgument("pipeline_window must be >= 1");
   }
   return std::unique_ptr<SocketSolveBackend>(new SocketSolveBackend(options));
 }
@@ -85,14 +167,24 @@ SocketSolveBackend::~SocketSolveBackend() { CloseIdleConnections(); }
 
 void SocketSolveBackend::CloseIdleConnections() {
   for (auto& ep : endpoints_) {
-    std::lock_guard<std::mutex> lock(ep->mu);
-    for (int fd : ep->idle) net::CloseFd(fd);
-    ep->idle.clear();
+    {
+      std::lock_guard<std::mutex> lock(ep->mu);
+      for (int fd : ep->idle) net::CloseFd(fd);
+      ep->idle.clear();
+    }
+    Channel& ch = *ep->channel;
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (ch.inflight == 0 && ch.fd >= 0) {
+      net::CloseFd(ch.fd);
+      ch.fd = -1;
+      ch.generation++;
+      ch.order.clear();
+    }
   }
 }
 
 const std::string& SocketSolveBackend::endpoint_path(size_t i) const {
-  return endpoints_[i]->path;
+  return endpoints_[i]->spec;
 }
 
 SocketSolveBackend::Stats SocketSolveBackend::stats() const {
@@ -123,6 +215,50 @@ void SocketSolveBackend::NoteResult(Endpoint& ep, bool success) {
   ep.stats.healthy = EndpointHealthy(ep);
 }
 
+// ---------------------------------------------------------- frame I/O
+
+void SocketSolveBackend::AccountTx(Endpoint& ep, wire::FrameKind kind,
+                                   size_t payload_bytes) {
+  const uint64_t bytes = wire::kFrameHeaderBytes + payload_bytes;
+  tx_bytes_counter_->Increment(bytes);
+  const size_t k = static_cast<size_t>(kind);
+  if (k < tx_bytes_by_kind_.size() && tx_bytes_by_kind_[k] != nullptr) {
+    tx_bytes_by_kind_[k]->Increment(bytes);
+  }
+  std::lock_guard<std::mutex> lock(ep.mu);
+  ep.stats.tx_bytes += bytes;
+}
+
+void SocketSolveBackend::AccountRx(Endpoint& ep, wire::FrameKind kind,
+                                   size_t payload_bytes) {
+  const uint64_t bytes = wire::kFrameHeaderBytes + payload_bytes;
+  rx_bytes_counter_->Increment(bytes);
+  const size_t k = static_cast<size_t>(kind);
+  if (k < rx_bytes_by_kind_.size() && rx_bytes_by_kind_[k] != nullptr) {
+    rx_bytes_by_kind_[k]->Increment(bytes);
+  }
+  std::lock_guard<std::mutex> lock(ep.mu);
+  ep.stats.rx_bytes += bytes;
+}
+
+Status SocketSolveBackend::SendFrame(Endpoint& ep, int fd,
+                                     wire::FrameKind kind,
+                                     const std::vector<uint8_t>& payload) {
+  Status st = net::WriteFrame(fd, kind, payload);
+  if (st.ok()) AccountTx(ep, kind, payload.size());
+  return st;
+}
+
+Result<wire::Frame> SocketSolveBackend::RecvFrame(Endpoint& ep, int fd,
+                                                  int timeout_ms) {
+  Result<wire::Frame> frame =
+      net::ReadFrame(fd, timeout_ms, options_.max_frame_payload);
+  if (frame.ok()) AccountRx(ep, frame->header.kind, frame->payload.size());
+  return frame;
+}
+
+// ---------------------------------------------------------- connections
+
 Result<int> SocketSolveBackend::LeaseConnection(Endpoint& ep, bool* reused) {
   {
     std::lock_guard<std::mutex> lock(ep.mu);
@@ -133,29 +269,36 @@ Result<int> SocketSolveBackend::LeaseConnection(Endpoint& ep, bool* reused) {
       *reused = true;
       return fd;
     }
+    // Every ATTEMPT counts — a dead daemon must show up in `dials`, not
+    // hide behind a zero (the failed attempts land in dial_failures).
+    ep.stats.dials++;
   }
   *reused = false;
-  LPLOW_ASSIGN_OR_RETURN(int fd, net::DialUnix(ep.path));
+  Result<int> dialed = net::Dial(ep.spec);
+  if (!dialed.ok()) {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    ep.stats.dial_failures++;
+    return dialed.status();
+  }
+  const int fd = *dialed;
   // The daemon greets every connection; consuming (and sanity-checking) the
   // hello here means a pooled connection is always request-ready.
-  Result<wire::Frame> frame =
-      net::ReadFrame(fd, options_.hello_timeout_ms, options_.max_frame_payload);
+  Result<wire::Frame> frame = RecvFrame(ep, fd, options_.hello_timeout_ms);
+  Status st = Status::OK();
   if (!frame.ok()) {
-    net::CloseFd(fd);
-    return frame.status();
+    st = frame.status();
+  } else if (frame->header.kind != wire::FrameKind::kHello) {
+    st = Status::InvalidArgument("expected hello frame from daemon");
+  } else if (Result<wire::Hello> hello =
+                 wire::DecodeHelloPayload(frame->payload);
+             !hello.ok()) {
+    st = hello.status();
   }
-  if (frame->header.kind != wire::FrameKind::kHello) {
+  if (!st.ok()) {
     net::CloseFd(fd);
-    return Status::InvalidArgument("expected hello frame from daemon");
-  }
-  Result<wire::Hello> hello = wire::DecodeHelloPayload(frame->payload);
-  if (!hello.ok()) {
-    net::CloseFd(fd);
-    return hello.status();
-  }
-  {
     std::lock_guard<std::mutex> lock(ep.mu);
-    ep.stats.dials++;
+    ep.stats.dial_failures++;
+    return st;
   }
   return fd;
 }
@@ -169,106 +312,369 @@ void SocketSolveBackend::ReturnConnection(Endpoint& ep, int fd) {
   net::CloseFd(fd);
 }
 
+// ------------------------------------------------------ leased transport
+
+Status SocketSolveBackend::LeasedExchange(Endpoint& ep,
+                                          const std::vector<uint8_t>& request,
+                                          uint64_t job_id,
+                                          std::vector<uint8_t>* response,
+                                          RemoteOutcome* outcome,
+                                          bool* retryable) {
+  *outcome = RemoteOutcome::kError;
+  *retryable = false;
+  bool reused = false;
+  Result<int> leased = [&]() -> Result<int> {
+    trace::TraceSpan pool_span(trace_, "client.pool_wait");
+    pool_span.Arg("job_id", job_id);
+    return LeaseConnection(ep, &reused);
+  }();
+  if (!leased.ok()) {
+    // Dialing failed; another immediate dial would fail the same way.
+    NoteResult(ep, /*success=*/false);
+    return leased.status();
+  }
+  const int fd = *leased;
+  const uint64_t rtt_start = trace::TraceRecorder::NowMicros();
+  Status st = SendFrame(ep, fd, wire::FrameKind::kSolveRequest, request);
+  if (st.ok()) {
+    Result<wire::Frame> frame =
+        RecvFrame(ep, fd, options_.request_timeout_ms);
+    if (frame.ok()) {
+      // A completed round trip (any frame kind): histogram always, span
+      // only when a recorder is attached. Timeouts are not round trips.
+      const uint64_t rtt_end = trace::TraceRecorder::NowMicros();
+      rtt_hist_->Record(static_cast<double>(rtt_end - rtt_start) * 1e-6);
+      if (trace_ != nullptr) {
+        trace_->RecordComplete("client.rtt", rtt_start, rtt_end,
+                               trace_->CurrentContext(),
+                               {{"job_id", job_id},
+                                {"bytes", request.size()}});
+      }
+      switch (frame->header.kind) {
+        case wire::FrameKind::kSolveResponse: {
+          Result<wire::SolveResponseHead> head =
+              wire::PeekSolveResponseHead(frame->payload);
+          if (!head.ok() || head->job_id != job_id) {
+            // Desynced or garbled stream — this connection cannot be
+            // trusted for the next request either. A reused connection
+            // may just have gone stale in the pool; worth a fresh dial.
+            net::CloseFd(fd);
+            NoteResult(ep, /*success=*/false);
+            *retryable = true;
+            return head.ok() ? Status::Internal(
+                                   "solve response for a different job id")
+                             : head.status();
+          }
+          ReturnConnection(ep, fd);
+          NoteResult(ep, /*success=*/true);
+          if (!head->status.ok()) {
+            // Deterministic server-side refusal: the daemon decoded the
+            // job and said no. Every replica would refuse identically,
+            // so the caller goes straight to the local fallback.
+            *outcome = RemoteOutcome::kRefused;
+            return Status::FailedPrecondition("server refused solve: " +
+                                              head->status.ToString());
+          }
+          *outcome = RemoteOutcome::kOk;
+          *response = std::move(frame->payload);
+          return Status::OK();
+        }
+        case wire::FrameKind::kBusy: {
+          // The daemon is saturated, not broken: keep the connection and
+          // the endpoint's health, let the caller fail over.
+          ReturnConnection(ep, fd);
+          *outcome = RemoteOutcome::kBusy;
+          return Status::ResourceExhausted("endpoint busy");
+        }
+        case wire::FrameKind::kError: {
+          net::CloseFd(fd);
+          NoteResult(ep, /*success=*/false);
+          return wire::DecodeErrorPayload(frame->payload);
+        }
+        default: {
+          net::CloseFd(fd);
+          NoteResult(ep, /*success=*/false);
+          *retryable = true;
+          return Status::InvalidArgument("unexpected frame kind from daemon");
+        }
+      }
+    }
+    st = frame.status();
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // Timed out. The response may still arrive later, so the connection
+      // can never be reused — pooling it would hand a stale response to
+      // the next request.
+      net::CloseFd(fd);
+      NoteResult(ep, /*success=*/false);
+      *outcome = RemoteOutcome::kTimeout;
+      return st;
+    }
+  }
+  // Write failed or the read hit a closed/garbled peer. A reused
+  // connection may simply have gone stale in the pool (the daemon
+  // restarted, an idle timeout...) — worth one fresh dial.
+  net::CloseFd(fd);
+  NoteResult(ep, /*success=*/false);
+  *retryable = true;
+  return st;
+}
+
+// --------------------------------------------------- pipelined transport
+
+void SocketSolveBackend::FailChannelLocked(Endpoint& ep, Channel& ch,
+                                           uint64_t generation,
+                                           const Status& status) {
+  (void)ep;
+  if (ch.generation != generation) return;  // Already torn down / replaced.
+  ch.generation++;
+  if (ch.fd >= 0) {
+    net::CloseFd(ch.fd);
+    ch.fd = -1;
+  }
+  const Status failure =
+      status.ok() ? Status::Internal("pipelined connection reset") : status;
+  for (auto& [job_id, pend] : ch.pending) {
+    pend->outcome = RemoteOutcome::kError;
+    pend->status = failure;
+    pend->done = true;
+  }
+  ch.pending.clear();
+  ch.order.clear();
+  ch.cv.notify_all();
+}
+
+void SocketSolveBackend::DispatchFrameLocked(Endpoint& ep, Channel& ch,
+                                             wire::Frame frame) {
+  switch (frame.header.kind) {
+    case wire::FrameKind::kSolveResponse: {
+      Result<wire::SolveResponseHead> head =
+          wire::PeekSolveResponseHead(frame.payload);
+      if (!head.ok()) {
+        FailChannelLocked(ep, ch, ch.generation, head.status());
+        return;
+      }
+      const uint64_t job_id = head->job_id;
+      auto pos = std::find(ch.order.begin(), ch.order.end(), job_id);
+      if (pos != ch.order.end()) ch.order.erase(pos);
+      auto it = ch.pending.find(job_id);
+      if (it == ch.pending.end()) {
+        // A late response whose caller already timed out and deregistered:
+        // dropped here, by job id — the connection itself stays good.
+        return;
+      }
+      Pending* pend = it->second;
+      ch.pending.erase(it);
+      if (!head->status.ok()) {
+        pend->outcome = RemoteOutcome::kRefused;
+        pend->status = Status::FailedPrecondition("server refused solve: " +
+                                                  head->status.ToString());
+      } else {
+        pend->outcome = RemoteOutcome::kOk;
+        pend->status = Status::OK();
+        pend->payload = std::move(frame.payload);
+      }
+      pend->done = true;
+      ch.cv.notify_all();
+      return;
+    }
+    case wire::FrameKind::kBusy: {
+      // No job id on a busy frame: FIFO-match it to the oldest request
+      // still on the wire (the daemon answers one connection in order).
+      if (ch.order.empty()) {
+        FailChannelLocked(ep, ch, ch.generation,
+                          Status::InvalidArgument(
+                              "busy frame with no request outstanding"));
+        return;
+      }
+      const uint64_t job_id = ch.order.front();
+      ch.order.pop_front();
+      auto it = ch.pending.find(job_id);
+      if (it == ch.pending.end()) return;  // Owner timed out; drop.
+      Pending* pend = it->second;
+      ch.pending.erase(it);
+      pend->outcome = RemoteOutcome::kBusy;
+      pend->status = Status::ResourceExhausted("endpoint busy");
+      pend->done = true;
+      ch.cv.notify_all();
+      return;
+    }
+    case wire::FrameKind::kError: {
+      // The daemon writes kError and closes: the whole channel is done.
+      FailChannelLocked(ep, ch, ch.generation,
+                        wire::DecodeErrorPayload(frame.payload));
+      return;
+    }
+    default: {
+      FailChannelLocked(
+          ep, ch, ch.generation,
+          Status::InvalidArgument("unexpected frame kind from daemon"));
+      return;
+    }
+  }
+}
+
+Status SocketSolveBackend::PipelinedExchange(
+    Endpoint& ep, const std::vector<uint8_t>& request, uint64_t job_id,
+    std::vector<uint8_t>* response, RemoteOutcome* outcome, bool* retryable) {
+  *outcome = RemoteOutcome::kError;
+  *retryable = false;
+  Channel& ch = *ep.channel;
+  const auto deadline = SteadyClock::now() +
+                        std::chrono::milliseconds(options_.request_timeout_ms);
+  std::unique_lock<std::mutex> lock(ch.mu);
+  // Window admission: at most pipeline_window exchanges share the wire.
+  while (ch.inflight >= options_.pipeline_window) {
+    if (ch.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      NoteResult(ep, /*success=*/false);
+      *outcome = RemoteOutcome::kTimeout;
+      return Status::DeadlineExceeded("pipeline window wait timed out");
+    }
+  }
+  if (ch.fd < 0) {
+    bool reused = false;
+    Result<int> dialed = [&]() -> Result<int> {
+      trace::TraceSpan pool_span(trace_, "client.pool_wait");
+      pool_span.Arg("job_id", job_id);
+      return LeaseConnection(ep, &reused);
+    }();
+    if (!dialed.ok()) {
+      NoteResult(ep, /*success=*/false);
+      return dialed.status();
+    }
+    ch.fd = *dialed;
+    ch.reader_active = false;
+    ch.order.clear();
+  }
+  if (ch.pending.count(job_id) != 0) {
+    // Job ids are unique per engine run; a duplicate in flight would make
+    // response matching ambiguous.
+    return Status::Internal("duplicate job id in pipelined flight");
+  }
+  const uint64_t generation = ch.generation;
+  const int fd = ch.fd;
+  Pending pend;
+  ch.pending[job_id] = &pend;
+  ch.order.push_back(job_id);
+  ch.inflight++;
+  lock.unlock();
+
+  const uint64_t rtt_start = trace::TraceRecorder::NowMicros();
+  Status write_status;
+  {
+    // send_mu (never held with ch.mu) serializes frame writes so two
+    // pipelined senders cannot interleave bytes on the shared socket.
+    std::lock_guard<std::mutex> send_lock(ch.send_mu);
+    write_status = SendFrame(ep, fd, wire::FrameKind::kSolveRequest, request);
+  }
+  lock.lock();
+  if (!write_status.ok()) {
+    FailChannelLocked(ep, ch, generation, write_status);
+  }
+
+  while (!pend.done) {
+    if (SteadyClock::now() >= deadline) {
+      // Deregister but LEAVE the order entry: the daemon will still answer
+      // this request, and FIFO matching of id-less frames must stay
+      // aligned. The late response is dropped by job id on arrival; the
+      // connection survives for the other in-flight exchanges.
+      ch.pending.erase(job_id);
+      ch.inflight--;
+      ch.cv.notify_all();
+      NoteResult(ep, /*success=*/false);
+      *outcome = RemoteOutcome::kTimeout;
+      return Status::DeadlineExceeded("pipelined solve timed out");
+    }
+    if (!ch.reader_active && ch.fd >= 0 && ch.generation == generation) {
+      // Leader/follower: this waiter becomes the reader, pulls ONE frame
+      // with the lock released, dispatches it, and relinquishes the role.
+      ch.reader_active = true;
+      const int read_fd = ch.fd;
+      lock.unlock();
+      Result<wire::Frame> frame =
+          RecvFrame(ep, read_fd, RemainingMs(deadline));
+      lock.lock();
+      ch.reader_active = false;
+      if (ch.generation != generation) {
+        // The channel was reset while we were reading; our pend (if still
+        // live) was failed by the reset, so just re-check the loop.
+        ch.cv.notify_all();
+        continue;
+      }
+      if (frame.ok()) {
+        DispatchFrameLocked(ep, ch, std::move(*frame));
+      } else if (frame.status().code() != StatusCode::kDeadlineExceeded) {
+        // Peer closed or stream garbled mid-pipeline: nothing on this
+        // connection can be trusted any more.
+        FailChannelLocked(ep, ch, generation, frame.status());
+      }
+      // A poll timeout just loops: the deadline check at the top decides
+      // whether THIS caller is out of time; another waiter may have
+      // longer to live and will take over reading.
+      ch.cv.notify_all();
+    } else {
+      ch.cv.wait_until(lock, deadline);
+    }
+  }
+  ch.inflight--;
+  ch.cv.notify_all();
+  lock.unlock();
+
+  switch (pend.outcome) {
+    case RemoteOutcome::kOk: {
+      const uint64_t rtt_end = trace::TraceRecorder::NowMicros();
+      rtt_hist_->Record(static_cast<double>(rtt_end - rtt_start) * 1e-6);
+      if (trace_ != nullptr) {
+        trace_->RecordComplete("client.rtt", rtt_start, rtt_end,
+                               trace_->CurrentContext(),
+                               {{"job_id", job_id},
+                                {"bytes", request.size()}});
+      }
+      NoteResult(ep, /*success=*/true);
+      *outcome = RemoteOutcome::kOk;
+      *response = std::move(pend.payload);
+      return Status::OK();
+    }
+    case RemoteOutcome::kRefused:
+      NoteResult(ep, /*success=*/true);  // The daemon answered; it's alive.
+      *outcome = RemoteOutcome::kRefused;
+      return pend.status;
+    case RemoteOutcome::kBusy:
+      // Saturated, not broken: no health ding (mirrors the leased path).
+      *outcome = RemoteOutcome::kBusy;
+      return pend.status;
+    default:
+      NoteResult(ep, /*success=*/false);
+      *outcome = RemoteOutcome::kError;
+      *retryable = true;  // A fresh dial may succeed where the stale
+                          // connection failed.
+      return pend.status.ok()
+                 ? Status::Internal("pipelined exchange failed")
+                 : pend.status;
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
 Status SocketSolveBackend::TryEndpoint(Endpoint& ep,
                                        const std::vector<uint8_t>& request,
                                        uint64_t job_id,
-                                       std::vector<uint8_t>* response) {
+                                       std::vector<uint8_t>* response,
+                                       RemoteOutcome* outcome) {
   Status last = Status::Internal("no attempt made");
+  *outcome = RemoteOutcome::kError;
   for (int attempt = 0; attempt < options_.max_attempts_per_endpoint;
        ++attempt) {
     if (attempt > 0) retries_counter_->Increment();
-    bool reused = false;
-    Result<int> leased = [&]() -> Result<int> {
-      trace::TraceSpan pool_span(trace_, "client.pool_wait");
-      pool_span.Arg("job_id", job_id);
-      pool_span.Arg("attempt", static_cast<uint64_t>(attempt));
-      return LeaseConnection(ep, &reused);
-    }();
-    if (!leased.ok()) {
-      // Dialing failed; another immediate dial would fail the same way.
-      NoteResult(ep, /*success=*/false);
-      return leased.status();
-    }
-    const int fd = *leased;
-    const uint64_t rtt_start = trace::TraceRecorder::NowMicros();
-    Status st = net::WriteFrame(fd, wire::FrameKind::kSolveRequest, request);
-    if (st.ok()) {
-      Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
-                                                 options_.max_frame_payload);
-      if (frame.ok()) {
-        // A completed round trip (any frame kind): histogram always, span
-        // only when a recorder is attached. Timeouts are not round trips.
-        const uint64_t rtt_end = trace::TraceRecorder::NowMicros();
-        rtt_hist_->Record(static_cast<double>(rtt_end - rtt_start) * 1e-6);
-        if (trace_ != nullptr) {
-          trace_->RecordComplete("client.rtt", rtt_start, rtt_end,
-                                 trace_->CurrentContext(),
-                                 {{"job_id", job_id},
-                                  {"attempt", static_cast<uint64_t>(attempt)},
-                                  {"bytes", request.size()}});
-        }
-        switch (frame->header.kind) {
-          case wire::FrameKind::kSolveResponse: {
-            Result<wire::SolveResponseHead> head =
-                wire::PeekSolveResponseHead(frame->payload);
-            if (!head.ok() || head->job_id != job_id) {
-              // Desynced or garbled stream — this connection cannot be
-              // trusted for the next request either.
-              net::CloseFd(fd);
-              NoteResult(ep, /*success=*/false);
-              last = head.ok() ? Status::Internal(
-                                     "solve response for a different job id")
-                               : head.status();
-              continue;
-            }
-            ReturnConnection(ep, fd);
-            NoteResult(ep, /*success=*/true);
-            if (!head->status.ok()) {
-              // Deterministic server-side refusal: the daemon decoded the
-              // job and said no. Flagged FailedPrecondition so the caller
-              // skips failover (every replica would refuse identically)
-              // and solves locally.
-              return Status::FailedPrecondition("server refused solve: " +
-                                                head->status.ToString());
-            }
-            *response = std::move(frame->payload);
-            return Status::OK();
-          }
-          case wire::FrameKind::kBusy: {
-            // The daemon is saturated, not broken: keep the connection and
-            // the endpoint's health, let the caller fail over.
-            ReturnConnection(ep, fd);
-            return Status::ResourceExhausted("endpoint busy");
-          }
-          case wire::FrameKind::kError: {
-            net::CloseFd(fd);
-            NoteResult(ep, /*success=*/false);
-            return wire::DecodeErrorPayload(frame->payload);
-          }
-          default: {
-            net::CloseFd(fd);
-            NoteResult(ep, /*success=*/false);
-            last = Status::InvalidArgument("unexpected frame kind from daemon");
-            continue;
-          }
-        }
-      }
-      st = frame.status();
-      if (st.code() == StatusCode::kResourceExhausted) {
-        // Timed out. The response may still arrive later, so the connection
-        // can never be reused — pooling it would hand a stale response to
-        // the next request.
-        net::CloseFd(fd);
-        NoteResult(ep, /*success=*/false);
-        return st;
-      }
-    }
-    // Write failed or the read hit a closed/garbled peer. A reused
-    // connection may simply have gone stale in the pool (the daemon
-    // restarted, an idle timeout...) — worth one fresh dial.
-    net::CloseFd(fd);
-    NoteResult(ep, /*success=*/false);
+    bool retryable = false;
+    Status st =
+        options_.pipeline_window > 1
+            ? PipelinedExchange(ep, request, job_id, response, outcome,
+                                &retryable)
+            : LeasedExchange(ep, request, job_id, response, outcome,
+                             &retryable);
+    if (st.ok()) return st;
     last = st;
+    if (!retryable) return st;
   }
   return last;
 }
@@ -289,7 +695,12 @@ bool SocketSolveBackend::ExecuteSerialized(uint64_t job_id, const char* kind,
   }
   const size_t n = endpoints_.size();
   const size_t home = static_cast<size_t>(StableJobHash(job_id) % n);
-  for (size_t offset = 0; offset < n; ++offset) {
+  // In shard mode the home endpoint OWNS this job's hash slice: no other
+  // daemon should ever see the job, so a failed shard means local fallback
+  // (bit-identical by the determinism contract), not failover.
+  const size_t fan =
+      options_.routing == RoutingMode::kShardByJobHash ? 1 : n;
+  for (size_t offset = 0; offset < fan; ++offset) {
     Endpoint& ep = *endpoints_[(home + offset) % n];
     if (offset > 0) {
       // Skip endpoints already marked down — but the home endpoint (offset
@@ -305,14 +716,15 @@ bool SocketSolveBackend::ExecuteSerialized(uint64_t job_id, const char* kind,
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.failovers++;
     }
-    Status st = TryEndpoint(ep, request, job_id, response);
+    RemoteOutcome outcome = RemoteOutcome::kError;
+    Status st = TryEndpoint(ep, request, job_id, response, &outcome);
     if (st.ok()) {
       remote_success_counter_->Increment();
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.remote_success++;
       return true;
     }
-    if (st.code() == StatusCode::kFailedPrecondition) {
+    if (outcome == RemoteOutcome::kRefused) {
       // Deterministic server refusal: identical on every replica, so
       // failover is pointless — straight to the local fallback.
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -320,18 +732,21 @@ bool SocketSolveBackend::ExecuteSerialized(uint64_t job_id, const char* kind,
       return false;
     }
     {
+      // Classification is by the typed outcome the exchange observed — a
+      // kBusy frame or a deadline expiry — never by status-text matching
+      // (an oversized-frame rejection is kResourceExhausted too, and must
+      // count as neither busy nor timeout).
       std::lock_guard<std::mutex> lock(stats_mu_);
-      if (st.code() == StatusCode::kResourceExhausted) {
-        if (st.ToString().find("busy") != std::string::npos) {
-          stats_.busy++;
-        } else {
-          stats_.timeouts++;
-        }
+      if (outcome == RemoteOutcome::kBusy) {
+        stats_.busy++;
+      } else if (outcome == RemoteOutcome::kTimeout) {
+        stats_.timeouts++;
       }
     }
-    LPLOW_LOG(kWarning) << "endpoint " << ep.path << " failed ("
+    LPLOW_LOG(kWarning) << "endpoint " << ep.spec << " failed ("
                         << st.ToString() << "); "
-                        << (offset + 1 < n ? "failing over" : "falling back");
+                        << (offset + 1 < fan ? "failing over"
+                                             : "falling back");
   }
   return false;
 }
@@ -346,6 +761,8 @@ void SocketSolveBackend::Execute(uint64_t job_id, const char* kind,
   stats_.local_fallbacks++;
 }
 
+// -------------------------------------------------------- control plane
+
 Status SocketSolveBackend::Ping(size_t endpoint) {
   if (endpoint >= endpoints_.size()) {
     return Status::InvalidArgument("endpoint index out of range");
@@ -353,10 +770,10 @@ Status SocketSolveBackend::Ping(size_t endpoint) {
   Endpoint& ep = *endpoints_[endpoint];
   bool reused = false;
   LPLOW_ASSIGN_OR_RETURN(int fd, LeaseConnection(ep, &reused));
-  Status st = net::WriteFrame(fd, wire::FrameKind::kPing, {});
+  Status st = SendFrame(ep, fd, wire::FrameKind::kPing, {});
   if (st.ok()) {
-    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
-                                               options_.max_frame_payload);
+    Result<wire::Frame> frame =
+        RecvFrame(ep, fd, options_.request_timeout_ms);
     if (frame.ok() && frame->header.kind == wire::FrameKind::kPong) {
       ReturnConnection(ep, fd);
       NoteResult(ep, /*success=*/true);
@@ -381,11 +798,11 @@ Result<wire::StatsResponse> SocketSolveBackend::ScrapeStats(
   wire::StatsRequest request;
   request.include_metrics = true;
   request.include_trace = include_trace;
-  Status st = net::WriteFrame(fd, wire::FrameKind::kStatsRequest,
-                              wire::EncodeStatsRequestPayload(request));
+  Status st = SendFrame(ep, fd, wire::FrameKind::kStatsRequest,
+                        wire::EncodeStatsRequestPayload(request));
   if (st.ok()) {
-    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
-                                               options_.max_frame_payload);
+    Result<wire::Frame> frame =
+        RecvFrame(ep, fd, options_.request_timeout_ms);
     if (frame.ok() && frame->header.kind == wire::FrameKind::kStatsResponse) {
       Result<wire::StatsResponse> stats =
           wire::DecodeStatsResponsePayload(frame->payload);
@@ -417,10 +834,10 @@ Status SocketSolveBackend::RequestServerShutdown(size_t endpoint) {
   Endpoint& ep = *endpoints_[endpoint];
   bool reused = false;
   LPLOW_ASSIGN_OR_RETURN(int fd, LeaseConnection(ep, &reused));
-  Status st = net::WriteFrame(fd, wire::FrameKind::kShutdown, {});
+  Status st = SendFrame(ep, fd, wire::FrameKind::kShutdown, {});
   if (st.ok()) {
-    Result<wire::Frame> frame = net::ReadFrame(fd, options_.request_timeout_ms,
-                                               options_.max_frame_payload);
+    Result<wire::Frame> frame =
+        RecvFrame(ep, fd, options_.request_timeout_ms);
     if (frame.ok() && frame->header.kind == wire::FrameKind::kPong) {
       st = Status::OK();
     } else if (frame.ok() && frame->header.kind == wire::FrameKind::kError) {
@@ -436,11 +853,11 @@ Status SocketSolveBackend::RequestServerShutdown(size_t endpoint) {
   return st;
 }
 
-Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& socket_path,
+Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& endpoint,
                                               bool include_trace,
                                               int timeout_ms) {
   SocketSolveBackend::Options options;
-  options.endpoints = {socket_path};
+  options.endpoints = {endpoint};
   options.request_timeout_ms = timeout_ms;
   options.hello_timeout_ms = timeout_ms;
   LPLOW_ASSIGN_OR_RETURN(std::unique_ptr<SocketSolveBackend> backend,

@@ -1,6 +1,8 @@
 // SocketSolveBackend: the engine-side client of the `lp_served` daemon — a
 // runtime::SolveBackend whose heavy basis solves cross the process boundary
-// as wire frames (src/runtime/wire.h) over pooled Unix-socket connections.
+// as wire frames (src/runtime/wire.h) over pooled Unix-domain or TCP
+// connections (endpoint grammar in src/runtime/net_io.h: "unix:/path",
+// "tcp:host:port", or a bare path).
 //
 // Dispatch path: the engine checks WantsSerialized() (true here), encodes
 // the solve job, and calls ExecuteSerialized. The client routes the job to
@@ -8,7 +10,19 @@
 // rule the daemon's shards use), leases a pooled connection or dials a new
 // one, and exchanges request/response with a per-request deadline.
 //
-// Failure ladder, in order:
+// Routing modes:
+//   kFailoverReplicas (default) — every endpoint is a replica of the same
+//     cluster; a job starts at its home endpoint and fails over through
+//     the ladder below.
+//   kShardByJobHash — each endpoint is a shard that owns its hash slice of
+//     the job space (a multi-daemon cluster partitioned the same way the
+//     daemon's internal shards are). No cross-endpoint failover: a shard
+//     that cannot serve sends the job straight to the local fallback, so a
+//     daemon only ever sees its own slice. Results are bit-identical to
+//     the replica mode and to in-process execution either way — routing is
+//     pure dispatch policy under the determinism contract.
+//
+// Failure ladder (replica mode), in order:
 //   1. retry on the same endpoint (a pooled connection may be stale);
 //   2. fail over to the next *healthy* endpoint (an endpoint goes unhealthy
 //      after `failover_threshold` consecutive failures; one success heals
@@ -18,9 +32,24 @@
 //      which is bit-identical by the determinism contract, so failover
 //      never changes results, only where the work ran.
 //
+// Pipelining: with pipeline_window == 1 (default) a request leases a
+// connection exclusively for its round trip. With a window > 1 the
+// endpoint's requests share ONE connection carrying up to `window` solves
+// in flight; responses are matched back to callers by the job id inside
+// the SolveResponse payload, so out-of-order responses and interleaved
+// timeouts resolve correctly (a timed-out caller just deregisters — the
+// connection survives, and its late response is discarded by job id when
+// it eventually arrives).
+//
 // Backpressure: at most `max_inflight` ExecuteSerialized calls are admitted
 // concurrently (a condition-variable gate); a kBusy answer from the daemon
 // is not retried on that endpoint — it fails over or falls back.
+//
+// Byte accounting: every frame the client sends/receives is counted into
+// `wire.client.tx_bytes` / `wire.client.rx_bytes` (plus per-frame-kind
+// `wire.client.{tx,rx}_bytes.<kind>` counters) and per-endpoint
+// EndpointStats.{tx,rx}_bytes — so the transport's real communication sits
+// next to the paper's resample/sample byte counters in the same registry.
 
 #ifndef LPLOW_RUNTIME_LP_CLIENT_H_
 #define LPLOW_RUNTIME_LP_CLIENT_H_
@@ -43,17 +72,34 @@ namespace runtime {
 
 class SocketSolveBackend final : public SolveBackend {
  public:
+  enum class RoutingMode {
+    /// Endpoints are replicas: home-endpoint-first with failover.
+    kFailoverReplicas,
+    /// Endpoints are shards keyed StableJobHash(job_id) % endpoints; no
+    /// cross-endpoint failover (a failed shard means local fallback).
+    kShardByJobHash,
+  };
+
   struct Options {
-    /// Unix socket paths of the lp_served endpoints (>= 1 required).
+    /// Endpoint specs of the lp_served daemons (>= 1 required):
+    /// "unix:/path", "tcp:host:port", or a bare Unix socket path.
     std::vector<std::string> endpoints;
+    /// How multiple endpoints divide the job space (see header comment).
+    RoutingMode routing = RoutingMode::kFailoverReplicas;
+    /// Solve requests in flight on one connection. 1 = exclusive
+    /// lease-per-request (the legacy pool); > 1 shares one pipelined
+    /// connection per endpoint with responses matched by job id.
+    size_t pipeline_window = 1;
     /// Idle connections kept per endpoint; extras are closed on release.
     size_t max_pooled_connections = 4;
     /// Concurrent ExecuteSerialized calls admitted; 0 = unlimited. Callers
     /// over the cap block (backpressure), they are never dropped.
     size_t max_inflight = 0;
-    /// Deadline for one request/response exchange. A timed-out connection
-    /// is closed, never pooled again — its response may still arrive and
-    /// must not be read as the answer to a later request.
+    /// Deadline for one request/response exchange. In lease mode a
+    /// timed-out connection is closed, never pooled again — its response
+    /// may still arrive and must not be read as the answer to a later
+    /// request. In pipelined mode the connection survives a caller's
+    /// timeout: the late response is dropped by job id instead.
     int request_timeout_ms = 30'000;
     /// Deadline for the daemon's hello on a fresh connection.
     int hello_timeout_ms = 5'000;
@@ -84,10 +130,13 @@ class SocketSolveBackend final : public SolveBackend {
   };
 
   struct EndpointStats {
-    uint64_t dials = 0;
-    uint64_t reuses = 0;  // Pooled-connection leases.
+    uint64_t dials = 0;          // Dial ATTEMPTS (failures included).
+    uint64_t dial_failures = 0;  // Dials (or hellos) that did not connect.
+    uint64_t reuses = 0;         // Pooled-connection leases.
     uint64_t successes = 0;
     uint64_t failures = 0;
+    uint64_t tx_bytes = 0;  // Frame bytes written to this endpoint.
+    uint64_t rx_bytes = 0;  // Frame bytes read from this endpoint.
     int consecutive_failures = 0;
     bool healthy = true;
   };
@@ -103,8 +152,8 @@ class SocketSolveBackend final : public SolveBackend {
   bool WantsSerialized() const override { return true; }
 
   /// Ships `request` to the job's endpoint (failing over per the ladder
-  /// above). True with `*response` filled when a daemon served it; false
-  /// when the caller must solve locally.
+  /// above when routing allows). True with `*response` filled when a daemon
+  /// served it; false when the caller must solve locally.
   bool ExecuteSerialized(uint64_t job_id, const char* kind,
                          const std::vector<uint8_t>& request,
                          std::vector<uint8_t>* response) override;
@@ -126,7 +175,9 @@ class SocketSolveBackend final : public SolveBackend {
   /// with allow_remote_shutdown).
   Status RequestServerShutdown(size_t endpoint);
 
-  /// Closes every pooled connection (new requests dial fresh).
+  /// Closes every pooled connection and every idle pipelined channel (new
+  /// requests dial fresh). A pipelined connection with requests still in
+  /// flight is left alone.
   void CloseIdleConnections();
 
   size_t num_endpoints() const { return endpoints_.size(); }
@@ -136,21 +187,54 @@ class SocketSolveBackend final : public SolveBackend {
 
  private:
   struct Endpoint;
+  struct Channel;
+  struct Pending;
+
+  /// How one remote exchange ended — the typed signal ExecuteSerialized
+  /// classifies stats with (never by matching status text).
+  enum class RemoteOutcome {
+    kOk,       // Response delivered.
+    kBusy,     // Daemon answered kBusy (admission control).
+    kTimeout,  // The request deadline cut the exchange.
+    kRefused,  // Deterministic server-side refusal (no point failing over).
+    kError,    // Anything else: dial/write/read/protocol failure.
+  };
 
   explicit SocketSolveBackend(const Options& options);
 
   /// Leases a connection: pooled if available, else a fresh dial (hello
   /// consumed). `reused` tells the caller whether a failure might just be
-  /// staleness worth one retry.
+  /// staleness worth one retry. Every dial attempt counts into
+  /// EndpointStats.dials; failed dials/hellos into dial_failures.
   Result<int> LeaseConnection(Endpoint& ep, bool* reused);
   void ReturnConnection(Endpoint& ep, int fd);
   void NoteResult(Endpoint& ep, bool success);
   bool EndpointHealthy(const Endpoint& ep) const;
 
-  /// One request/response on one endpoint (with the per-endpoint retry).
-  /// kBusy comes back as ResourceExhausted("...busy...").
+  /// Frame I/O with byte accounting (tx/rx totals, per-kind, per-endpoint).
+  Status SendFrame(Endpoint& ep, int fd, wire::FrameKind kind,
+                   const std::vector<uint8_t>& payload);
+  Result<wire::Frame> RecvFrame(Endpoint& ep, int fd, int timeout_ms);
+  void AccountTx(Endpoint& ep, wire::FrameKind kind, size_t payload_bytes);
+  void AccountRx(Endpoint& ep, wire::FrameKind kind, size_t payload_bytes);
+
+  /// One request/response on one endpoint (with the per-endpoint retry),
+  /// dispatching to the leased or pipelined transport per pipeline_window.
   Status TryEndpoint(Endpoint& ep, const std::vector<uint8_t>& request,
-                     uint64_t job_id, std::vector<uint8_t>* response);
+                     uint64_t job_id, std::vector<uint8_t>* response,
+                     RemoteOutcome* outcome);
+  Status LeasedExchange(Endpoint& ep, const std::vector<uint8_t>& request,
+                        uint64_t job_id, std::vector<uint8_t>* response,
+                        RemoteOutcome* outcome, bool* retryable);
+  Status PipelinedExchange(Endpoint& ep, const std::vector<uint8_t>& request,
+                           uint64_t job_id, std::vector<uint8_t>* response,
+                           RemoteOutcome* outcome, bool* retryable);
+  /// Fails every pending pipelined request on `ch` and resets the
+  /// connection (must hold ch.mu; `generation` guards double teardown).
+  void FailChannelLocked(Endpoint& ep, Channel& ch, uint64_t generation,
+                         const Status& status);
+  /// Routes one received frame to its pending request (must hold ch.mu).
+  void DispatchFrameLocked(Endpoint& ep, Channel& ch, wire::Frame frame);
 
   Options options_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
@@ -160,6 +244,12 @@ class SocketSolveBackend final : public SolveBackend {
   Counter* local_fallback_counter_;
   Counter* failover_counter_;
   Counter* retries_counter_;
+  Counter* tx_bytes_counter_;
+  Counter* rx_bytes_counter_;
+  // Indexed by FrameKind value (0 unused); registered up front so the hot
+  // path never takes the registry lock.
+  std::vector<Counter*> tx_bytes_by_kind_;
+  std::vector<Counter*> rx_bytes_by_kind_;
   Histogram* rtt_hist_;
   trace::TraceRecorder* trace_;
 
@@ -171,11 +261,12 @@ class SocketSolveBackend final : public SolveBackend {
   size_t inflight_ = 0;
 };
 
-/// One-shot remote scrape without building a backend: dials `socket_path`,
-/// consumes the daemon's hello, and exchanges kStatsRequest/kStatsResponse.
-/// This is what `lp_client_demo --stats` and `lp_solve_cli --dump-metrics`
-/// use against a live daemon.
-Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& socket_path,
+/// One-shot remote scrape without building a backend: dials `endpoint`
+/// ("unix:/path", "tcp:host:port", or a bare path), consumes the daemon's
+/// hello, and exchanges kStatsRequest/kStatsResponse. This is what
+/// `lp_client_demo --stats` and `lp_solve_cli --dump-metrics` use against a
+/// live daemon.
+Result<wire::StatsResponse> ScrapeDaemonStats(const std::string& endpoint,
                                               bool include_trace = false,
                                               int timeout_ms = 5'000);
 

@@ -43,8 +43,10 @@ Result<std::unique_ptr<SolveDaemon>> SolveDaemon::Start(
   }
   // No make_unique: the constructor is private.
   std::unique_ptr<SolveDaemon> daemon(new SolveDaemon(options));
-  LPLOW_ASSIGN_OR_RETURN(daemon->listen_fd_,
-                         net::ListenUnix(options.socket_path, /*backlog=*/64));
+  LPLOW_ASSIGN_OR_RETURN(
+      daemon->listen_fd_,
+      net::Listen(options.socket_path, /*backlog=*/64,
+                  &daemon->bound_endpoint_));
   daemon->acceptor_ = std::thread([d = daemon.get()] { d->AcceptLoop(); });
   return daemon;
 }
@@ -78,6 +80,10 @@ void SolveDaemon::Shutdown() {
   // the shutdown is what unblocks it. The fd itself is closed only after
   // the join: the acceptor reads listen_fd_ outside the lock, so it must
   // be gone before the value changes.
+  // A daemon whose Start failed at Listen (e.g. kAlreadyExists: a live
+  // daemon owns the path) never held the socket — its teardown must not
+  // unlink the owner's address out from under it.
+  const bool owned_listener = listen_fd_ >= 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ::shutdown(listen_fd_, SHUT_RDWR);
@@ -98,7 +104,14 @@ void SolveDaemon::Shutdown() {
     if (t.joinable()) t.join();
   }
   service_->Drain();
-  unlink(options_.socket_path.c_str());
+  // Only a Unix-family endpoint leaves a filesystem artifact to remove (a
+  // TCP listener's port is released when the fd closes), and only if this
+  // daemon actually bound it.
+  if (Result<net::Endpoint> parsed = net::ParseEndpoint(options_.socket_path);
+      owned_listener && parsed.ok() &&
+      parsed->family == net::Endpoint::Family::kUnix) {
+    unlink(parsed->path.c_str());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     shut_down_ = true;

@@ -1,5 +1,6 @@
 // SolveDaemon: the `lp_served` network daemon — a cross-process solver
-// cluster node. Listens on a Unix socket, speaks the wire protocol
+// cluster node. Listens on a Unix socket or TCP port (endpoint grammar in
+// src/runtime/net_io.h), speaks the wire protocol
 // (src/runtime/wire.h), and drains every decoded solve job into a
 // ShardedSolverService, routed by the job id exactly like the in-process
 // backend (StableJobHash % shards), so the served results — and the
@@ -40,7 +41,10 @@ namespace runtime {
 class SolveDaemon {
  public:
   struct Options {
-    /// Unix socket path to listen on (required).
+    /// Endpoint to listen on (required): "unix:/path", "tcp:host:port"
+    /// (port 0 = ephemeral; see bound_endpoint()), or a bare Unix socket
+    /// path. A Unix endpoint whose socket file is owned by a LIVE listener
+    /// is refused with kAlreadyExists — only a stale file is reclaimed.
     std::string socket_path;
     /// Shards and per-shard workers of the backing ShardedSolverService.
     size_t num_shards = 2;
@@ -97,6 +101,10 @@ class SolveDaemon {
   void Shutdown();
 
   const std::string& socket_path() const { return options_.socket_path; }
+  /// The endpoint actually listening, in canonical spec form — for a TCP
+  /// listener started on port 0 this carries the kernel-assigned port, so
+  /// it is what clients should dial.
+  const std::string& bound_endpoint() const { return bound_endpoint_; }
   size_t num_shards() const { return service_->num_shards(); }
   Stats stats() const;
   /// The backing service (per-shard solve accounting lives there).
@@ -122,6 +130,7 @@ class SolveDaemon {
   MetricsRegistry* metrics_;
   trace::TraceRecorder* trace_;
   int listen_fd_ = -1;
+  std::string bound_endpoint_;
 
   Counter* connections_counter_;
   Counter* requests_counter_;

@@ -66,7 +66,8 @@ class SolveBackend {
   /// (src/runtime/wire.h); on success `*response` holds the matching
   /// SolveResponse payload and the call returns true. Returning false means
   /// the job was NOT executed remotely — unsupported backend, every
-  /// endpoint down, or a deterministic server-side error — and the caller
+  /// endpoint down (or, under hash-sharded routing, the job's one home
+  /// shard down), or a deterministic server-side error — and the caller
   /// must fall back to Execute() with the local closure. That fallback is
   /// the graceful-failover contract: results are bit-identical either way
   /// (docs/runtime.md §"Wire protocol").

@@ -49,6 +49,32 @@ FrameKind MaxFrameKindForVersion(uint8_t version) {
   return version >= 2 ? FrameKind::kStatsResponse : FrameKind::kShutdown;
 }
 
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "hello";
+    case FrameKind::kSolveRequest:
+      return "solve_request";
+    case FrameKind::kSolveResponse:
+      return "solve_response";
+    case FrameKind::kError:
+      return "error";
+    case FrameKind::kPing:
+      return "ping";
+    case FrameKind::kPong:
+      return "pong";
+    case FrameKind::kBusy:
+      return "busy";
+    case FrameKind::kShutdown:
+      return "shutdown";
+    case FrameKind::kStatsRequest:
+      return "stats_request";
+    case FrameKind::kStatsResponse:
+      return "stats_response";
+  }
+  return "unknown";
+}
+
 void EncodeFrameHeader(FrameKind kind, uint32_t payload_size, BitWriter* w,
                        uint8_t version) {
   w->PutU32(kMagic);
@@ -143,7 +169,7 @@ Status DecodeErrorPayload(const std::vector<uint8_t>& payload) {
   if (!code.ok()) return code.status();
   auto message = r.GetString();
   if (!message.ok()) return message.status();
-  if (*code == 0 || *code > static_cast<uint8_t>(StatusCode::kSamplingFailed)) {
+  if (*code == 0 || *code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("error payload carries unknown status");
   }
   return Status(static_cast<StatusCode>(*code), *std::move(message));
@@ -243,7 +269,7 @@ Result<SolveResponseHead> PeekSolveResponseHead(
   LPLOW_ASSIGN_OR_RETURN(head.job_id, r.GetU64());
   LPLOW_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
   LPLOW_ASSIGN_OR_RETURN(std::string message, r.GetString());
-  if (code > static_cast<uint8_t>(StatusCode::kSamplingFailed)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("solve response carries unknown status");
   }
   head.status = code == 0

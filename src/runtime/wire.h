@@ -99,6 +99,11 @@ enum class FrameKind : uint8_t {
 /// DecodeFrameHeader enforces for a frame of that version.
 FrameKind MaxFrameKindForVersion(uint8_t version);
 
+/// Stable lower-snake name of a frame kind ("solve_request", "busy", ...),
+/// used as the metric-key suffix of the per-kind wire byte counters
+/// (`wire.client.tx_bytes.<name>`); "unknown" for out-of-range values.
+const char* FrameKindName(FrameKind kind);
+
 struct FrameHeader {
   uint8_t version = kWireVersion;
   FrameKind kind = FrameKind::kError;
@@ -324,7 +329,7 @@ DecodeSolveResponsePayload(const P& problem,
   LPLOW_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
   LPLOW_ASSIGN_OR_RETURN(std::string message, r.GetString());
   if (code != 0) {
-    if (code > static_cast<uint8_t>(StatusCode::kSamplingFailed)) {
+    if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
       return Status::InvalidArgument("solve response carries unknown status");
     }
     return Status(static_cast<StatusCode>(code), std::move(message));

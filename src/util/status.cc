@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unbounded";
     case StatusCode::kSamplingFailed:
       return "SamplingFailed";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInfeasible,
   kUnbounded,
   kSamplingFailed,
+  kAlreadyExists,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -69,6 +71,12 @@ class Status {
   }
   static Status SamplingFailed(std::string msg) {
     return Status(StatusCode::kSamplingFailed, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,250 @@
+// net_io tests: the endpoint grammar, the Unix/TCP dial+listen seam, and
+// the framed-read deadline contract.
+//
+// The trickled-header test is a regression pin for a real bug: ReadFrame
+// used to give the header read and the payload read a FULL timeout_ms
+// EACH, so a peer that dribbled out the header could hold a caller for 2x
+// its deadline. The fix spends ONE absolute deadline across both reads;
+// the test fails on the old code (total wait ~2x) and passes on the new
+// (~1x).
+
+#include "src/runtime/net_io.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/runtime/wire.h"
+#include "src/util/status.h"
+
+namespace lplow {
+namespace runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/lplow_net_io_" + std::string(tag) + "_" +
+         std::to_string(getpid()) + ".sock";
+}
+
+// ------------------------------------------------------- endpoint grammar
+
+TEST(ParseEndpointTest, UnixPrefix) {
+  auto ep = net::ParseEndpoint("unix:/tmp/a.sock");
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_EQ(ep->family, net::Endpoint::Family::kUnix);
+  EXPECT_EQ(ep->path, "/tmp/a.sock");
+  EXPECT_EQ(net::FormatEndpoint(*ep), "unix:/tmp/a.sock");
+}
+
+TEST(ParseEndpointTest, BarePathIsUnixAlias) {
+  auto ep = net::ParseEndpoint("/tmp/bare.sock");
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_EQ(ep->family, net::Endpoint::Family::kUnix);
+  EXPECT_EQ(ep->path, "/tmp/bare.sock");
+}
+
+TEST(ParseEndpointTest, TcpHostPort) {
+  auto ep = net::ParseEndpoint("tcp:127.0.0.1:8080");
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_EQ(ep->family, net::Endpoint::Family::kTcp);
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 8080);
+  EXPECT_EQ(net::FormatEndpoint(*ep), "tcp:127.0.0.1:8080");
+}
+
+TEST(ParseEndpointTest, TcpEphemeralPortZero) {
+  auto ep = net::ParseEndpoint("tcp:localhost:0");
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_EQ(ep->host, "localhost");
+  EXPECT_EQ(ep->port, 0);
+}
+
+TEST(ParseEndpointTest, Rejections) {
+  EXPECT_FALSE(net::ParseEndpoint("").ok());
+  EXPECT_FALSE(net::ParseEndpoint("unix:").ok());
+  EXPECT_FALSE(net::ParseEndpoint("tcp:hostonly").ok());
+  EXPECT_FALSE(net::ParseEndpoint("tcp::123").ok());
+  EXPECT_FALSE(net::ParseEndpoint("tcp:host:").ok());
+  EXPECT_FALSE(net::ParseEndpoint("tcp:host:65536").ok());
+  EXPECT_FALSE(net::ParseEndpoint("tcp:host:12x").ok());
+}
+
+// -------------------------------------------------- single-deadline reads
+
+TEST(ReadFrameDeadlineTest, TrickledHeaderSpendsOneTimeoutTotal) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  // A valid header that PROMISES a payload which never comes, delivered
+  // one byte at a time — slow enough to eat most of the deadline on the
+  // header alone.
+  BitWriter w;
+  wire::EncodeFrameHeader(wire::FrameKind::kPing, /*payload_size=*/64, &w);
+  std::vector<uint8_t> header = w.Release();
+  ASSERT_EQ(header.size(), wire::kFrameHeaderBytes);
+
+  std::thread trickler([&] {
+    for (uint8_t byte : header) {
+      (void)!write(fds[1], &byte, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    // Never send the payload; leave the socket open so the reader's only
+    // way out is its deadline.
+  });
+
+  const auto start = Clock::now();
+  Result<wire::Frame> frame = net::ReadFrame(fds[0], /*timeout_ms=*/400);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - start);
+
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded)
+      << frame.status().ToString();
+  // One budget (~400ms), not header-budget + payload-budget (~700ms+ on
+  // the pre-fix code: the header trickle ate ~300ms and the payload read
+  // then got a fresh 400ms). Generous ceiling for slow CI machines.
+  EXPECT_LT(elapsed.count(), 650) << "frame read got more than one deadline";
+  EXPECT_GE(elapsed.count(), 350) << "deadline cut short";
+
+  trickler.join();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(ReadFrameDeadlineTest, TimeoutIsTypedAndPeerCloseIsNot) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Silence: typed deadline status.
+  Result<wire::Frame> timed_out = net::ReadFrame(fds[0], /*timeout_ms=*/50);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  // Peer close: a DIFFERENT code, so clients never mistake a hangup (or an
+  // oversized-frame rejection) for a timeout.
+  close(fds[1]);
+  Result<wire::Frame> closed = net::ReadFrame(fds[0], /*timeout_ms=*/50);
+  EXPECT_EQ(closed.status().code(), StatusCode::kOutOfRange);
+  close(fds[0]);
+}
+
+// ------------------------------------------------------ unix listen probe
+
+TEST(ListenUnixTest, RefusesToHijackALiveListener) {
+  const std::string path = TestSocketPath("hijack");
+  Result<int> first = net::ListenUnix(path, /*backlog=*/4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // A second bind on the same path must fail LOUDLY — the old code
+  // unlinked unconditionally and silently stole all future clients.
+  Result<int> second = net::ListenUnix(path, /*backlog=*/4);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists)
+      << second.status().ToString();
+
+  // The first listener is untouched: a client still reaches it.
+  Result<int> client = net::DialUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<int> served = net::AcceptConnection(*first);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  net::CloseFd(*client);
+  net::CloseFd(*served);
+  net::CloseFd(*first);
+  unlink(path.c_str());
+}
+
+TEST(ListenUnixTest, ReclaimsAStaleSocketFile) {
+  const std::string path = TestSocketPath("stale");
+  Result<int> first = net::ListenUnix(path, /*backlog=*/4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Close WITHOUT unlinking: the socket file stays behind, exactly what a
+  // crashed daemon leaves. Nobody answers the probe, so a restart rebinds.
+  net::CloseFd(*first);
+  Result<int> second = net::ListenUnix(path, /*backlog=*/4);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  net::CloseFd(*second);
+  unlink(path.c_str());
+}
+
+// ------------------------------------------------------------ tcp seam
+
+TEST(TcpTest, LoopbackFrameRoundTripWithNoDelay) {
+  uint16_t port = 0;
+  Result<int> listener =
+      net::ListenTcp("127.0.0.1", /*port=*/0, /*backlog=*/4, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ASSERT_GT(port, 0) << "ephemeral port not reported";
+
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::thread client_thread([&] {
+    Result<int> client = net::DialTcp("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    int nodelay = 0;
+    socklen_t len = sizeof(nodelay);
+    ASSERT_EQ(getsockopt(*client, IPPROTO_TCP, TCP_NODELAY, &nodelay, &len),
+              0);
+    EXPECT_NE(nodelay, 0) << "dialed TCP socket missing TCP_NODELAY";
+    ASSERT_TRUE(
+        net::WriteFrame(*client, wire::FrameKind::kPing, payload).ok());
+    Result<wire::Frame> pong = net::ReadFrame(*client, /*timeout_ms=*/5000);
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->header.kind, wire::FrameKind::kPong);
+    EXPECT_EQ(pong->payload, payload);
+    net::CloseFd(*client);
+  });
+
+  Result<int> served = net::AcceptConnection(*listener);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  int nodelay = 0;
+  socklen_t len = sizeof(nodelay);
+  ASSERT_EQ(getsockopt(*served, IPPROTO_TCP, TCP_NODELAY, &nodelay, &len), 0);
+  EXPECT_NE(nodelay, 0) << "accepted TCP socket missing TCP_NODELAY";
+  Result<wire::Frame> ping = net::ReadFrame(*served, /*timeout_ms=*/5000);
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ping->header.kind, wire::FrameKind::kPing);
+  EXPECT_EQ(ping->payload, payload);
+  ASSERT_TRUE(net::WriteFrame(*served, wire::FrameKind::kPong, payload).ok());
+
+  client_thread.join();
+  net::CloseFd(*served);
+  net::CloseFd(*listener);
+}
+
+TEST(TcpTest, ListenViaSpecResolvesEphemeralPort) {
+  std::string bound;
+  Result<int> listener = net::Listen("tcp:127.0.0.1:0", /*backlog=*/4, &bound);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto parsed = net::ParseEndpoint(bound);
+  ASSERT_TRUE(parsed.ok()) << bound;
+  EXPECT_EQ(parsed->family, net::Endpoint::Family::kTcp);
+  EXPECT_GT(parsed->port, 0) << "bound spec still carries port 0: " << bound;
+
+  // The bound spec is directly dialable.
+  Result<int> client = net::Dial(bound);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  net::CloseFd(*client);
+  net::CloseFd(*listener);
+}
+
+TEST(TcpTest, DialDeadPortFails) {
+  // Bind an ephemeral port, then close it: dialing it afterwards must fail
+  // (nobody re-listens on it within this test).
+  uint16_t port = 0;
+  Result<int> listener =
+      net::ListenTcp("127.0.0.1", /*port=*/0, /*backlog=*/1, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  net::CloseFd(*listener);
+  Result<int> client = net::DialTcp("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace lplow

@@ -1,11 +1,14 @@
-// lp_served daemon + SocketSolveBackend over loopback Unix sockets (label
-// `slow`; also in the TSan CI matrix). Pins the ISSUE's acceptance
+// lp_served daemon + SocketSolveBackend over loopback Unix and TCP sockets
+// (label `slow`; also in the TSan CI matrix). Pins the ISSUE's acceptance
 // contract: engine transcripts (deterministic counters + basis hashes) are
 // bit-identical between the serial path, the in-process
 // ShardedSolverService, and the socket-served backend across shard counts
-// {1,2,4} — plus the failure ladder: failover off a dead endpoint, local
-// fallback when every endpoint is dead, and clean handling of busy, mute
-// (timeout), and garbage-speaking servers.
+// {1,2,4}, transports {unix, tcp}, pipeline windows {1,8}, and
+// multi-daemon shard clusters {1,2,3} — plus the failure ladder: failover
+// off a dead endpoint (with dial-attempt accounting), local fallback when
+// every endpoint is dead, clean handling of busy, mute (timeout),
+// garbage-speaking, and oversized-reply servers, and the live-socket
+// hijack refusal.
 
 #include <gtest/gtest.h>
 #include <sys/socket.h>
@@ -208,6 +211,149 @@ TEST(SocketBackendTest, TranscriptsBitIdenticalOverLoopbackAcrossShards) {
   }
 }
 
+TEST(SocketBackendTest, TranscriptsBitIdenticalOverTcpLoopback) {
+  auto c = testing_util::MakeFeasibleLpCase(1000, 2, 31);
+  Rng rng(0x7C9ULL);
+  auto parts = workload::Partition(c.constraints, 6, true, &rng);
+
+  ModelTranscripts want =
+      RunAllModels(c.problem, parts, c.constraints, runtime::RuntimeOptions{});
+  ASSERT_NE(want.coordinator, Transcript{});
+
+  for (size_t shards : {1u, 2u}) {
+    MetricsRegistry reg;
+    SolveDaemon::Options dopt;
+    dopt.socket_path = "tcp:127.0.0.1:0";  // Ephemeral port.
+    dopt.num_shards = shards;
+    dopt.threads_per_shard = 2;
+    dopt.metrics = &reg;
+    auto daemon = SolveDaemon::Start(dopt);
+    ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+    // The bound endpoint carries the kernel-assigned port.
+    const std::string bound = (*daemon)->bound_endpoint();
+    ASSERT_NE(bound, dopt.socket_path) << "ephemeral port not resolved";
+
+    SocketSolveBackend::Options copt;
+    copt.endpoints = {bound};
+    copt.metrics = &reg;
+    auto client = SocketSolveBackend::Create(copt);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    runtime::RuntimeOptions ropt;
+    ropt.num_threads = 2;
+    ropt.solver_backend = client->get();
+    ropt.oversized_basis_threshold = 1;
+    ModelTranscripts got = RunAllModels(c.problem, parts, c.constraints, ropt);
+    EXPECT_EQ(got, want) << "tcp transcript drifted at shards=" << shards;
+
+    auto cstats = (*client)->stats();
+    EXPECT_GT(cstats.remote_success, 0u);
+    EXPECT_EQ(cstats.local_fallbacks, 0u);
+    // The transport's bytes really were accounted.
+    auto estats = (*client)->endpoint_stats(0);
+    EXPECT_GT(estats.tx_bytes, 0u);
+    EXPECT_GT(estats.rx_bytes, 0u);
+    (*daemon)->Shutdown();
+  }
+}
+
+TEST(SocketBackendTest, TranscriptsBitIdenticalUnderPipelining) {
+  auto c = testing_util::MakeFeasibleLpCase(1000, 2, 47);
+  Rng rng(0x91BEULL);
+  auto parts = workload::Partition(c.constraints, 6, true, &rng);
+
+  ModelTranscripts want =
+      RunAllModels(c.problem, parts, c.constraints, runtime::RuntimeOptions{});
+  ASSERT_NE(want.coordinator, Transcript{});
+
+  for (size_t window : {1u, 8u}) {
+    MetricsRegistry reg;
+    SolveDaemon::Options dopt;
+    dopt.socket_path = TestSocketPath("pipeline" + std::to_string(window));
+    dopt.num_shards = 2;
+    dopt.threads_per_shard = 2;
+    dopt.metrics = &reg;
+    auto daemon = SolveDaemon::Start(dopt);
+    ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+    SocketSolveBackend::Options copt;
+    copt.endpoints = {dopt.socket_path};
+    copt.pipeline_window = window;
+    copt.metrics = &reg;
+    auto client = SocketSolveBackend::Create(copt);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    runtime::RuntimeOptions ropt;
+    ropt.num_threads = 4;  // Concurrent callers share the pipelined wire.
+    ropt.solver_backend = client->get();
+    ropt.oversized_basis_threshold = 1;
+    ModelTranscripts got = RunAllModels(c.problem, parts, c.constraints, ropt);
+    EXPECT_EQ(got, want) << "pipelined transcript drifted at window="
+                         << window;
+
+    auto cstats = (*client)->stats();
+    EXPECT_GT(cstats.remote_success, 0u);
+    EXPECT_EQ(cstats.local_fallbacks, 0u);
+    EXPECT_EQ(cstats.timeouts, 0u);
+    EXPECT_EQ((*daemon)->stats().solved, cstats.remote_success);
+    (*daemon)->Shutdown();
+  }
+}
+
+TEST(SocketBackendTest, ShardedDaemonClusterIsBitIdenticalAcrossSizes) {
+  auto c = testing_util::MakeFeasibleLpCase(1000, 2, 53);
+  Rng rng(0x5AADD5ULL);
+  auto parts = workload::Partition(c.constraints, 6, true, &rng);
+
+  ModelTranscripts want =
+      RunAllModels(c.problem, parts, c.constraints, runtime::RuntimeOptions{});
+  ASSERT_NE(want.coordinator, Transcript{});
+
+  for (size_t cluster : {1u, 2u, 3u}) {
+    MetricsRegistry reg;
+    std::vector<std::unique_ptr<SolveDaemon>> daemons;
+    std::vector<std::string> endpoints;
+    for (size_t i = 0; i < cluster; ++i) {
+      SolveDaemon::Options dopt;
+      dopt.socket_path = TestSocketPath("cluster" + std::to_string(cluster) +
+                                        "_" + std::to_string(i));
+      dopt.num_shards = 1;
+      dopt.threads_per_shard = 2;
+      dopt.metrics = &reg;
+      auto daemon = SolveDaemon::Start(dopt);
+      ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+      endpoints.push_back(dopt.socket_path);
+      daemons.push_back(std::move(*daemon));
+    }
+
+    SocketSolveBackend::Options copt;
+    copt.endpoints = endpoints;
+    copt.routing = SocketSolveBackend::RoutingMode::kShardByJobHash;
+    copt.metrics = &reg;
+    auto client = SocketSolveBackend::Create(copt);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    runtime::RuntimeOptions ropt;
+    ropt.num_threads = 2;
+    ropt.solver_backend = client->get();
+    ropt.oversized_basis_threshold = 1;
+    ModelTranscripts got = RunAllModels(c.problem, parts, c.constraints, ropt);
+    EXPECT_EQ(got, want) << "sharded-cluster transcript drifted at size="
+                         << cluster;
+
+    // Every remote solve landed on exactly one daemon of the cluster, and
+    // nothing fell back or moved off its home shard.
+    auto cstats = (*client)->stats();
+    EXPECT_GT(cstats.remote_success, 0u);
+    EXPECT_EQ(cstats.local_fallbacks, 0u);
+    EXPECT_EQ(cstats.failovers, 0u);
+    uint64_t daemon_solved = 0;
+    for (auto& daemon : daemons) daemon_solved += daemon->stats().solved;
+    EXPECT_EQ(daemon_solved, cstats.remote_success);
+    for (auto& daemon : daemons) daemon->Shutdown();
+  }
+}
+
 // ------------------------------------------------------------- failover
 
 TEST(SocketBackendTest, FailsOverFromADeadEndpoint) {
@@ -252,7 +398,16 @@ TEST(SocketBackendTest, FailsOverFromADeadEndpoint) {
   auto dead = (*client)->endpoint_stats(0);
   EXPECT_GT(dead.failures, 0u);
   EXPECT_FALSE(dead.healthy);  // Threshold consecutive dial failures.
-  EXPECT_TRUE((*client)->endpoint_stats(1).healthy);
+  // Dial accounting counts ATTEMPTS: a daemon that never answered still
+  // shows its dials, and every one of them as a dial failure (the old
+  // code only counted successful hellos, so a dead endpoint reported 0
+  // dials — indistinguishable from "never tried").
+  EXPECT_GT(dead.dials, 0u);
+  EXPECT_EQ(dead.dial_failures, dead.dials);
+  auto live = (*client)->endpoint_stats(1);
+  EXPECT_TRUE(live.healthy);
+  EXPECT_GT(live.dials, 0u);
+  EXPECT_EQ(live.dial_failures, 0u);
   (*daemon)->Shutdown();
 }
 
@@ -405,6 +560,61 @@ TEST(SocketBackendTest, GarbageServerResponseHandledCleanly) {
   std::vector<uint8_t> response;
   EXPECT_FALSE(
       (*client)->ExecuteSerialized(3, "test", SmallLpRequest(3, c), &response));
+}
+
+TEST(SocketBackendTest, OversizedReplyIsNeitherBusyNorTimeout) {
+  auto c = testing_util::MakeFeasibleLpCase(16, 2, 3);
+  const std::string path = TestSocketPath("oversized");
+  // A well-formed frame whose declared payload exceeds the client's frame
+  // ceiling: the client must reject it at the header — and classify it as
+  // a protocol error, NOT a timeout (the old substring/status-code match
+  // lumped every ResourceExhausted into `timeouts`).
+  FakeServer server(path, ValidHelloBytes(),
+                    wire::EncodeFrame(wire::FrameKind::kSolveResponse,
+                                      std::vector<uint8_t>(2048, uint8_t{7})));
+
+  MetricsRegistry reg;
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {path};
+  copt.max_frame_payload = 1024;
+  copt.request_timeout_ms = 2000;
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<uint8_t> response;
+  EXPECT_FALSE(
+      (*client)->ExecuteSerialized(4, "test", SmallLpRequest(4, c), &response));
+  auto stats = (*client)->stats();
+  EXPECT_EQ(stats.timeouts, 0u) << "oversized reply misclassified as timeout";
+  EXPECT_EQ(stats.busy, 0u);
+}
+
+TEST(SocketBackendTest, SecondDaemonCannotHijackALiveSocket) {
+  MetricsRegistry reg;
+  SolveDaemon::Options dopt;
+  dopt.socket_path = TestSocketPath("owner");
+  dopt.num_shards = 1;
+  dopt.metrics = &reg;
+  auto first = SolveDaemon::Start(dopt);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // A second daemon on the same path must fail LOUDLY at startup — the old
+  // listener unlinked the socket unconditionally, silently stealing every
+  // future client from the running daemon.
+  auto second = SolveDaemon::Start(dopt);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists)
+      << second.status().ToString();
+
+  // The first daemon still owns the socket and still serves.
+  SocketSolveBackend::Options copt;
+  copt.endpoints = {dopt.socket_path};
+  copt.metrics = &reg;
+  auto client = SocketSolveBackend::Create(copt);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping(0).ok());
+  (*first)->Shutdown();
 }
 
 // ------------------------------------------------- daemon-side protocol

@@ -32,12 +32,19 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
   EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
   EXPECT_EQ(Status::SamplingFailed("x").code(), StatusCode::kSamplingFailed);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kSamplingFailed),
                "SamplingFailed");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -138,6 +138,27 @@ TEST(WireFrameTest, RejectsTrailingBytes) {
   EXPECT_FALSE(wire::DecodeFrame(bytes.data(), bytes.size()).ok());
 }
 
+TEST(WireFrameTest, FrameKindNamesAreStableMetricSuffixes) {
+  // These strings are metric-key suffixes (wire.client.tx_bytes.<name>);
+  // renaming one silently breaks dashboards, so each is pinned.
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kHello), "hello");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kSolveRequest),
+               "solve_request");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kSolveResponse),
+               "solve_response");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kError), "error");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kPing), "ping");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kPong), "pong");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kBusy), "busy");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kShutdown), "shutdown");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kStatsRequest),
+               "stats_request");
+  EXPECT_STREQ(wire::FrameKindName(wire::FrameKind::kStatsResponse),
+               "stats_response");
+  EXPECT_STREQ(wire::FrameKindName(static_cast<wire::FrameKind>(200)),
+               "unknown");
+}
+
 // ------------------------------------------------------- control payloads
 
 TEST(WireControlTest, HelloRoundTrips) {
