@@ -1,0 +1,170 @@
+// Traffic-replay soak (src/workload/replay.h): one heavy recorded mix —
+// Zipf-skewed tenants, kinds, and sizes over all six LP-type problems,
+// tens of thousands of wire-encoded requests — replayed through the
+// ShardedSolverService in-process and across a loopback socket daemon.
+// The `jobs` / `failed` / `transcript_lo` / `request_KB` / `response_KB`
+// counters are deterministic under the fixed seed and MUST NOT move with
+// the shard count, submission style, or transport (`transcript_lo` is the
+// low half of the replay's folded response-fingerprint hash, so one flipped
+// result bit anywhere in the run trips the strict gate). The `_p50/_p90/
+// _p99` latency counters come off the replay.job_seconds histogram and are
+// wall-time valued — report-only for scripts/bench_compare.py.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/runtime/lp_client.h"
+#include "src/runtime/lp_served.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/sharded_solver_service.h"
+#include "src/workload/replay.h"
+
+namespace lplow {
+namespace {
+
+// The shared soak recording, built once outside every timed region.
+const workload::RecordedWorkload& SoakMix() {
+  static const workload::RecordedWorkload* mix = [] {
+    workload::RecordOptions opt;
+    opt.seed = 0x50AFC0DE;
+    opt.num_jobs = 20000;
+    opt.num_tenants = 256;
+    opt.tenant_zipf_s = 1.1;
+    opt.kind_zipf_s = 1.0;
+    opt.size_zipf_s = 1.3;
+    opt.base_constraints = 24;
+    opt.size_classes = 4;
+    return new workload::RecordedWorkload(workload::RecordWorkload(opt));
+  }();
+  return *mix;
+}
+
+void ExportReplayCounters(benchmark::State& state,
+                          const workload::ReplayResult& result,
+                          const runtime::MetricsRegistry& registry) {
+  state.counters["jobs"] =
+      static_cast<double>(result.jobs_ok + result.jobs_failed);
+  state.counters["failed"] = static_cast<double>(result.jobs_failed);
+  // Low 32 bits of the transcript hash: exactly representable in a double,
+  // and any nondeterminism in any job's response bytes lands here.
+  state.counters["transcript_lo"] =
+      static_cast<double>(result.transcript_hash & 0xFFFFFFFFULL);
+  state.counters["request_KB"] =
+      static_cast<double>(SoakMix().request_bytes) / 1024.0;
+  state.counters["response_KB"] =
+      static_cast<double>(result.response_bytes) / 1024.0;
+  const runtime::Histogram* lat =
+      const_cast<runtime::MetricsRegistry&>(registry).GetHistogram(
+          "replay.job_seconds");
+  state.counters["job_p50"] = lat->Quantile(0.50);
+  state.counters["job_p90"] = lat->Quantile(0.90);
+  state.counters["job_p99"] = lat->Quantile(0.99);
+}
+
+void BM_ReplaySoakInProcess(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const bool batch = state.range(2) != 0;
+  SoakMix();  // Record outside the timed region.
+
+  runtime::MetricsRegistry registry;
+  workload::ReplayResult result;
+  for (auto _ : state) {
+    runtime::ShardedSolverService::Options sopt;
+    sopt.num_shards = shards;
+    sopt.threads_per_shard = threads;
+    sopt.metrics = &registry;
+    runtime::ShardedSolverService service(sopt);
+    workload::ReplayOptions ropt;
+    ropt.metrics = &registry;
+    ropt.batch = batch;
+    result = workload::Replay(SoakMix(), &service, ropt);
+    benchmark::DoNotOptimize(result.transcript_hash);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(SoakMix().jobs.size()) * state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = batch ? 1.0 : 0.0;
+  ExportReplayCounters(state, result, registry);
+}
+
+BENCHMARK(BM_ReplaySoakInProcess)
+    ->ArgNames({"shards", "threads", "batch"})
+    ->Args({1, 2, 0})
+    ->Args({2, 2, 0})
+    ->Args({4, 2, 0})
+    ->Args({4, 2, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The same soak across a loopback Unix socket: every request is served by
+// an in-process lp_served daemon through SocketSolveBackend's serialized
+// path. transcript_lo / response_KB must equal the in-process lane — the
+// transport moves the bytes, never the transcript — so the lane prices
+// exactly the wire framing + socket hops; remote_jobs pins that no job
+// quietly fell back to the local serve.
+void BM_ReplaySoakLoopbackSocket(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  SoakMix();
+
+  const std::string socket_path = "/tmp/lplow_replay_soak_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(shards) + ".sock";
+  runtime::MetricsRegistry registry;
+  runtime::MetricsRegistry daemon_registry;
+  workload::ReplayResult result;
+  for (auto _ : state) {
+    runtime::SolveDaemon::Options dopt;
+    dopt.socket_path = socket_path;
+    dopt.num_shards = shards;
+    dopt.threads_per_shard = 2;
+    dopt.metrics = &daemon_registry;
+    auto daemon = runtime::SolveDaemon::Start(dopt);
+    if (!daemon.ok()) {
+      state.SkipWithError("daemon start failed");
+      break;
+    }
+    runtime::SocketSolveBackend::Options copt;
+    copt.endpoints = {socket_path};
+    copt.metrics = &registry;
+    auto client = runtime::SocketSolveBackend::Create(copt);
+    if (!client.ok()) {
+      state.SkipWithError("client create failed");
+      break;
+    }
+    runtime::ShardedSolverService::Options sopt;
+    sopt.num_shards = shards;
+    sopt.threads_per_shard = 2;
+    sopt.metrics = &registry;
+    runtime::ShardedSolverService service(sopt);
+    workload::ReplayOptions ropt;
+    ropt.backend = client->get();
+    ropt.metrics = &registry;
+    result = workload::Replay(SoakMix(), &service, ropt);
+    benchmark::DoNotOptimize(result.transcript_hash);
+    (*daemon)->Shutdown();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(SoakMix().jobs.size()) * state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["remote_jobs"] = static_cast<double>(result.remote_jobs);
+  state.counters["local_fallbacks"] =
+      static_cast<double>(result.local_serves);
+  ExportReplayCounters(state, result, registry);
+  state.counters["rtt_p99"] =
+      registry.GetHistogram("wire.client.rtt_seconds")->Quantile(0.99);
+}
+
+BENCHMARK(BM_ReplaySoakLoopbackSocket)
+    ->ArgNames({"shards"})
+    ->Args({2})
+    ->Args({4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lplow

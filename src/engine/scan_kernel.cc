@@ -28,6 +28,7 @@ namespace engine {
 bool ScanQuery::SamePredicate(const ScanQuery& other) const {
   if (mode != other.mode || op != other.op) return false;
   if (std::memcmp(&t0, &other.t0, sizeof(t0)) != 0) return false;
+  if (std::memcmp(&t1, &other.t1, sizeof(t1)) != 0) return false;
   if (q.size() != other.q.size()) return false;
   return q.empty() ||
          std::memcmp(q.data(), other.q.data(), q.size() * sizeof(double)) == 0;
@@ -89,6 +90,29 @@ void ScanScalar(const SoaBlock& b, const ScanQuery& query, uint8_t* bitmap,
         }
         const double dist = std::sqrt(acc);
         bitmap[i] = dist <= query.t0 ? 0 : 1;  // NaN distance violates.
+      }
+      break;
+    }
+    case ScanOp::kAbsResidualAbove: {
+      const double* target = b.AuxColumn(0);
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0;
+        for (size_t d = 0; d < dim; ++d) acc += b.Column(d)[i] * q[d];
+        const double resid = acc - target[i];
+        // Violated = !(|resid| <= t0); NaN residual therefore violates.
+        bitmap[i] = std::fabs(resid) <= query.t0 ? 0 : 1;
+      }
+      break;
+    }
+    case ScanOp::kDotOutsideBand: {
+      const double* off = b.AuxColumn(0);
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0;
+        for (size_t d = 0; d < dim; ++d) acc += b.Column(d)[i] * q[d];
+        const double v = off[i] - acc;
+        // Satisfied = t1 <= v <= t0 (both ordered comparisons, false on
+        // NaN), so NaN v violates.
+        bitmap[i] = (v <= query.t0 && v >= query.t1) ? 0 : 1;
       }
       break;
     }
@@ -172,6 +196,46 @@ __attribute__((target("avx2"))) void ScanAvx2(const SoaBlock& b,
       }
       break;
     }
+    case ScanOp::kAbsResidualAbove: {
+      const double* target = b.AuxColumn(0);
+      const __m256d t0 = _mm256_set1_pd(query.t0);
+      // Clearing the sign bit is bitwise std::fabs (also on NaN payloads).
+      const __m256d absmask = _mm256_castsi256_pd(
+          _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+      for (size_t i = begin; i < end; i += 4, ++blocks) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d col = _mm256_loadu_pd(b.Column(d) + i);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(col, _mm256_set1_pd(q[d])));
+        }
+        const __m256d resid = _mm256_sub_pd(acc, _mm256_loadu_pd(target + i));
+        const __m256d mag = _mm256_and_pd(resid, absmask);
+        // OK = |resid| <= t0 (ordered: false on NaN); violated is the
+        // complement, so NaN residual violates — the scalar semantics.
+        const __m256d ok = _mm256_cmp_pd(mag, t0, _CMP_LE_OQ);
+        StoreMask4(bitmap, i, ~_mm256_movemask_pd(ok) & 0xF);
+      }
+      break;
+    }
+    case ScanOp::kDotOutsideBand: {
+      const double* off = b.AuxColumn(0);
+      const __m256d t0 = _mm256_set1_pd(query.t0);
+      const __m256d t1 = _mm256_set1_pd(query.t1);
+      for (size_t i = begin; i < end; i += 4, ++blocks) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d col = _mm256_loadu_pd(b.Column(d) + i);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(col, _mm256_set1_pd(q[d])));
+        }
+        const __m256d v = _mm256_sub_pd(_mm256_loadu_pd(off + i), acc);
+        // OK = t1 <= v <= t0 (both ordered: false on NaN); the complement
+        // makes NaN v violate — the scalar semantics.
+        const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(v, t0, _CMP_LE_OQ),
+                                         _mm256_cmp_pd(v, t1, _CMP_GE_OQ));
+        StoreMask4(bitmap, i, ~_mm256_movemask_pd(ok) & 0xF);
+      }
+      break;
+    }
   }
   if (vector_blocks != nullptr) *vector_blocks += blocks;
 }
@@ -245,6 +309,45 @@ void ScanNeon(const SoaBlock& b, const ScanQuery& query, uint8_t* bitmap,
         const uint64x2_t inside = vcleq_f64(dist, t0);
         StoreMask2(bitmap, i,
                    veorq_u64(inside, vdupq_n_u64(~uint64_t{0})));
+      }
+      break;
+    }
+    case ScanOp::kAbsResidualAbove: {
+      const double* target = b.AuxColumn(0);
+      const float64x2_t t0 = vdupq_n_f64(query.t0);
+      for (size_t i = begin; i < end; i += 2, ++blocks) {
+        float64x2_t acc = vdupq_n_f64(0.0);
+        for (size_t d = 0; d < dim; ++d) {
+          acc = vaddq_f64(acc,
+                          vmulq_f64(vld1q_f64(b.Column(d) + i),
+                                    vdupq_n_f64(q[d])));
+        }
+        const float64x2_t resid = vsubq_f64(acc, vld1q_f64(target + i));
+        // vabsq clears the sign bit: bitwise std::fabs. vcleq is false on
+        // NaN; the complement makes NaN residual violate.
+        const uint64x2_t ok = vcleq_f64(vabsq_f64(resid), t0);
+        StoreMask2(bitmap, i,
+                   veorq_u64(ok, vdupq_n_u64(~uint64_t{0})));
+      }
+      break;
+    }
+    case ScanOp::kDotOutsideBand: {
+      const double* off = b.AuxColumn(0);
+      const float64x2_t t0 = vdupq_n_f64(query.t0);
+      const float64x2_t t1 = vdupq_n_f64(query.t1);
+      for (size_t i = begin; i < end; i += 2, ++blocks) {
+        float64x2_t acc = vdupq_n_f64(0.0);
+        for (size_t d = 0; d < dim; ++d) {
+          acc = vaddq_f64(acc,
+                          vmulq_f64(vld1q_f64(b.Column(d) + i),
+                                    vdupq_n_f64(q[d])));
+        }
+        const float64x2_t v = vsubq_f64(vld1q_f64(off + i), acc);
+        // OK = t1 <= v <= t0; both compares false on NaN, complement makes
+        // NaN v violate — the scalar semantics.
+        const uint64x2_t ok = vandq_u64(vcleq_f64(v, t0), vcgeq_f64(v, t1));
+        StoreMask2(bitmap, i,
+                   veorq_u64(ok, vdupq_n_u64(~uint64_t{0})));
       }
       break;
     }

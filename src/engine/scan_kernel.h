@@ -49,6 +49,15 @@ enum class ScanOp : uint8_t {
   /// !(sqrt(sum_d (col_d - q_d)^2) <= t0) (t0 = radius + tol; NaN distance
   /// counts as violated, matching Ball::Contains).
   kDistanceOutside,
+  /// L-infinity regression residual: lane i is violated iff
+  /// !(fabs(dot(col, q) - aux0[i]) <= t0), where aux0 = y and t0 is the
+  /// current max residual plus tolerance. NaN residual counts as violated.
+  kAbsResidualAbove,
+  /// Annulus shell test: with v = aux0[i] - dot(col, q) (aux0 = |p|^2 and
+  /// q = 2*center, so v = |p - c|^2 - |c|^2), lane i is violated iff
+  /// !(v <= t0 && v >= t1) — t0/t1 are the outer/inner shifted
+  /// squared-radius bounds. NaN v counts as violated.
+  kDotOutsideBand,
 };
 
 /// A scan predicate distilled to kernel inputs. Two queries with equal
@@ -74,9 +83,12 @@ struct ScanQuery {
   std::vector<double> q;
   /// Op-specific scalar (see ScanOp docs).
   double t0 = 0;
+  /// Second op-specific scalar (kDotOutsideBand's lower bound); ops that
+  /// need only one threshold leave it 0.
+  double t1 = 0;
 
-  /// Bitwise equality of the decision function: same mode, op, t0 bit
-  /// pattern, and q byte-for-byte. (Bitwise so ±0 and NaN payloads cannot
+  /// Bitwise equality of the decision function: same mode, op, t0/t1 bit
+  /// patterns, and q byte-for-byte. (Bitwise so ±0 and NaN payloads cannot
   /// alias two different predicates.)
   bool SamePredicate(const ScanQuery& other) const;
 };

@@ -1,0 +1,145 @@
+// Smallest enclosing annulus (spherical shell) as an LP-type problem:
+//
+//   min R^2 - r^2  s.t.  r <= || p_j - c || <= R  for all points p_j.
+//
+// With u = R^2 - ||c||^2 and l = r^2 - ||c||^2 the squared-distance bounds
+// become linear in z = (c, u, l) in R^{d+2}:
+//
+//   -2 p.c - u <= -||p||^2     and     2 p.c + l <= ||p||^2,
+//
+// so f(A) = u - l (then lex center) is an LP over the point subset A —
+// adding points only widens the required shell, Property (P1). nu <= d + 3,
+// lambda <= d + 3. This is the classic roundness-measurement formulation.
+
+#ifndef LPLOW_PROBLEMS_ENCLOSING_ANNULUS_H_
+#define LPLOW_PROBLEMS_ENCLOSING_ANNULUS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+#include "src/engine/scan_kernel.h"
+#include "src/geometry/vec.h"
+#include "src/solvers/lex_lp.h"
+#include "src/solvers/lp_types.h"
+
+namespace lplow {
+
+class EnclosingAnnulus {
+ public:
+  using Constraint = Vec;  // A point the shell must cover.
+
+  /// The empty-set value (empty = true) is the minimal element: every point
+  /// violates it. Infeasible (a point beyond the solver box) is maximal.
+  /// For a solved value, u/l are the shifted squared-radius bounds:
+  /// R^2 = u + ||center||^2, r^2 = l + ||center||^2.
+  struct Value {
+    bool empty = true;
+    bool feasible = true;
+    Vec center;
+    double u = 0;  // Outer bound: ||p - c||^2 - ||c||^2 <= u.
+    double l = 0;  // Inner bound: ||p - c||^2 - ||c||^2 >= l.
+
+    double width() const { return u - l; }  // R^2 - r^2, the f-value.
+  };
+
+  explicit EnclosingAnnulus(size_t dim, SolverConfig config = {});
+
+  BasisResult<Value, Constraint> SolveBasis(
+      std::span<const Constraint> constraints) const;
+  Value SolveValue(std::span<const Constraint> constraints) const;
+
+  bool Violates(const Value& value, const Constraint& c) const;
+
+  /// Order: empty minimal, infeasible maximal, else (u - l, lex center, u).
+  int CompareValues(const Value& a, const Value& b) const;
+
+  size_t CombinatorialDimension() const { return dim_ + 3; }
+  size_t VcDimension() const { return dim_ + 3; }
+
+  size_t ConstraintBytes(const Constraint& c) const { return 4 + 8 * c.dim(); }
+  void SerializeConstraint(const Constraint& c, BitWriter* w) const;
+  Result<Constraint> DeserializeConstraint(BitReader* r) const;
+
+  size_t dim() const { return dim_; }
+  const SolverConfig& solver_config() const { return config_; }
+
+  /// ||p||^2 in ascending-coordinate order, shared by the violation test
+  /// and the SIMD mirror so both sides see the same bit pattern.
+  static double PointNormSq(const Vec& p) { return p.NormSquared(); }
+
+  /// Shell-test thresholds t0/t1 = u/l widened by the violation tolerance,
+  /// shared by Violates and the SIMD query.
+  double OuterBound(const Value& v) const {
+    return v.u + config_.violation_tol * BoundScale(v);
+  }
+  double InnerBound(const Value& v) const {
+    return v.l - config_.violation_tol * BoundScale(v);
+  }
+
+ private:
+  static double BoundScale(const Value& v) {
+    return std::max({1.0, std::fabs(v.u), std::fabs(v.l)});
+  }
+  /// ||p||^2 - dot(p, 2*center), accumulated in exactly the
+  /// kDotOutsideBand kernel's order.
+  double ShellValue(const Value& v, const Constraint& c) const;
+
+  size_t dim_;
+  SolverConfig config_;
+  Vec objective_;  // Minimize u - l over z = (c, u, l).
+  LexLpSolver solver_;
+};
+
+static_assert(LpTypeProblem<EnclosingAnnulus>);
+
+namespace engine {
+
+/// SIMD violator scan for the annulus: lane i mirrors the point coordinates
+/// plus aux0 = ||p||^2, the query is q = 2*center, and the kDotOutsideBand
+/// kernel reproduces the shell test l - tol <= ||p||^2 - q.p <= u + tol
+/// (NaN violates).
+template <>
+struct SimdScannable<EnclosingAnnulus> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kAux = 1;
+
+  static size_t Dim(const EnclosingAnnulus&, const Vec& c) { return c.dim(); }
+
+  static bool Mirror(const EnclosingAnnulus&, const Vec& c, SoaBlock* soa,
+                     size_t lane) {
+    for (size_t d = 0; d < c.dim(); ++d) soa->Set(d, lane, c[d]);
+    soa->SetAux(0, lane, EnclosingAnnulus::PointNormSq(c));
+    return true;
+  }
+
+  static ScanQuery MakeQuery(const EnclosingAnnulus& problem,
+                             const EnclosingAnnulus::Value& value,
+                             size_t dim) {
+    ScanQuery q;
+    q.op = ScanOp::kDotOutsideBand;
+    if (!value.feasible) {
+      q.mode = ScanQuery::Mode::kNoneViolate;  // Infeasible is maximal.
+      return q;
+    }
+    if (value.empty) {
+      q.mode = ScanQuery::Mode::kAllViolate;  // f(empty): minimal element.
+      return q;
+    }
+    if (value.center.dim() != dim) return q;  // kUnsupported
+    q.mode = ScanQuery::Mode::kKernel;
+    q.q.resize(dim);
+    for (size_t d = 0; d < dim; ++d) q.q[d] = 2.0 * value.center[d];
+    q.t0 = problem.OuterBound(value);
+    q.t1 = problem.InnerBound(value);
+    return q;
+  }
+};
+
+}  // namespace engine
+
+}  // namespace lplow
+
+#endif  // LPLOW_PROBLEMS_ENCLOSING_ANNULUS_H_

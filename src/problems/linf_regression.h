@@ -1,0 +1,134 @@
+// L-infinity (Chebyshev / least-absolute-deviation) regression as an
+// LP-type problem:
+//
+//   min_w max_j | w.x_j - y_j |.
+//
+// f(A) is the minimal worst-case residual over the sample subset A (with
+// the lexicographically-smallest witness w), so adding samples only raises
+// the max — Property (P1). The problem is a linear program in the lifted
+// variable z = (w, t) in R^{d+1} (two halfspaces per sample), so
+// nu <= d + 2 and lambda <= d + 2. An intercept is modeled by appending a
+// constant-1 feature.
+
+#ifndef LPLOW_PROBLEMS_LINF_REGRESSION_H_
+#define LPLOW_PROBLEMS_LINF_REGRESSION_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/core/lp_type.h"
+#include "src/engine/scan_kernel.h"
+#include "src/geometry/vec.h"
+#include "src/solvers/lex_lp.h"
+#include "src/solvers/lp_types.h"
+
+namespace lplow {
+
+/// One regression sample: fit w with w.x ~= y.
+struct RegressionPoint {
+  Vec x;       // d-dimensional features.
+  double y = 0;  // Target.
+};
+
+class LinfRegression {
+ public:
+  using Constraint = RegressionPoint;
+
+  /// The empty-set value (empty = true) is the minimal element: every
+  /// sample violates it, mirroring the MEB empty ball. Infeasible can only
+  /// arise when a target overflows the solver box — it is the maximal
+  /// element, violated by nothing.
+  struct Value {
+    bool empty = true;
+    bool feasible = true;
+    Vec w;         // Valid iff !empty && feasible.
+    double t = 0;  // max_j |w.x_j - y_j| over the defining set.
+  };
+
+  explicit LinfRegression(size_t dim, SolverConfig config = {});
+
+  BasisResult<Value, Constraint> SolveBasis(
+      std::span<const Constraint> constraints) const;
+  Value SolveValue(std::span<const Constraint> constraints) const;
+
+  bool Violates(const Value& value, const Constraint& c) const;
+
+  /// Order: empty minimal, infeasible maximal, else (t, lex w).
+  int CompareValues(const Value& a, const Value& b) const;
+
+  size_t CombinatorialDimension() const { return dim_ + 2; }
+  size_t VcDimension() const { return dim_ + 2; }
+
+  size_t ConstraintBytes(const Constraint& c) const {
+    return 4 + 8 * c.x.dim() + 8;
+  }
+  void SerializeConstraint(const Constraint& c, BitWriter* w) const;
+  Result<Constraint> DeserializeConstraint(BitReader* r) const;
+
+  size_t dim() const { return dim_; }
+  const SolverConfig& solver_config() const { return config_; }
+
+  /// The violation threshold t0 = t + violation_tol, shared by Violates and
+  /// the SIMD query so both compare against the same bit pattern.
+  double ViolationBound(const Value& v) const {
+    return v.t + config_.violation_tol;
+  }
+
+ private:
+  double Residual(const Value& v, const Constraint& c) const;
+
+  size_t dim_;
+  SolverConfig config_;
+  Vec objective_;  // Minimize t over z = (w, t).
+  LexLpSolver solver_;
+};
+
+static_assert(LpTypeProblem<LinfRegression>);
+
+namespace engine {
+
+/// SIMD violator scan for L-infinity regression: lane i mirrors the sample
+/// features (columns = x, aux0 = y), and the kAbsResidualAbove kernel
+/// reproduces !(|w.x - y| <= t + violation_tol) — NaN residual violates.
+template <>
+struct SimdScannable<LinfRegression> {
+  static constexpr bool enabled = true;
+  static constexpr size_t kAux = 1;
+
+  static size_t Dim(const LinfRegression&, const RegressionPoint& c) {
+    return c.x.dim();
+  }
+
+  static bool Mirror(const LinfRegression&, const RegressionPoint& c,
+                     SoaBlock* soa, size_t lane) {
+    for (size_t d = 0; d < c.x.dim(); ++d) soa->Set(d, lane, c.x[d]);
+    soa->SetAux(0, lane, c.y);
+    return true;
+  }
+
+  static ScanQuery MakeQuery(const LinfRegression& problem,
+                             const LinfRegression::Value& value, size_t dim) {
+    ScanQuery q;
+    q.op = ScanOp::kAbsResidualAbove;
+    if (!value.feasible) {
+      q.mode = ScanQuery::Mode::kNoneViolate;  // Infeasible is maximal.
+      return q;
+    }
+    if (value.empty) {
+      q.mode = ScanQuery::Mode::kAllViolate;  // f(empty): minimal element.
+      return q;
+    }
+    if (value.w.dim() != dim) return q;  // kUnsupported
+    q.mode = ScanQuery::Mode::kKernel;
+    q.q = value.w.data();
+    q.t0 = problem.ViolationBound(value);
+    return q;
+  }
+};
+
+}  // namespace engine
+
+}  // namespace lplow
+
+#endif  // LPLOW_PROBLEMS_LINF_REGRESSION_H_

@@ -39,6 +39,33 @@ Result<uint32_t> DecodeProblemDim(BitReader* r) {
   return dim;
 }
 
+// Shared SolverConfig codec for the LexLpSolver-backed problems (Chebyshev
+// center, L-inf regression, enclosing annulus). Field order matches the
+// LinearProgram codec's inline config block.
+void EncodeSolverConfig(const SolverConfig& c, BitWriter* w) {
+  w->PutDouble(c.feas_tol);
+  w->PutDouble(c.tight_tol);
+  w->PutDouble(c.lex_slack);
+  w->PutDouble(c.pivot_tol);
+  w->PutDouble(c.violation_tol);
+  w->PutDouble(c.compare_tol);
+  w->PutDouble(c.box_bound);
+  w->PutU64(c.seed);
+}
+
+Result<SolverConfig> DecodeSolverConfig(BitReader* r) {
+  SolverConfig c;
+  LPLOW_ASSIGN_OR_RETURN(c.feas_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.tight_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.lex_slack, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.pivot_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.violation_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.compare_tol, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.box_bound, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(c.seed, r->GetU64());
+  return c;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- frames
@@ -233,7 +260,7 @@ Result<SolveRequestHead> ReadSolveRequestPrefix(BitReader* r,
   LPLOW_ASSIGN_OR_RETURN(head.job_id, r->GetU64());
   LPLOW_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
   if (kind < static_cast<uint8_t>(ProblemKind::kLinearProgram) ||
-      kind > static_cast<uint8_t>(ProblemKind::kMinEnclosingBall)) {
+      kind > static_cast<uint8_t>(ProblemKind::kEnclosingAnnulus)) {
     return Status::InvalidArgument("unknown problem kind " +
                                    std::to_string(kind));
   }
@@ -414,6 +441,104 @@ Result<MinEnclosingBall::Value> ProblemCodec<MinEnclosingBall>::DecodeValue(
   return v;
 }
 
+void ProblemCodec<ChebyshevCenter>::EncodeProblem(const ChebyshevCenter& p,
+                                                  BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(p.dim()));
+  EncodeSolverConfig(p.solver_config(), w);
+}
+
+Result<ChebyshevCenter> ProblemCodec<ChebyshevCenter>::DecodeProblem(
+    BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, DecodeProblemDim(r));
+  LPLOW_ASSIGN_OR_RETURN(SolverConfig c, DecodeSolverConfig(r));
+  return ChebyshevCenter(dim, c);
+}
+
+void ProblemCodec<ChebyshevCenter>::EncodeValue(
+    const ChebyshevCenter::Value& v, BitWriter* w) {
+  w->PutU8(v.feasible ? 1 : 0);
+  EncodeVec(v.center, w);
+  w->PutDouble(v.radius);
+}
+
+Result<ChebyshevCenter::Value> ProblemCodec<ChebyshevCenter>::DecodeValue(
+    BitReader* r) {
+  ChebyshevCenter::Value v;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t feasible, r->GetU8());
+  v.feasible = feasible != 0;
+  LPLOW_ASSIGN_OR_RETURN(v.center, DecodeVec(r));
+  LPLOW_ASSIGN_OR_RETURN(v.radius, r->GetDouble());
+  return v;
+}
+
+void ProblemCodec<LinfRegression>::EncodeProblem(const LinfRegression& p,
+                                                 BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(p.dim()));
+  EncodeSolverConfig(p.solver_config(), w);
+}
+
+Result<LinfRegression> ProblemCodec<LinfRegression>::DecodeProblem(
+    BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, DecodeProblemDim(r));
+  LPLOW_ASSIGN_OR_RETURN(SolverConfig c, DecodeSolverConfig(r));
+  return LinfRegression(dim, c);
+}
+
+void ProblemCodec<LinfRegression>::EncodeValue(const LinfRegression::Value& v,
+                                               BitWriter* w) {
+  w->PutU8(v.empty ? 1 : 0);
+  w->PutU8(v.feasible ? 1 : 0);
+  EncodeVec(v.w, w);
+  w->PutDouble(v.t);
+}
+
+Result<LinfRegression::Value> ProblemCodec<LinfRegression>::DecodeValue(
+    BitReader* r) {
+  LinfRegression::Value v;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t empty, r->GetU8());
+  v.empty = empty != 0;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t feasible, r->GetU8());
+  v.feasible = feasible != 0;
+  LPLOW_ASSIGN_OR_RETURN(v.w, DecodeVec(r));
+  LPLOW_ASSIGN_OR_RETURN(v.t, r->GetDouble());
+  return v;
+}
+
+void ProblemCodec<EnclosingAnnulus>::EncodeProblem(const EnclosingAnnulus& p,
+                                                   BitWriter* w) {
+  w->PutU32(static_cast<uint32_t>(p.dim()));
+  EncodeSolverConfig(p.solver_config(), w);
+}
+
+Result<EnclosingAnnulus> ProblemCodec<EnclosingAnnulus>::DecodeProblem(
+    BitReader* r) {
+  LPLOW_ASSIGN_OR_RETURN(uint32_t dim, DecodeProblemDim(r));
+  LPLOW_ASSIGN_OR_RETURN(SolverConfig c, DecodeSolverConfig(r));
+  return EnclosingAnnulus(dim, c);
+}
+
+void ProblemCodec<EnclosingAnnulus>::EncodeValue(
+    const EnclosingAnnulus::Value& v, BitWriter* w) {
+  w->PutU8(v.empty ? 1 : 0);
+  w->PutU8(v.feasible ? 1 : 0);
+  EncodeVec(v.center, w);
+  w->PutDouble(v.u);
+  w->PutDouble(v.l);
+}
+
+Result<EnclosingAnnulus::Value> ProblemCodec<EnclosingAnnulus>::DecodeValue(
+    BitReader* r) {
+  EnclosingAnnulus::Value v;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t empty, r->GetU8());
+  v.empty = empty != 0;
+  LPLOW_ASSIGN_OR_RETURN(uint8_t feasible, r->GetU8());
+  v.feasible = feasible != 0;
+  LPLOW_ASSIGN_OR_RETURN(v.center, DecodeVec(r));
+  LPLOW_ASSIGN_OR_RETURN(v.u, r->GetDouble());
+  LPLOW_ASSIGN_OR_RETURN(v.l, r->GetDouble());
+  return v;
+}
+
 // ------------------------------------------------------------ daemon path
 
 namespace {
@@ -478,6 +603,12 @@ Result<std::vector<uint8_t>> ServeSolveRequestPayload(
       return ServeTyped<LinearSvm>(&r, head.job_id, options);
     case ProblemKind::kMinEnclosingBall:
       return ServeTyped<MinEnclosingBall>(&r, head.job_id, options);
+    case ProblemKind::kChebyshevCenter:
+      return ServeTyped<ChebyshevCenter>(&r, head.job_id, options);
+    case ProblemKind::kLinfRegression:
+      return ServeTyped<LinfRegression>(&r, head.job_id, options);
+    case ProblemKind::kEnclosingAnnulus:
+      return ServeTyped<EnclosingAnnulus>(&r, head.job_id, options);
   }
   return Status::InvalidArgument("unknown problem kind");
 }

@@ -39,8 +39,11 @@
 #include <vector>
 
 #include "src/core/lp_type.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/runtime/trace.h"
 #include "src/util/bit_stream.h"
@@ -145,6 +148,9 @@ enum class ProblemKind : uint8_t {
   kLinearProgram = 1,
   kLinearSvm = 2,
   kMinEnclosingBall = 3,
+  kChebyshevCenter = 4,
+  kLinfRegression = 5,
+  kEnclosingAnnulus = 6,
 };
 
 /// Ceiling on a decoded problem dimension. The repo's problems are
@@ -254,6 +260,33 @@ struct ProblemCodec<MinEnclosingBall> {
   static Result<MinEnclosingBall> DecodeProblem(BitReader* r);
   static void EncodeValue(const MinEnclosingBall::Value& v, BitWriter* w);
   static Result<MinEnclosingBall::Value> DecodeValue(BitReader* r);
+};
+
+template <>
+struct ProblemCodec<ChebyshevCenter> {
+  static constexpr ProblemKind kKind = ProblemKind::kChebyshevCenter;
+  static void EncodeProblem(const ChebyshevCenter& p, BitWriter* w);
+  static Result<ChebyshevCenter> DecodeProblem(BitReader* r);
+  static void EncodeValue(const ChebyshevCenter::Value& v, BitWriter* w);
+  static Result<ChebyshevCenter::Value> DecodeValue(BitReader* r);
+};
+
+template <>
+struct ProblemCodec<LinfRegression> {
+  static constexpr ProblemKind kKind = ProblemKind::kLinfRegression;
+  static void EncodeProblem(const LinfRegression& p, BitWriter* w);
+  static Result<LinfRegression> DecodeProblem(BitReader* r);
+  static void EncodeValue(const LinfRegression::Value& v, BitWriter* w);
+  static Result<LinfRegression::Value> DecodeValue(BitReader* r);
+};
+
+template <>
+struct ProblemCodec<EnclosingAnnulus> {
+  static constexpr ProblemKind kKind = ProblemKind::kEnclosingAnnulus;
+  static void EncodeProblem(const EnclosingAnnulus& p, BitWriter* w);
+  static Result<EnclosingAnnulus> DecodeProblem(BitReader* r);
+  static void EncodeValue(const EnclosingAnnulus::Value& v, BitWriter* w);
+  static Result<EnclosingAnnulus::Value> DecodeValue(BitReader* r);
 };
 
 /// True for problem types with a wire codec — the gate the engine checks

@@ -1,0 +1,352 @@
+#include "src/workload/replay.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "src/geometry/halfspace.h"
+#include "src/geometry/vec.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
+#include "src/problems/linear_program.h"
+#include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
+#include "src/problems/min_enclosing_ball.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/generators.h"
+
+namespace lplow {
+namespace workload {
+namespace {
+
+namespace wire = runtime::wire;
+
+uint64_t Fnv1aBytes(const std::vector<uint8_t>& bytes, uint64_t h) {
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1aU64(uint64_t v, uint64_t h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Zipf sampler over ranks [0, n): weight of rank i is 1/(i+1)^s. Sampling
+/// walks the precomputed CDF with one UniformDouble draw, so the draw count
+/// per job is fixed and the recording is seed-stable.
+class ZipfRanks {
+ public:
+  ZipfRanks(size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+Vec RandomUnit(size_t d, Rng* rng) {
+  Vec a(d);
+  double norm = 0;
+  while (norm < 1e-9) {
+    for (size_t i = 0; i < d; ++i) a[i] = rng->Normal();
+    norm = a.Norm();
+  }
+  return a / norm;
+}
+
+/// Bounded Chebyshev instance: d+1 positively-spanning facets pin the
+/// feasible polytope around a random center, the rest are random supporting
+/// halfspaces strictly farther out (same construction family as the test
+/// generators, minus the planted-optimum bookkeeping).
+std::vector<uint8_t> RecordChebyshev(uint64_t job_id, size_t n, size_t d,
+                                     Rng* rng) {
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng->UniformDouble(-5.0, 5.0);
+  const double radius = rng->UniformDouble(0.5, 2.5);
+  std::vector<Halfspace> cs;
+  cs.reserve(n);
+  for (size_t i = 0; i < d; ++i) {
+    Vec a(d);
+    a[i] = -1.0;
+    cs.emplace_back(a, a.Dot(center) + radius);
+  }
+  Vec diag(d, 1.0 / std::sqrt(static_cast<double>(d)));
+  cs.emplace_back(diag, diag.Dot(center) + radius);
+  while (cs.size() < n) {
+    Vec a = RandomUnit(d, rng);
+    cs.emplace_back(a, a.Dot(center) + radius * rng->UniformDouble(1.2, 4.0));
+  }
+  ChebyshevCenter problem(d);
+  return wire::EncodeSolveRequestPayload(job_id, problem,
+                                         std::span<const Halfspace>(cs));
+}
+
+std::vector<uint8_t> RecordLinfRegression(uint64_t job_id, size_t n, size_t d,
+                                          Rng* rng) {
+  Vec w(d);
+  for (size_t i = 0; i < d; ++i) w[i] = rng->UniformDouble(-2.0, 2.0);
+  std::vector<RegressionPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec x(d);
+    for (size_t j = 0; j < d; ++j) x[j] = rng->UniformDouble(-3.0, 3.0);
+    double y = w.Dot(x) + rng->UniformDouble(-0.5, 0.5);
+    pts.push_back(RegressionPoint{std::move(x), y});
+  }
+  LinfRegression problem(d);
+  return wire::EncodeSolveRequestPayload(job_id, problem,
+                                         std::span<const RegressionPoint>(pts));
+}
+
+std::vector<uint8_t> RecordAnnulus(uint64_t job_id, size_t n, size_t d,
+                                   Rng* rng) {
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng->UniformDouble(-4.0, 4.0);
+  const double inner = rng->UniformDouble(1.0, 2.0);
+  const double outer = inner + rng->UniformDouble(0.5, 2.0);
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec p = center + RandomUnit(d, rng) * rng->UniformDouble(inner, outer);
+    pts.push_back(std::move(p));
+  }
+  EnclosingAnnulus problem(d);
+  return wire::EncodeSolveRequestPayload(job_id, problem,
+                                         std::span<const Vec>(pts));
+}
+
+std::vector<uint8_t> RecordOneJob(uint64_t job_id, wire::ProblemKind kind,
+                                  size_t n, size_t d, Rng* rng) {
+  switch (kind) {
+    case wire::ProblemKind::kLinearProgram: {
+      auto inst = RandomFeasibleLp(n, d, rng);
+      LinearProgram problem(inst.objective);
+      return wire::EncodeSolveRequestPayload(
+          job_id, problem, std::span<const Halfspace>(inst.constraints));
+    }
+    case wire::ProblemKind::kLinearSvm: {
+      auto pts = SeparableSvmData(n, d, /*margin=*/0.15, rng);
+      LinearSvm problem(d);
+      return wire::EncodeSolveRequestPayload(job_id, problem,
+                                             std::span<const SvmPoint>(pts));
+    }
+    case wire::ProblemKind::kMinEnclosingBall: {
+      auto pts = GaussianCloud(n, d, rng);
+      MinEnclosingBall problem(d);
+      return wire::EncodeSolveRequestPayload(job_id, problem,
+                                             std::span<const Vec>(pts));
+    }
+    case wire::ProblemKind::kChebyshevCenter:
+      return RecordChebyshev(job_id, n, d, rng);
+    case wire::ProblemKind::kLinfRegression:
+      return RecordLinfRegression(job_id, n, d, rng);
+    case wire::ProblemKind::kEnclosingAnnulus:
+      return RecordAnnulus(job_id, n, d, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* ProblemKindName(wire::ProblemKind kind) {
+  switch (kind) {
+    case wire::ProblemKind::kLinearProgram:
+      return "linear_program";
+    case wire::ProblemKind::kLinearSvm:
+      return "linear_svm";
+    case wire::ProblemKind::kMinEnclosingBall:
+      return "min_enclosing_ball";
+    case wire::ProblemKind::kChebyshevCenter:
+      return "chebyshev_center";
+    case wire::ProblemKind::kLinfRegression:
+      return "linf_regression";
+    case wire::ProblemKind::kEnclosingAnnulus:
+      return "enclosing_annulus";
+  }
+  return "unknown";
+}
+
+RecordedWorkload RecordWorkload(const RecordOptions& options) {
+  // Rank order = frequency order under the kind Zipf: the LP head mirrors
+  // the paper's motivating workload, the three PR-10 problems fill the
+  // middle, and the annulus rides the tail (its basis solves are the
+  // widest, so the tail placement keeps the mix's cost profile realistic).
+  static constexpr wire::ProblemKind kKindByRank[6] = {
+      wire::ProblemKind::kLinearProgram,
+      wire::ProblemKind::kMinEnclosingBall,
+      wire::ProblemKind::kLinfRegression,
+      wire::ProblemKind::kChebyshevCenter,
+      wire::ProblemKind::kLinearSvm,
+      wire::ProblemKind::kEnclosingAnnulus,
+  };
+  ZipfRanks tenants(options.num_tenants, options.tenant_zipf_s);
+  ZipfRanks kinds(6, options.kind_zipf_s);
+  ZipfRanks sizes(options.size_classes, options.size_zipf_s);
+
+  RecordedWorkload out;
+  out.seed = options.seed;
+  out.jobs.reserve(options.num_jobs);
+  Rng mix_rng(options.seed);
+  for (size_t i = 0; i < options.num_jobs; ++i) {
+    RecordedJob job;
+    const size_t tenant = tenants.Sample(&mix_rng);
+    job.job_id = runtime::DeriveJobId(options.seed, tenant);
+    job.kind = kKindByRank[kinds.Sample(&mix_rng)];
+    job.constraints = static_cast<uint32_t>(options.base_constraints
+                                            << sizes.Sample(&mix_rng));
+    // The annulus basis needs 2d <= d + 3, so every kind draws d in {2, 3}.
+    const size_t d = 2 + mix_rng.UniformIndex(2);
+    Rng job_rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    job.request =
+        RecordOneJob(job.job_id, job.kind, job.constraints, d, &job_rng);
+    out.request_bytes += job.request.size();
+    out.kind_jobs[static_cast<size_t>(job.kind) - 1]++;
+    out.jobs.push_back(std::move(job));
+  }
+  return out;
+}
+
+ReplayResult Replay(const RecordedWorkload& workload,
+                    runtime::ShardedSolverService* service,
+                    const ReplayOptions& options) {
+  runtime::MetricsRegistry& metrics = options.metrics != nullptr
+                                          ? *options.metrics
+                                          : runtime::MetricsRegistry::Global();
+  runtime::Histogram* job_seconds = metrics.GetHistogram("replay.job_seconds");
+  runtime::Histogram* resp_bytes_hist =
+      metrics.GetHistogram("replay.response_bytes");
+  runtime::Counter* jobs_counter = metrics.GetCounter("replay.jobs");
+  runtime::Counter* failed_counter = metrics.GetCounter("replay.jobs_failed");
+  runtime::Counter* remote_counter = metrics.GetCounter("replay.remote_jobs");
+  runtime::Counter* local_counter = metrics.GetCounter("replay.local_serves");
+
+  const size_t n = workload.jobs.size();
+  // Per-job result slots, indexed by recording position: workers write
+  // disjoint slots, so the aggregation below never depends on completion
+  // order and the transcript is topology-invariant.
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t bytes = 0;
+    bool ok = false;
+    bool remote = false;
+  };
+  std::vector<Slot> slots(n);
+  runtime::SolveBackend* backend =
+      (options.backend != nullptr && options.backend->WantsSerialized())
+          ? options.backend
+          : nullptr;
+
+  auto serve_one = [&](size_t i) {
+    const RecordedJob& job = workload.jobs[i];
+    Stopwatch watch;
+    std::vector<uint8_t> response;
+    bool remote = false;
+    if (backend != nullptr) {
+      remote = backend->ExecuteSerialized(
+          job.job_id, ProblemKindName(job.kind), job.request, &response);
+    }
+    if (!remote) {
+      auto served = wire::ServeSolveRequestPayload(job.request);
+      response = served.ok() ? std::move(*served)
+                             : wire::EncodeSolveErrorResponsePayload(
+                                   job.job_id, served.status());
+    }
+    job_seconds->Record(watch.ElapsedSeconds());
+    resp_bytes_hist->Record(static_cast<double>(response.size()));
+    Slot& slot = slots[i];
+    slot.hash = Fnv1aBytes(response, 1469598103934665603ULL);
+    slot.bytes = static_cast<uint32_t>(response.size());
+    slot.remote = remote;
+    auto head = wire::PeekSolveResponseHead(response);
+    slot.ok = head.ok() && head->status.ok();
+  };
+
+  if (options.batch) {
+    std::vector<std::pair<uint64_t, std::function<void()>>> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.emplace_back(workload.jobs[i].job_id, [&serve_one, i] {
+        serve_one(i);
+      });
+    }
+    auto futures = service->BatchSubmit("replay", std::move(batch));
+    service->Drain();
+    for (auto& f : futures) f.get();
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(service->Submit(workload.jobs[i].job_id, "replay",
+                                        [&serve_one, i] { serve_one(i); }));
+    }
+    service->Drain();
+    for (auto& f : futures) f.get();
+  }
+
+  ReplayResult result;
+  result.job_hashes.reserve(n);
+  uint64_t transcript = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    const Slot& slot = slots[i];
+    result.job_hashes.push_back(slot.hash);
+    transcript = Fnv1aU64(slot.hash, transcript);
+    result.response_bytes += slot.bytes;
+    if (slot.ok) {
+      result.jobs_ok++;
+    } else {
+      result.jobs_failed++;
+    }
+    if (slot.remote) {
+      result.remote_jobs++;
+    } else {
+      result.local_serves++;
+    }
+  }
+  result.transcript_hash = transcript;
+
+  jobs_counter->Increment(n);
+  failed_counter->Increment(result.jobs_failed);
+  remote_counter->Increment(result.remote_jobs);
+  local_counter->Increment(result.local_serves);
+  for (size_t k = 0; k < workload.kind_jobs.size(); ++k) {
+    if (workload.kind_jobs[k] == 0) continue;
+    metrics
+        .GetCounter(std::string("replay.kind.") +
+                    ProblemKindName(static_cast<wire::ProblemKind>(k + 1)))
+        ->Increment(workload.kind_jobs[k]);
+  }
+  return result;
+}
+
+}  // namespace workload
+}  // namespace lplow

@@ -1,0 +1,121 @@
+// Traffic replay: a recorded request mix for soak-testing the sharded
+// runtime under realistic skew, replayed bit-identically on any topology.
+//
+// RecordWorkload() synthesizes a heavy-traffic mix the way production
+// traces look, not the way microbenchmarks do: job kinds follow a Zipf
+// rank-frequency law over all six LP-type problems (a few kinds dominate,
+// the tail is thin but present), instance sizes follow their own Zipf
+// (small requests dominate, occasional large ones), and arrivals come from
+// a Zipf-skewed tenant population whose ids double as routing keys — hot
+// tenants hash to hot shards, which is exactly the load imbalance a shard
+// sweep must absorb. Every job is stored as its wire SolveRequest payload
+// (src/runtime/wire.h), so the recording is transport-agnostic.
+//
+// Replay() drives the recording through a ShardedSolverService — per-job
+// Submit or coalesced BatchSubmit — serving each request either in-process
+// (wire::ServeSolveRequestPayload) or through a SolveBackend's serialized
+// path (e.g. SocketSolveBackend across a loopback daemon), with the
+// backend's documented local-serve failover. The wire layer's determinism
+// contract (same request bytes => same response bytes) makes the per-job
+// response fingerprints, and the order-sensitive transcript hash folded
+// from them, bit-identical across shard counts, thread counts, submission
+// styles, and transports (tests/replay_test.cc pins this; the soak bench
+// strict-gates it via scripts/bench_compare.py).
+
+#ifndef LPLOW_WORKLOAD_REPLAY_H_
+#define LPLOW_WORKLOAD_REPLAY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/metrics.h"
+#include "src/runtime/sharded_solver_service.h"
+#include "src/runtime/solve_backend.h"
+#include "src/runtime/wire.h"
+
+namespace lplow {
+namespace workload {
+
+/// Shape of the recorded mix. Every field feeds a deterministic draw from
+/// `seed`, so equal options record byte-identical workloads.
+struct RecordOptions {
+  uint64_t seed = 0x5EEDC0DEULL;
+  size_t num_jobs = 2000;
+  /// Distinct traffic sources. A job's routing id is a pure function of its
+  /// tenant, so all of one tenant's jobs land on one shard and the Zipf head
+  /// concentrates there — the skew the service has to ride out.
+  size_t num_tenants = 64;
+  /// Zipf exponents (weight of rank i is 1/(i+1)^s; larger = more skewed).
+  double tenant_zipf_s = 1.1;
+  double kind_zipf_s = 1.0;
+  double size_zipf_s = 1.3;
+  /// Size classes: class c carries `base_constraints << c` constraints,
+  /// c in [0, size_classes). Small classes dominate under the size Zipf.
+  size_t base_constraints = 48;
+  size_t size_classes = 4;
+};
+
+/// One recorded request: the routing key, the already-encoded wire
+/// SolveRequest payload, and enough metadata to account for it.
+struct RecordedJob {
+  uint64_t job_id = 0;  // Routing key; shared by all jobs of one tenant.
+  runtime::wire::ProblemKind kind = runtime::wire::ProblemKind::kLinearProgram;
+  uint32_t constraints = 0;
+  std::vector<uint8_t> request;
+};
+
+struct RecordedWorkload {
+  uint64_t seed = 0;
+  std::vector<RecordedJob> jobs;
+  uint64_t request_bytes = 0;
+  /// Jobs per problem kind, indexed by ProblemKind value - 1.
+  std::array<uint64_t, 6> kind_jobs{};
+};
+
+/// Deterministically synthesizes the mix described by `options`.
+RecordedWorkload RecordWorkload(const RecordOptions& options);
+
+/// Stable lower-snake name of a problem kind ("linear_program", ...), the
+/// suffix of the per-kind replay counters; "unknown" for bad values.
+const char* ProblemKindName(runtime::wire::ProblemKind kind);
+
+struct ReplayOptions {
+  /// Serves each request through this backend's serialized path when it
+  /// wants wire bytes (SocketSolveBackend), falling back to the in-process
+  /// serve when the backend declines a job. Null, or a backend that does
+  /// not take serialized jobs, serves everything in-process.
+  runtime::SolveBackend* backend = nullptr;
+  /// Registry for replay.* metrics; null = MetricsRegistry::Global().
+  runtime::MetricsRegistry* metrics = nullptr;
+  /// Submit jobs as one coalesced BatchSubmit instead of per-job Submit.
+  bool batch = false;
+};
+
+struct ReplayResult {
+  /// FNV-1a fingerprint of each job's SolveResponse payload, in recording
+  /// order (completion order never leaks in).
+  std::vector<uint64_t> job_hashes;
+  /// Order-sensitive fold of `job_hashes`: the whole run's transcript.
+  uint64_t transcript_hash = 0;
+  uint64_t jobs_ok = 0;
+  uint64_t jobs_failed = 0;   // Response carried a non-OK status.
+  uint64_t remote_jobs = 0;   // Served through options.backend.
+  uint64_t local_serves = 0;  // Served in-process (default or failover).
+  uint64_t response_bytes = 0;
+};
+
+/// Replays `workload` through `service`, recording per-job latency into the
+/// `replay.job_seconds` histogram (wall time — report-only percentiles) and
+/// response sizes into `replay.response_bytes` (deterministic), plus
+/// replay.jobs / replay.jobs_failed / replay.remote_jobs /
+/// replay.local_serves / replay.kind.<name> counters. Blocks until every
+/// job completed; the result is identical for every service topology.
+ReplayResult Replay(const RecordedWorkload& workload,
+                    runtime::ShardedSolverService* service,
+                    const ReplayOptions& options = {});
+
+}  // namespace workload
+}  // namespace lplow
+
+#endif  // LPLOW_WORKLOAD_REPLAY_H_

@@ -43,8 +43,11 @@
 #include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -53,7 +56,7 @@
 namespace lplow {
 namespace {
 
-constexpr size_t kCasesPerProblem = 67;  // 3 problems -> 201 cases.
+constexpr size_t kCasesPerProblem = 67;  // 6 problems -> 402 cases.
 
 /// Value + basis-size agreement of one solver run against the direct solve.
 /// `basis_size_slack` is 0 (strict) except for SVM (see the header comment).
@@ -187,9 +190,44 @@ TEST(DifferentialRandomTest, MebInstances) {
   }
 }
 
+// The three lifted-LP problems (PR 10) are fully strict: the planted-optimum
+// builders in testing_util.h pin a unique optimum whose basis is exactly the
+// planted support, so value AND basis size must match the direct solve with
+// zero slack on every case.
+
+TEST(DifferentialRandomTest, ChebyshevInstances) {
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1FC00ULL + i;
+    const size_t n = 500 + (i * 127) % 1200;
+    const size_t d = 2 + i % 3;
+    auto c = testing_util::MakeChebyshevCase(n, d, seed);
+    RunDifferentialCase(c.problem, c.constraints, seed, "chebyshev", i);
+  }
+}
+
+TEST(DifferentialRandomTest, LinfRegressionInstances) {
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1FD00ULL + i;
+    const size_t n = 450 + (i * 109) % 1000;
+    const size_t d = 2 + i % 3;
+    auto c = testing_util::MakeLinfRegressionCase(n, d, seed);
+    RunDifferentialCase(c.problem, c.points, seed, "linf", i);
+  }
+}
+
+TEST(DifferentialRandomTest, AnnulusInstances) {
+  for (size_t i = 0; i < kCasesPerProblem; ++i) {
+    const uint64_t seed = 0xD1FE00ULL + i;
+    const size_t n = 500 + (i * 131) % 1100;
+    const size_t d = 2 + i % 2;  // {2, 3}: the 2d-point basis needs 2d <= d+3.
+    auto c = testing_util::MakeAnnulusCase(n, d, seed);
+    RunDifferentialCase(c.problem, c.points, seed, "annulus", i);
+  }
+}
+
 // --------------------------------------------- the deterministic model
 
-constexpr size_t kDeterministicCasesPerProblem = 17;  // 3 problems -> 51.
+constexpr size_t kDeterministicCasesPerProblem = 17;  // 6 problems -> 102.
 
 /// One instance through the sampling-free deterministic model vs the direct
 /// solve. Unlike the randomized cases above there is NO tolerance band on
@@ -246,6 +284,36 @@ TEST(DifferentialRandomTest, DeterministicMebInstances) {
     const size_t n = 500 + (i * 101) % 1200;
     auto c = testing_util::MakeGaussianMebCase(n, 3, seed);
     RunDeterministicCase(c.problem, c.points, seed, "det-meb", i);
+  }
+}
+
+TEST(DifferentialRandomTest, DeterministicChebyshevInstances) {
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7C00ULL + i;
+    const size_t n = 500 + (i * 127) % 1200;
+    const size_t d = 2 + i % 3;
+    auto c = testing_util::MakeChebyshevCase(n, d, seed);
+    RunDeterministicCase(c.problem, c.constraints, seed, "det-chebyshev", i);
+  }
+}
+
+TEST(DifferentialRandomTest, DeterministicLinfRegressionInstances) {
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7D00ULL + i;
+    const size_t n = 450 + (i * 109) % 1000;
+    const size_t d = 2 + i % 3;
+    auto c = testing_util::MakeLinfRegressionCase(n, d, seed);
+    RunDeterministicCase(c.problem, c.points, seed, "det-linf", i);
+  }
+}
+
+TEST(DifferentialRandomTest, DeterministicAnnulusInstances) {
+  for (size_t i = 0; i < kDeterministicCasesPerProblem; ++i) {
+    const uint64_t seed = 0xDE7E00ULL + i;
+    const size_t n = 500 + (i * 131) % 1100;
+    const size_t d = 2 + i % 2;
+    auto c = testing_util::MakeAnnulusCase(n, d, seed);
+    RunDeterministicCase(c.problem, c.points, seed, "det-annulus", i);
   }
 }
 

@@ -45,8 +45,11 @@
 #include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -304,6 +307,44 @@ TEST(EngineEquivalenceTest, MebMatchesPreRefactorGoldens) {
                                    90000},
                     /*deterministic=*/{0x9b542140e333ccceULL, 2, 1, 5, 280000,
                                        1792},
+                });
+}
+
+// The three lifted-LP problems (PR 10) have no pre-engine ancestor; their
+// goldens were captured when the problems shipped and pin every model's
+// transcript — across thread counts, scan strategies, and reruns — against
+// drift from here on.
+
+TEST(EngineEquivalenceTest, ChebyshevMatchesIntroductionGoldens) {
+  auto c = testing_util::MakeChebyshevCase(8000, 3, 96);
+  CheckInstance("chebyshev", c.problem, c.constraints,
+                ModelGoldens{
+                    /*coordinator=*/{0x7bc0e716c47638dcULL, 1, 1, 3, 242860, 48},
+                    /*mpc=*/{0xc87f0d75553f2bd8ULL, 5, 1, 25, 1135882, 212040},
+                    /*streaming=*/{0x3db7bc833e894d00ULL, 2, 1, 3, 20131, 16000},
+                    /*deterministic=*/{0x7bc0e716c47638dcULL, 1, 1, 2, 288000, 1152},
+                });
+}
+
+TEST(EngineEquivalenceTest, LinfRegressionMatchesIntroductionGoldens) {
+  auto c = testing_util::MakeLinfRegressionCase(8000, 3, 97);
+  CheckInstance("linf", c.problem, c.points,
+                ModelGoldens{
+                    /*coordinator=*/{0x8080a1b960035903ULL, 13, 3, 39, 3159628, 624},
+                    /*mpc=*/{0xbda8e9c80b7f5bd3ULL, 1, 1, 5, 226946, 211104},
+                    /*streaming=*/{0x4bf9dae8ee8bc5a7ULL, 5, 4, 6, 20143, 96000},
+                    /*deterministic=*/{0xbda8e9c80b7f5bd3ULL, 2, 1, 5, 576000, 2304},
+                });
+}
+
+TEST(EngineEquivalenceTest, AnnulusMatchesIntroductionGoldens) {
+  auto c = testing_util::MakeAnnulusCase(8000, 2, 98);
+  CheckInstance("annulus", c.problem, c.points,
+                ModelGoldens{
+                    /*coordinator=*/{0x6c1ece881ffd0ccdULL, 5, 3, 15, 676444, 240},
+                    /*mpc=*/{0x6c1ece881ffd0ccdULL, 7, 1, 35, 892102, 117800},
+                    /*streaming=*/{0xa4eb7ab51b3f3661ULL, 6, 1, 7, 20131, 48000},
+                    /*deterministic=*/{0x6374a5d034921491ULL, 2, 2, 5, 320000, 1280},
                 });
 }
 

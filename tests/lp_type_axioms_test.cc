@@ -1,4 +1,4 @@
-// Property tests of the LP-type axioms (paper Section 2.1) for all three
+// Property tests of the LP-type axioms (paper Section 2.1) for all six
 // problem instantiations: monotonicity, locality-consistency of the
 // violation test with f, basis size bounds (combinatorial dimension), and
 // basis correctness (f(basis) == f(set)).
@@ -8,11 +8,15 @@
 #include <span>
 
 #include "src/core/lp_type.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
+#include "tests/testing_util.h"
 
 namespace lplow {
 namespace {
@@ -103,6 +107,42 @@ TEST_P(MebAxioms, RandomCloud) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MebAxioms,
                          ::testing::Values(21, 22, 23, 24, 25, 26));
 
+class ChebyshevAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChebyshevAxioms, PlantedTangent) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  auto c = testing_util::MakeChebyshevCase(30, d, GetParam() * 977 + 5);
+  CheckAxioms(c.problem, c.constraints, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChebyshevAxioms,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+class LinfRegressionAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinfRegressionAxioms, PlantedSupport) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(3);
+  auto c = testing_util::MakeLinfRegressionCase(28, d, GetParam() * 977 + 7);
+  CheckAxioms(c.problem, c.points, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinfRegressionAxioms,
+                         ::testing::Values(61, 62, 63, 64, 65, 66));
+
+class AnnulusAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnnulusAxioms, PlantedShell) {
+  Rng rng(GetParam());
+  size_t d = 2 + rng.UniformIndex(2);  // {2, 3}: 2d-point basis vs nu = d+3.
+  auto c = testing_util::MakeAnnulusCase(30, d, GetParam() * 977 + 9);
+  CheckAxioms(c.problem, c.points, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnulusAxioms,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
 TEST(LpTypeTest, EmptySetValues) {
   LinearProgram lp(Vec{1, 1});
   auto v = lp.SolveValue({});
@@ -116,6 +156,25 @@ TEST(LpTypeTest, EmptySetValues) {
   MinEnclosingBall meb(2);
   auto mv = meb.SolveValue({});
   EXPECT_TRUE(mv.ball.empty());
+
+  // Chebyshev f(empty) is the box optimum: the inscribed ball of the solver
+  // box, the largest radius any subset can ever admit.
+  ChebyshevCenter cheb(2);
+  auto cv = cheb.SolveValue({});
+  EXPECT_TRUE(cv.feasible);
+  EXPECT_GT(cv.radius, 0);
+
+  // L-inf regression and annulus use an explicit empty flag as the minimal
+  // element: every constraint violates it.
+  LinfRegression linf(2);
+  auto lv = linf.SolveValue({});
+  EXPECT_TRUE(lv.empty);
+  EXPECT_TRUE(linf.Violates(lv, RegressionPoint{Vec{1, 2}, 0.5}));
+
+  EnclosingAnnulus ann(2);
+  auto av = ann.SolveValue({});
+  EXPECT_TRUE(av.empty);
+  EXPECT_TRUE(ann.Violates(av, Vec{3, 4}));
 }
 
 TEST(LpTypeTest, InfeasibleLpIsMaximal) {
@@ -180,6 +239,44 @@ TEST(LpTypeTest, SerializationRoundTripAllProblems) {
     EXPECT_EQ(w.size_bytes(), meb.ConstraintBytes(p));
     BitReader r(w.buffer());
     auto p2 = meb.DeserializeConstraint(&r);
+    ASSERT_TRUE(p2.ok());
+    EXPECT_TRUE(p2->ApproxEquals(p, 0));
+  }
+  // Chebyshev center (halfspace constraints, shared with LP).
+  {
+    ChebyshevCenter cheb(3);
+    Halfspace h(Vec{0.5, -1.5, 2.25}, -7.75);
+    BitWriter w;
+    cheb.SerializeConstraint(h, &w);
+    EXPECT_EQ(w.size_bytes(), cheb.ConstraintBytes(h));
+    BitReader r(w.buffer());
+    auto h2 = cheb.DeserializeConstraint(&r);
+    ASSERT_TRUE(h2.ok());
+    EXPECT_TRUE(h2->a.ApproxEquals(h.a, 0));
+    EXPECT_EQ(h2->b, -7.75);
+  }
+  // L-inf regression (sample = regressor vector + response).
+  {
+    LinfRegression linf(2);
+    RegressionPoint p{Vec{1.5, -0.25}, 3.125};
+    BitWriter w;
+    linf.SerializeConstraint(p, &w);
+    EXPECT_EQ(w.size_bytes(), linf.ConstraintBytes(p));
+    BitReader r(w.buffer());
+    auto p2 = linf.DeserializeConstraint(&r);
+    ASSERT_TRUE(p2.ok());
+    EXPECT_TRUE(p2->x.ApproxEquals(p.x, 0));
+    EXPECT_EQ(p2->y, 3.125);
+  }
+  // Annulus (point constraints, same wire shape as MEB).
+  {
+    EnclosingAnnulus ann(4);
+    Vec p{-1, 0.5, 2, -3.75};
+    BitWriter w;
+    ann.SerializeConstraint(p, &w);
+    EXPECT_EQ(w.size_bytes(), ann.ConstraintBytes(p));
+    BitReader r(w.buffer());
+    auto p2 = ann.DeserializeConstraint(&r);
     ASSERT_TRUE(p2.ok());
     EXPECT_TRUE(p2->ApproxEquals(p, 0));
   }

@@ -25,8 +25,11 @@
 #include "src/engine/constraint_store.h"
 #include "src/engine/scan_kernel.h"
 #include "src/engine/soa_block.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/runtime/thread_pool.h"
 #include "src/util/rng.h"
@@ -203,6 +206,81 @@ TEST(ScanKernelProperty, MebBitmapMatchesViolatesAcrossDims) {
   }
 }
 
+ChebyshevCenter::Value ChebValueAt(size_t dim, Rng* rng) {
+  ChebyshevCenter::Value v;
+  v.feasible = true;
+  v.center = RandomPoint(dim, rng);
+  v.radius = rng->UniformDouble(0.2, 4.0);
+  return v;
+}
+
+LinfRegression::Value LinfValueAt(size_t dim, Rng* rng) {
+  LinfRegression::Value v;
+  v.empty = false;
+  v.feasible = true;
+  v.w = RandomPoint(dim, rng);
+  v.t = rng->UniformDouble(0.1, 3.0);
+  return v;
+}
+
+EnclosingAnnulus::Value AnnulusValueAt(size_t dim, Rng* rng) {
+  EnclosingAnnulus::Value v;
+  v.empty = false;
+  v.feasible = true;
+  v.center = RandomPoint(dim, rng);
+  v.l = rng->UniformDouble(0.5, 3.0);
+  v.u = v.l + rng->UniformDouble(0.5, 6.0);
+  return v;
+}
+
+RegressionPoint RandomRegressionPoint(size_t dim, Rng* rng) {
+  RegressionPoint p;
+  p.x = RandomPoint(dim, rng);
+  p.y = rng->UniformDouble(-5, 5);
+  return p;
+}
+
+TEST(ScanKernelProperty, ChebyshevBitmapMatchesViolatesAcrossDims) {
+  Rng rng(0x5EED0D);
+  for (size_t dim : {2u, 3u, 8u, 13u}) {
+    ChebyshevCenter problem(dim);
+    for (size_t n : StraddleSizes()) {
+      std::vector<Halfspace> cs;
+      cs.reserve(n);
+      for (size_t i = 0; i < n; ++i) cs.push_back(RandomHalfspace(dim, &rng));
+      CheckBitmapEquality(problem, ChebValueAt(dim, &rng), cs);
+    }
+  }
+}
+
+TEST(ScanKernelProperty, LinfRegressionBitmapMatchesViolatesAcrossDims) {
+  Rng rng(0x5EED0E);
+  for (size_t dim : {2u, 3u, 8u, 13u}) {
+    LinfRegression problem(dim);
+    for (size_t n : StraddleSizes()) {
+      std::vector<RegressionPoint> cs;
+      cs.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        cs.push_back(RandomRegressionPoint(dim, &rng));
+      }
+      CheckBitmapEquality(problem, LinfValueAt(dim, &rng), cs);
+    }
+  }
+}
+
+TEST(ScanKernelProperty, AnnulusBitmapMatchesViolatesAcrossDims) {
+  Rng rng(0x5EED0F);
+  for (size_t dim : {2u, 3u, 8u, 13u}) {
+    EnclosingAnnulus problem(dim);
+    for (size_t n : StraddleSizes()) {
+      std::vector<Vec> cs;
+      cs.reserve(n);
+      for (size_t i = 0; i < n; ++i) cs.push_back(RandomPoint(dim, &rng));
+      CheckBitmapEquality(problem, AnnulusValueAt(dim, &rng), cs);
+    }
+  }
+}
+
 // --------------------------------------------------------- hostile values
 
 TEST(ScanKernelProperty, LpHostileValuesMatchScalarSemantics) {
@@ -257,6 +335,61 @@ TEST(ScanKernelProperty, MebHostileValuesMatchScalarSemantics) {
   v.ball.center = RandomPoint(dim, &rng);
   v.ball.radius = 3.0;
   CheckBitmapEquality(problem, v, cs);
+}
+
+TEST(ScanKernelProperty, ChebyshevHostileValuesMatchScalarSemantics) {
+  Rng rng(0x5EED10);
+  const size_t dim = 3;
+  ChebyshevCenter problem(dim);
+  std::vector<Halfspace> cs;
+  for (size_t i = 0; i < 24; ++i) cs.push_back(RandomHalfspace(dim, &rng));
+  cs[1].b = kInf;     // slack +inf: never violated
+  cs[2].b = -kInf;    // slack -inf: always violated
+  cs[3].a[0] = kNaN;  // NaN row scale AND slack: violated
+  cs[4].a[1] = kInf;  // inf row scale: slack -inf through the radius term
+  cs[5].b = kDenorm;
+  ChebyshevCenter::Value v = ChebValueAt(dim, &rng);
+  CheckBitmapEquality(problem, v, cs);
+  ChebyshevCenter::Value nan_center = v;
+  nan_center.center[2] = kNaN;
+  CheckBitmapEquality(problem, nan_center, cs);
+}
+
+TEST(ScanKernelProperty, LinfRegressionHostileValuesMatchScalarSemantics) {
+  Rng rng(0x5EED11);
+  const size_t dim = 2;
+  LinfRegression problem(dim);
+  std::vector<RegressionPoint> cs;
+  for (size_t i = 0; i < 24; ++i) {
+    cs.push_back(RandomRegressionPoint(dim, &rng));
+  }
+  cs[0].x[0] = kNaN;  // NaN residual: violated (matches !(fabs(NaN) <= t0))
+  cs[1].x[1] = kInf;  // +/-inf residual: violated
+  cs[2].y = -kInf;
+  cs[3].y = kNaN;
+  cs[4].x[0] = kDenorm;
+  LinfRegression::Value v = LinfValueAt(dim, &rng);
+  CheckBitmapEquality(problem, v, cs);
+  LinfRegression::Value nan_w = v;
+  nan_w.w[1] = kNaN;
+  CheckBitmapEquality(problem, nan_w, cs);
+}
+
+TEST(ScanKernelProperty, AnnulusHostileValuesMatchScalarSemantics) {
+  Rng rng(0x5EED12);
+  const size_t dim = 3;
+  EnclosingAnnulus problem(dim);
+  std::vector<Vec> cs;
+  for (size_t i = 0; i < 24; ++i) cs.push_back(RandomPoint(dim, &rng));
+  cs[0][0] = kNaN;  // NaN shell value: violated (outside any band)
+  cs[1][1] = kInf;  // ||p||^2 inf: above the outer bound
+  cs[2][2] = -kInf;
+  cs[3][0] = kDenorm;
+  EnclosingAnnulus::Value v = AnnulusValueAt(dim, &rng);
+  CheckBitmapEquality(problem, v, cs);
+  EnclosingAnnulus::Value nan_center = v;
+  nan_center.center[1] = kNaN;
+  CheckBitmapEquality(problem, nan_center, cs);
 }
 
 // ----------------------------------------------------- strategy equality
@@ -320,6 +453,72 @@ TEST(ScanStrategyTest, AllStrategiesBitIdenticalAcrossPoolThreshold) {
   }
 }
 
+// The two new ops (kAbsResidualAbove, kDotOutsideBand) through the full
+// strategy matrix: every ScanStrategy value must report bitwise-identical
+// stats and weights on L-inf regression and annulus stores.
+TEST(ScanStrategyTest, NewOpsBitIdenticalAcrossAllStrategies) {
+  Rng rng(0x5EED13);
+  const size_t dim = 3;
+  runtime::ThreadPool pool(3);
+  struct Lane {
+    ScanStrategy strategy;
+    runtime::ThreadPool* pool;
+  };
+  const Lane lanes[] = {
+      {ScanStrategy::kSerial, nullptr},     {ScanStrategy::kPoolBitmap, &pool},
+      {ScanStrategy::kSimd, nullptr},       {ScanStrategy::kSimdPool, &pool},
+      {ScanStrategy::kAuto, nullptr},
+  };
+  auto check = [&](const auto& problem, const auto& value, const auto& cs) {
+    using C = typename std::decay_t<decltype(cs)>::value_type;
+    ViolatorStats reference;
+    std::vector<double> reference_weights;
+    bool first = true;
+    for (const Lane& lane : lanes) {
+      ConstraintStore<C> store(cs);
+      ScanOptions opts{lane.pool, lane.strategy};
+      ViolatorStats st = store.View().ScanViolators(problem, value, opts);
+      store.View().ScaleViolatorsFused(problem, value, 2.5, opts);
+      std::vector<double> weights(store.size());
+      for (size_t i = 0; i < store.size(); ++i) {
+        weights[i] = store.View().weight(i);
+      }
+      if (first) {
+        reference = st;
+        reference_weights = weights;
+        first = false;
+        EXPECT_GT(st.count, 0u);
+        EXPECT_LT(st.count, cs.size());  // both branches exercised
+        continue;
+      }
+      EXPECT_EQ(st.count, reference.count)
+          << "strategy " << static_cast<int>(lane.strategy);
+      EXPECT_EQ(std::memcmp(&st.weight, &reference.weight, sizeof(double)), 0);
+      ASSERT_EQ(std::memcmp(weights.data(), reference_weights.data(),
+                            weights.size() * sizeof(double)),
+                0)
+          << "strategy " << static_cast<int>(lane.strategy);
+    }
+  };
+  const size_t n = kParallelScanMinItems + 17;
+  {
+    LinfRegression problem(dim);
+    std::vector<RegressionPoint> cs;
+    cs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      cs.push_back(RandomRegressionPoint(dim, &rng));
+    }
+    check(problem, LinfValueAt(dim, &rng), cs);
+  }
+  {
+    EnclosingAnnulus problem(dim);
+    std::vector<Vec> cs;
+    cs.reserve(n);
+    for (size_t i = 0; i < n; ++i) cs.push_back(RandomPoint(dim, &rng));
+    check(problem, AnnulusValueAt(dim, &rng), cs);
+  }
+}
+
 // Special modes: infeasible LP (nothing violates), empty-ball MEB and
 // zero-u SVM (everything violates) must agree with the predicate path.
 TEST(ScanStrategyTest, SpecialModesMatchPredicatePath) {
@@ -356,6 +555,39 @@ TEST(ScanStrategyTest, SpecialModesMatchPredicatePath) {
     for (size_t i = 0; i < 20; ++i) cs.push_back(RandomPoint(dim, &rng));
     ConstraintStore<Vec> store(cs);
     MinEnclosingBall::Value empty;  // empty ball: everything violates
+    ViolatorStats st = store.View().ScanViolators(problem, empty,
+                                                  ScanOptions{});
+    EXPECT_EQ(st.count, cs.size());
+  }
+  {
+    ChebyshevCenter problem(dim);
+    std::vector<Halfspace> cs;
+    for (size_t i = 0; i < 20; ++i) cs.push_back(RandomHalfspace(dim, &rng));
+    ConstraintStore<Halfspace> store(cs);
+    ChebyshevCenter::Value infeasible;
+    infeasible.feasible = false;  // maximal: nothing violates
+    ViolatorStats st = store.View().ScanViolators(problem, infeasible,
+                                                  ScanOptions{});
+    EXPECT_EQ(st.count, 0u);
+  }
+  {
+    LinfRegression problem(dim);
+    std::vector<RegressionPoint> cs;
+    for (size_t i = 0; i < 20; ++i) {
+      cs.push_back(RandomRegressionPoint(dim, &rng));
+    }
+    ConstraintStore<RegressionPoint> store(cs);
+    LinfRegression::Value empty;  // f(empty): everything violates
+    ViolatorStats st = store.View().ScanViolators(problem, empty,
+                                                  ScanOptions{});
+    EXPECT_EQ(st.count, cs.size());
+  }
+  {
+    EnclosingAnnulus problem(dim);
+    std::vector<Vec> cs;
+    for (size_t i = 0; i < 20; ++i) cs.push_back(RandomPoint(dim, &rng));
+    ConstraintStore<Vec> store(cs);
+    EnclosingAnnulus::Value empty;  // f(empty): everything violates
     ViolatorStats st = store.View().ScanViolators(problem, empty,
                                                   ScanOptions{});
     EXPECT_EQ(st.count, cs.size());
@@ -555,6 +787,18 @@ TEST(ScanDispatchTest, SamePredicateIsBitwise) {
   z0.t0 = 0.0;
   z1.t0 = -0.0;
   EXPECT_FALSE(z0.SamePredicate(z1));
+  // The band op's second threshold participates in the predicate identity.
+  ScanQuery band = a;
+  band.op = engine::ScanOp::kDotOutsideBand;
+  band.t1 = 0.25;
+  ScanQuery band2 = band;
+  EXPECT_TRUE(band.SamePredicate(band2));
+  band2.t1 = std::nextafter(band.t1, 1.0);
+  EXPECT_FALSE(band.SamePredicate(band2));
+  ScanQuery bz0 = band, bz1 = band;
+  bz0.t1 = 0.0;
+  bz1.t1 = -0.0;
+  EXPECT_FALSE(bz0.SamePredicate(bz1));
 }
 
 }  // namespace

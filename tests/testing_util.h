@@ -22,8 +22,11 @@
 #include "src/models/deterministic/deterministic_solver.h"
 #include "src/models/mpc/mpc_solver.h"
 #include "src/models/streaming/streaming_solver.h"
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/util/rng.h"
 #include "src/workload/generators.h"
@@ -121,6 +124,163 @@ struct MebCase {
 inline MebCase MakeGaussianMebCase(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
   return MebCase{MinEnclosingBall(d), workload::GaussianCloud(n, d, &rng)};
+}
+
+struct ChebyshevCase {
+  ChebyshevCenter problem;
+  std::vector<Halfspace> constraints;
+};
+
+/// Planted-optimum Chebyshev instance: d+1 tangent facets whose unit normals
+/// {-e_1, ..., -e_d, (1,..,1)/sqrt(d)} positively span R^d, each at distance
+/// exactly r* from the planted center (b = a.c* + r*). Because the normals
+/// admit positive weights lambda with sum(lambda_i a_i) = 0, the weighted
+/// average of facet distances equals r* for EVERY candidate center, so no
+/// ball of radius > r* fits and tangency to all d+1 facets pins the center:
+/// the optimum is unique and its basis is exactly the planted facets. Every
+/// filler facet sits at distance >= 1.2 r*, leaving a wide conditioning gap.
+inline ChebyshevCase MakeChebyshevCase(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng.UniformDouble(-5, 5);
+  const double radius = rng.UniformDouble(0.5, 3.0);
+  std::vector<Halfspace> out;
+  out.reserve(n);
+  auto tangent = [&](Vec a) {
+    double b = a.Dot(center) + radius;  // Unit normal: distance == radius.
+    out.emplace_back(std::move(a), b);
+  };
+  for (size_t i = 0; i < d; ++i) {
+    Vec a(d);
+    a[i] = -1.0;
+    tangent(std::move(a));
+  }
+  {
+    Vec a(d);
+    const double s = 1.0 / std::sqrt(static_cast<double>(d));
+    for (size_t i = 0; i < d; ++i) a[i] = s;
+    tangent(std::move(a));
+  }
+  while (out.size() < n) {
+    Vec a(d);
+    double norm = 0;
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = rng.Normal();
+      norm += a[i] * a[i];
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-6) continue;
+    for (size_t i = 0; i < d; ++i) a[i] /= norm;
+    double b = a.Dot(center) + radius * rng.UniformDouble(1.2, 4.0);
+    out.emplace_back(std::move(a), b);
+  }
+  // Move the planted facets off the fixed head positions.
+  for (size_t i = 0; i <= d && i < out.size(); ++i) {
+    std::swap(out[i], out[rng.UniformIndex(out.size())]);
+  }
+  return ChebyshevCase{ChebyshevCenter(d), std::move(out)};
+}
+
+struct LinfRegressionCase {
+  LinfRegression problem;
+  std::vector<RegressionPoint> points;
+};
+
+/// Planted-optimum L-infinity regression instance: d+1 support samples whose
+/// regressor vectors {-3 e_1, ..., -3 e_d, (3,..,3)/sqrt(d)} positively span
+/// R^d, each with y = w*.x - t* so the residual at the planted (w*, t*) is
+/// exactly +t*. The positive-spanning weights certify KKT stationarity (no
+/// direction shrinks every support residual at once), the supports' x
+/// vectors span R^d so w* is pinned, and every filler sample gets residual
+/// magnitude <= 0.8 t*: the optimum is unique with basis exactly the d+1
+/// planted samples.
+inline LinfRegressionCase MakeLinfRegressionCase(size_t n, size_t d,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  Vec w(d);
+  for (size_t i = 0; i < d; ++i) w[i] = rng.UniformDouble(-2, 2);
+  const double t = rng.UniformDouble(0.5, 2.0);
+  std::vector<RegressionPoint> out;
+  out.reserve(n);
+  auto support = [&](Vec x) {
+    RegressionPoint p;
+    p.y = w.Dot(x) - t;  // Residual +t* at the planted optimum.
+    p.x = std::move(x);
+    out.push_back(std::move(p));
+  };
+  for (size_t i = 0; i < d; ++i) {
+    Vec x(d);
+    x[i] = -3.0;
+    support(std::move(x));
+  }
+  {
+    Vec x(d);
+    const double s = 3.0 / std::sqrt(static_cast<double>(d));
+    for (size_t i = 0; i < d; ++i) x[i] = s;
+    support(std::move(x));
+  }
+  while (out.size() < n) {
+    Vec x(d);
+    for (size_t i = 0; i < d; ++i) x[i] = rng.UniformDouble(-4, 4);
+    RegressionPoint p;
+    p.y = w.Dot(x) + rng.UniformDouble(-0.8, 0.8) * t;
+    p.x = std::move(x);
+    out.push_back(std::move(p));
+  }
+  for (size_t i = 0; i <= d && i < out.size(); ++i) {
+    std::swap(out[i], out[rng.UniformIndex(out.size())]);
+  }
+  return LinfRegressionCase{LinfRegression(d), std::move(out)};
+}
+
+struct AnnulusCase {
+  EnclosingAnnulus problem;
+  std::vector<Vec> points;
+};
+
+/// Planted-optimum enclosing-annulus instance: an antipodal OUTER pair
+/// c* +- R* e_1 and antipodal INNER pairs c* +- r* e_j for j >= 2. Any
+/// center offset delta pays 2 R* |delta_1| on the outer radius and
+/// 2 r* |delta_j| on some inner radius, so the width R*^2 - r*^2 is
+/// attained only at c* and the 2d planted points are all extreme (dropping
+/// one lets the lex tie-break slide the center). Use d in {2, 3} so the
+/// 2d-point basis respects nu = d + 3. Fillers land strictly inside the
+/// shell, in the middle 60% of the radial gap.
+inline AnnulusCase MakeAnnulusCase(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Vec center(d);
+  for (size_t i = 0; i < d; ++i) center[i] = rng.UniformDouble(-4, 4);
+  const double inner = rng.UniformDouble(1.0, 2.0);
+  const double outer = inner + rng.UniformDouble(0.5, 2.0);
+  std::vector<Vec> out;
+  out.reserve(n);
+  auto antipodal = [&](size_t axis, double r) {
+    for (double sign : {+1.0, -1.0}) {
+      Vec p = center;
+      p[axis] += sign * r;
+      out.push_back(std::move(p));
+    }
+  };
+  antipodal(0, outer);
+  for (size_t axis = 1; axis < d; ++axis) antipodal(axis, inner);
+  while (out.size() < n) {
+    Vec u(d);
+    double norm = 0;
+    for (size_t i = 0; i < d; ++i) {
+      u[i] = rng.Normal();
+      norm += u[i] * u[i];
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-6) continue;
+    const double r = inner + (outer - inner) * rng.UniformDouble(0.2, 0.8);
+    Vec p(d);
+    for (size_t i = 0; i < d; ++i) p[i] = center[i] + u[i] * (r / norm);
+    out.push_back(std::move(p));
+  }
+  for (size_t i = 0; i < 2 * d && i < out.size(); ++i) {
+    std::swap(out[i], out[rng.UniformIndex(out.size())]);
+  }
+  return AnnulusCase{EnclosingAnnulus(d), std::move(out)};
 }
 
 // ----------------------------------------------- transcript fingerprints

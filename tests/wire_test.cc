@@ -15,8 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "src/problems/chebyshev_center.h"
+#include "src/problems/enclosing_annulus.h"
 #include "src/problems/linear_program.h"
 #include "src/problems/linear_svm.h"
+#include "src/problems/linf_regression.h"
 #include "src/problems/min_enclosing_ball.h"
 #include "src/runtime/wire.h"
 #include "src/util/bit_stream.h"
@@ -281,6 +284,21 @@ TEST(WireSolveTest, MinEnclosingBallServedSolveIsBitIdentical) {
   CheckServedSolveMatchesLocal(c.problem, c.points);
 }
 
+TEST(WireSolveTest, ChebyshevCenterServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeChebyshevCase(40, 3, 17);
+  CheckServedSolveMatchesLocal(c.problem, c.constraints);
+}
+
+TEST(WireSolveTest, LinfRegressionServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeLinfRegressionCase(40, 3, 19);
+  CheckServedSolveMatchesLocal(c.problem, c.points);
+}
+
+TEST(WireSolveTest, EnclosingAnnulusServedSolveIsBitIdentical) {
+  auto c = testing_util::MakeAnnulusCase(40, 2, 23);
+  CheckServedSolveMatchesLocal(c.problem, c.points);
+}
+
 TEST(WireSolveTest, ErrorResponseCarriesTheStatusBack) {
   auto c = testing_util::MakeFeasibleLpCase(8, 2, 3);
   const uint64_t job_id = 77;
@@ -475,16 +493,26 @@ TEST(WireAdversarialTest, RejectsHostileVectorDimension) {
 
 TEST(WireAdversarialTest, RejectsZeroAndOversizedProblemDimension) {
   // The problem ctors CHECK-fail below dim 1; the decoder must return a
-  // clean Status instead of tripping that assert on hostile input.
-  for (uint32_t dim : {0u, wire::kMaxWireDim + 1}) {
-    BitWriter w;
-    w.PutU64(1);
-    w.PutU8(static_cast<uint8_t>(wire::ProblemKind::kMinEnclosingBall));
-    w.PutU8(0);  // v2 trace flags: none.
-    w.PutU32(dim);
-    for (int i = 0; i < 4 + 2 * (1 << 17); ++i) w.PutU8(0);  // Plenty of bytes.
-    EXPECT_FALSE(wire::ServeSolveRequestPayload(w.Release()).ok())
-        << "dim " << dim << " was accepted";
+  // clean Status instead of tripping that assert on hostile input. Every
+  // dim-carrying kind gets the same sweep — a new codec that forgets the
+  // guard fails here.
+  for (auto kind :
+       {wire::ProblemKind::kMinEnclosingBall, wire::ProblemKind::kLinearSvm,
+        wire::ProblemKind::kChebyshevCenter, wire::ProblemKind::kLinfRegression,
+        wire::ProblemKind::kEnclosingAnnulus}) {
+    for (uint32_t dim : {0u, wire::kMaxWireDim + 1}) {
+      BitWriter w;
+      w.PutU64(1);
+      w.PutU8(static_cast<uint8_t>(kind));
+      w.PutU8(0);  // v2 trace flags: none.
+      w.PutU32(dim);
+      for (int i = 0; i < 4 + 2 * (1 << 17); ++i) {
+        w.PutU8(0);  // Plenty of bytes.
+      }
+      EXPECT_FALSE(wire::ServeSolveRequestPayload(w.Release()).ok())
+          << "kind " << static_cast<int>(kind) << " dim " << dim
+          << " was accepted";
+    }
   }
 }
 
